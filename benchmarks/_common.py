@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates the rows/series of one paper table or figure
+(DESIGN.md Section 4 maps them). The rendered table is printed and also
+persisted under ``benchmarks/results/`` so EXPERIMENTS.md can reference
+stable artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.eval.reporting import format_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit_table(
+    name: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str,
+) -> str:
+    """Render, print, and persist one reproduction table."""
+    text = format_table(headers, rows, title=title)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print("\n" + text)
+    return text

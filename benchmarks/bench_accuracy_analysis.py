@@ -1,0 +1,38 @@
+"""Section 10.2 accuracy analysis: GenASM scores vs the DP optimum.
+
+Measured, not modelled: GenASM aligns simulated reads with BWA-MEM /
+Minimap2 scoring and the resulting alignment scores are compared with the
+Gotoh optimum (paper: 96.6% of short reads exact, 99.7% within 4.5%;
+99.6-99.7% of long reads within 0.4-0.7%).
+
+The benchmark times the scored-alignment kernel (traceback order derived
+from the scoring scheme).
+"""
+
+from _common import emit_table
+
+from repro.core.aligner import GenAsmAligner
+from repro.core.scoring import ScoringScheme, TracebackConfig
+from repro.eval.experiments import experiment_accuracy
+from repro.sequences.read_simulator import simulate_pair
+
+
+def test_accuracy_analysis(benchmark):
+    headers, rows = experiment_accuracy(
+        short_reads=24, long_reads=2, long_read_length=1_000
+    )
+    emit_table(
+        "accuracy_analysis",
+        headers,
+        rows,
+        title=(
+            "Accuracy analysis: GenASM score vs optimal "
+            "(paper: 96.6% exact short reads, 99.6-99.7% long reads in tolerance)"
+        ),
+    )
+
+    scheme = ScoringScheme.bwa_mem()
+    aligner = GenAsmAligner(config=TracebackConfig.from_scoring(scheme))
+    reference, query, _ = simulate_pair(250, 0.95, seed=80)
+    alignment = benchmark(aligner.align, reference + "ACGTACGT" * 2, query)
+    assert alignment.cigar.query_length == len(query)

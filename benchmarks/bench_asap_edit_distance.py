@@ -1,0 +1,29 @@
+"""Section 10.4 (ASAP): GenASM vs the FPGA edit-distance accelerator.
+
+Table from published anchors (ASAP: 6.8 us at 64 bp to 18.8 us at 320 bp at
+6.8 W; paper: GenASM 9.3-400x faster at 67x less power — our conservative
+cycle model lands at the low end of that range). The benchmark measures the
+short-sequence edit-distance kernel.
+"""
+
+from _common import emit_table
+
+from repro.core.edit_distance import genasm_edit_distance
+from repro.eval.experiments import experiment_asap
+from repro.sequences.read_simulator import simulate_pair
+
+
+def test_asap_comparison(benchmark):
+    headers, rows = experiment_asap()
+    emit_table(
+        "asap_edit_distance",
+        headers,
+        rows,
+        title="GenASM vs ASAP (paper: 9.3-400x speedup, 67x less power)",
+    )
+    for row in rows:
+        assert row[3] > 1  # GenASM ahead at every length
+
+    reference, query, _ = simulate_pair(320, 0.95, seed=96)
+    result = benchmark(genasm_edit_distance, reference, query)
+    assert result.distance >= 0

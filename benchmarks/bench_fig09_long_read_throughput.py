@@ -1,0 +1,40 @@
+"""Figure 9: long-read alignment throughput vs BWA-MEM / Minimap2.
+
+The table reproduces the figure's series from the device models (anchored
+at the paper's 648x / 116x 12-thread speedups for the 15% datasets). The
+benchmark measures the real GenASM alignment kernel on one long read — the
+functional workload whose cycle count the throughput model projects.
+"""
+
+from _common import emit_table
+
+from repro.core.aligner import GenAsmAligner
+from repro.eval.datasets import long_read_datasets
+from repro.eval.experiments import experiment_fig9
+
+READ_LENGTH = 2_500
+
+
+def test_fig9_long_read_throughput(benchmark):
+    headers, rows = experiment_fig9()
+    emit_table(
+        "fig09_long_read_throughput",
+        headers,
+        rows,
+        title=(
+            "Figure 9: long-read alignment throughput "
+            "(paper anchors: 648x BWA-MEM, 116x Minimap2 at 15% error)"
+        ),
+    )
+
+    dataset = long_read_datasets(
+        reads_per_set=1, read_length=READ_LENGTH, genome_length=40_000
+    )[1]  # PacBio - 15%
+    read = dataset.reads[0]
+    region = dataset.genome.region(
+        read.true_start, read.true_length + int(READ_LENGTH * 0.3)
+    )
+    aligner = GenAsmAligner()
+
+    alignment = benchmark(aligner.align, region, read.sequence)
+    assert alignment.cigar.is_valid_for(region, read.sequence)

@@ -1,0 +1,32 @@
+"""Figure 10: short-read alignment throughput vs BWA-MEM / Minimap2.
+
+Table from the calibrated device models (paper anchors: 111x / 158x);
+benchmark measures GenASM aligning one 150 bp Illumina-style read.
+"""
+
+from _common import emit_table
+
+from repro.core.aligner import GenAsmAligner
+from repro.eval.datasets import short_read_datasets
+from repro.eval.experiments import experiment_fig10
+
+
+def test_fig10_short_read_throughput(benchmark):
+    headers, rows = experiment_fig10()
+    emit_table(
+        "fig10_short_read_throughput",
+        headers,
+        rows,
+        title=(
+            "Figure 10: short-read alignment throughput "
+            "(paper anchors: 111x BWA-MEM, 158x Minimap2)"
+        ),
+    )
+
+    dataset = short_read_datasets(reads_per_set=1)[1]  # Illumina-150bp
+    read = dataset.reads[0]
+    region = dataset.genome.region(read.true_start, read.true_length + 16)
+    aligner = GenAsmAligner()
+
+    alignment = benchmark(aligner.align, region, read.sequence)
+    assert alignment.cigar.is_valid_for(region, read.sequence)

@@ -1,0 +1,44 @@
+"""Figure 11: end-to-end mapping pipeline time with and without GenASM.
+
+Two parts:
+
+* the Amdahl table projecting whole-pipeline speedups from the alignment
+  fractions and the model's alignment-step speedups (paper: 2.4x/1.9x
+  Illumina, 6.5x/3.4x PacBio, 4.9x/2.1x ONT);
+* a measured benchmark running our actual Python pipeline (index -> seed ->
+  filter -> GenASM align) over a read batch, demonstrating the pipeline
+  substrate end to end.
+"""
+
+from _common import emit_table
+
+from repro.eval.experiments import experiment_fig11
+from repro.mapping.pipeline import make_genasm_mapper
+from repro.sequences.genome import synthesize_genome
+from repro.sequences.read_simulator import illumina_profile, simulate_reads
+
+
+def test_fig11_pipeline_speedups(benchmark):
+    headers, rows = experiment_fig11()
+    emit_table(
+        "fig11_pipeline",
+        headers,
+        rows,
+        title=(
+            "Figure 11: whole-pipeline speedup with GenASM as the aligner "
+            "(paper: 2.4x/1.9x, 6.5x/3.4x, 4.9x/2.1x)"
+        ),
+    )
+
+    genome = synthesize_genome(30_000, seed=40)
+    reads = simulate_reads(
+        genome, count=10, read_length=150, profile=illumina_profile(0.05), seed=41
+    )
+    batch = [(r.name, r.sequence) for r in reads]
+
+    def run_pipeline():
+        mapper = make_genasm_mapper(genome, seed_length=13, error_rate=0.10)
+        return mapper.map_reads(batch)
+
+    results = benchmark(run_pipeline)
+    assert sum(1 for r in results if r.record.is_mapped) >= 8

@@ -1,0 +1,29 @@
+"""Figure 12: GenASM vs GACT (Darwin) for long reads.
+
+Table from the models (paper: GACT 55,556 -> 6,289 aln/s over 1-10 Kbp,
+GenASM 3.9x faster on average, 2.7x less power). The benchmark measures our
+functional GACT re-implementation tiling a long-ish read, the comparator
+whose behaviour the model abstracts.
+"""
+
+from _common import emit_table
+
+from repro.baselines.gact import gact_align
+from repro.eval.experiments import experiment_fig12
+from repro.sequences.read_simulator import simulate_pair
+
+
+def test_fig12_gact_long_reads(benchmark):
+    headers, rows = experiment_fig12()
+    emit_table(
+        "fig12_gact_long",
+        headers,
+        rows,
+        title="Figure 12: GenASM vs GACT, long reads (paper average: 3.9x)",
+    )
+
+    reference, query, _ = simulate_pair(1_200, 0.90, seed=50)
+    result = benchmark(
+        gact_align, reference + "ACGT" * 30, query, tile_size=64, overlap=24
+    )
+    assert result.cigar.query_length == len(query)

@@ -1,0 +1,34 @@
+"""Figure 14: edit distance calculation vs Edlib.
+
+Three ingredients in the table: model rows at the paper's 100 Kbp / 1 Mbp
+scale (paper: 22-716x and 262-5413x speedups without traceback, 146-1458x
+and 627-12501x with), plus a measured growth-factor row proving the
+quadratic-vs-linear scaling behind the crossover on our actual Python
+implementations.
+
+The benchmark measures GenASM's windowed edit-distance kernel on a 2 Kbp
+pair at 90% similarity.
+"""
+
+from _common import emit_table
+
+from repro.core.edit_distance import genasm_edit_distance
+from repro.eval.experiments import experiment_fig14
+from repro.sequences.read_simulator import simulate_pair
+
+
+def test_fig14_edit_distance(benchmark):
+    headers, rows = experiment_fig14(measured_length=2_000)
+    emit_table(
+        "fig14_edit_distance",
+        headers,
+        rows,
+        title=(
+            "Figure 14: edit distance vs Edlib "
+            "(paper: 22-716x at 100Kbp, 262-5413x at 1Mbp, w/o traceback)"
+        ),
+    )
+
+    reference, query, _ = simulate_pair(2_000, 0.90, seed=95)
+    result = benchmark(genasm_edit_distance, reference, query)
+    assert result.distance > 0

@@ -1,0 +1,33 @@
+"""Section 10.2 (GPU): GenASM vs GASAL2 for short reads.
+
+Table from the anchored device model (paper: 8.5-21.5x speedup, 15.4-20.6x
+power reduction across 100/150/250 bp and 100K/1M/10M-pair batches). The
+benchmark measures a batch of short-read alignments through the 32-vault
+system model — the workload shape GASAL2 batches compete against.
+"""
+
+from _common import emit_table
+
+from repro.eval.experiments import experiment_gasal2
+from repro.hardware.memory import StackedMemorySystem
+from repro.sequences.read_simulator import simulate_pair
+
+
+def test_gasal2_comparison(benchmark):
+    headers, rows = experiment_gasal2()
+    emit_table(
+        "gasal2_gpu",
+        headers,
+        rows,
+        title="GenASM vs GASAL2 GPU aligner (paper: 8.5-21.5x)",
+    )
+
+    tasks = []
+    for seed in range(16):
+        reference, query, _ = simulate_pair(100, 0.95, seed=60 + seed)
+        tasks.append((reference + "ACGTACGT", query))
+    system = StackedMemorySystem()
+
+    batch = benchmark(system.run_batch, tasks)
+    assert len(batch.results) == 16
+    assert batch.within_stack_bandwidth

@@ -1,0 +1,27 @@
+"""Section 10.2 (SillaX): GenASM vs GenAx's short-read accelerator.
+
+Table from published anchors (SillaX: 50M aln/s at 2 GHz for ~101 bp reads;
+paper: GenASM 1.9x faster at 1 GHz). The benchmark measures the 101 bp
+GenASM alignment kernel the comparison rests on.
+"""
+
+from _common import emit_table
+
+from repro.core.aligner import GenAsmAligner
+from repro.eval.experiments import experiment_sillax
+from repro.sequences.read_simulator import simulate_pair
+
+
+def test_sillax_comparison(benchmark):
+    headers, rows = experiment_sillax()
+    emit_table(
+        "sillax_short",
+        headers,
+        rows,
+        title="GenASM vs SillaX (paper: 1.9x at comparable area/power)",
+    )
+
+    reference, query, _ = simulate_pair(101, 0.95, seed=70)
+    aligner = GenAsmAligner()
+    alignment = benchmark(aligner.align, reference + "ACGT", query)
+    assert alignment.cigar.query_length == len(query)

@@ -1,0 +1,24 @@
+"""Table 1: area and power breakdown of GenASM.
+
+Regenerates the component table (GenASM-DC, GenASM-TB, DC-SRAM, TB-SRAMs,
+per-vault and 32-vault totals) from the scaled area/power model, and
+benchmarks the model evaluation itself (it backs every other experiment).
+"""
+
+from _common import emit_table
+
+from repro.eval.experiments import experiment_table1
+from repro.hardware.area_power import genasm_area_power
+
+
+def test_table1_area_power(benchmark):
+    headers, rows = experiment_table1()
+    emit_table(
+        "table1_area_power",
+        headers,
+        rows,
+        title="Table 1: Area and power breakdown (paper: 0.334 mm^2 / 0.101 W per vault)",
+    )
+    breakdown = benchmark(genasm_area_power)
+    assert abs(breakdown.accelerator_area_mm2 - 0.334) < 1e-3
+    assert abs(breakdown.accelerator_power_w - 0.101) < 1e-3

@@ -1,0 +1,80 @@
+"""Edit distance: the Figure 14 similarity sweep at laptop scale.
+
+Measures our Python GenASM (windowed, linear-time) against Myers'
+bit-vector algorithm (Edlib's engine, quadratic-time) across sequence
+similarities, then prints the accelerator model's projection at the paper's
+100 Kbp / 1 Mbp scale.
+
+Run:  python examples/edit_distance.py
+"""
+
+import time
+
+from repro.baselines.myers import myers_global
+from repro.core.edit_distance import genasm_edit_distance
+from repro.eval.datasets import edlib_pair_dataset
+from repro.eval.reporting import format_table
+from repro.hardware.baseline_devices import (
+    edlib_time_s,
+    genasm_edit_distance_time_s,
+)
+
+LENGTH = 4_000
+SIMILARITIES = (0.60, 0.80, 0.90, 0.99)
+
+
+def main() -> None:
+    dataset = edlib_pair_dataset(length=LENGTH, similarities=SIMILARITIES)
+    rows = []
+    for (original, mutated), similarity in zip(dataset.pairs, SIMILARITIES):
+        start = time.perf_counter()
+        exact = myers_global(original, mutated)
+        myers_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        result = genasm_edit_distance(original, mutated)
+        genasm_time = time.perf_counter() - start
+
+        rows.append(
+            [
+                f"{similarity:.0%}",
+                exact,
+                result.distance,
+                f"{myers_time * 1e3:.1f} ms",
+                f"{genasm_time * 1e3:.1f} ms",
+            ]
+        )
+    print(
+        format_table(
+            ("Similarity", "Exact distance", "GenASM distance", "Myers time", "GenASM time"),
+            rows,
+            title=f"measured in Python at {LENGTH} bp",
+        )
+    )
+
+    rows = []
+    for length in (100_000, 1_000_000):
+        for similarity in SIMILARITIES:
+            edlib = edlib_time_s(length, similarity)
+            genasm = genasm_edit_distance_time_s(length, similarity)
+            rows.append(
+                [
+                    f"{length // 1000}Kbp",
+                    f"{similarity:.0%}",
+                    f"{edlib * 1e3:.2f} ms",
+                    f"{genasm * 1e3:.3f} ms",
+                    round(edlib / genasm),
+                ]
+            )
+    print()
+    print(
+        format_table(
+            ("Length", "Similarity", "Edlib model", "GenASM model", "Speedup"),
+            rows,
+            title="accelerator model at paper scale (Figure 14)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

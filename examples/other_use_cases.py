@@ -1,0 +1,75 @@
+"""Section 11's four additional use cases, end to end.
+
+Read-to-read overlap finding, GenASM-built indexing, whole genome
+alignment, and generic (non-genomic) text search.
+
+Run:  python examples/other_use_cases.py
+"""
+
+from repro.sequences.genome import synthesize_genome
+from repro.sequences.mutate import MutationProfile, mutate
+from repro.usecases import (
+    align_genomes,
+    build_index_with_genasm,
+    find_overlaps,
+    search_text,
+)
+
+import random
+
+
+def main() -> None:
+    rng = random.Random(99)
+
+    # ------------------------------------------------------------------
+    # Read-to-read overlap finding (de novo assembly, no reference).
+    # ------------------------------------------------------------------
+    genome = synthesize_genome(3_000, seed=1, repeat_fraction=0.0)
+    reads = [
+        mutate(genome.region(start, 500), MutationProfile(0.03), rng=rng).sequence
+        for start in (0, 300, 600, 900)
+    ]
+    overlaps = find_overlaps(reads, min_overlap=120, max_error_rate=0.15)
+    print("== read-to-read overlaps (de novo assembly) ==")
+    for overlap in overlaps:
+        print(
+            f"  read{overlap.a_index} -> read{overlap.b_index}: "
+            f"{overlap.length} bp at offset {overlap.a_start}, "
+            f"identity {overlap.identity:.1%}"
+        )
+
+    # ------------------------------------------------------------------
+    # Hash-table indexing via GenASM exact search.
+    # ------------------------------------------------------------------
+    index = build_index_with_genasm(genome, k=13)
+    print(f"\n== GenASM-built index ==\n  {len(index):,} distinct 13-mers indexed")
+
+    # ------------------------------------------------------------------
+    # Whole genome alignment.
+    # ------------------------------------------------------------------
+    other = mutate(genome.sequence, MutationProfile(0.04), rng=rng).sequence
+    wga = align_genomes(genome.sequence, other)
+    print(
+        f"\n== whole genome alignment ==\n"
+        f"  identity {wga.identity:.2%}, "
+        f"{wga.substitutions} subs / {wga.insertions} ins / {wga.deletions} dels"
+    )
+
+    # ------------------------------------------------------------------
+    # Generic text search (fuzzy grep over ASCII text).
+    # ------------------------------------------------------------------
+    text = (
+        "GenASM is an aproximate string matching acceleration framework "
+        "for genome sequence analysis"
+    )
+    matches = search_text(text, "approximate", 2, with_traceback=True)
+    print("\n== generic text search ==")
+    for match in matches:
+        print(
+            f"  'approximate' ~ text[{match.start}:] with "
+            f"{match.distance} edit(s), CIGAR {match.cigar}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Pre-alignment filtering: GenASM vs Shouji vs SHD on candidate pairs.
+
+Reproduces the Section 10.3 accuracy comparison at laptop scale: generate
+candidate (reference, read) pairs the way seeding produces them, compute
+exact ground-truth distances with Myers' algorithm, and score each filter's
+false-accept and false-reject rates.
+
+Run:  python examples/prealignment_filtering.py
+"""
+
+from repro.baselines.myers import myers_global
+from repro.baselines.shd import ShdFilter
+from repro.baselines.shouji import ShoujiFilter
+from repro.core.prefilter import GenAsmFilter
+from repro.eval.datasets import filter_pair_dataset
+from repro.eval.metrics import filter_accuracy
+from repro.eval.reporting import format_table
+
+
+def main() -> None:
+    for read_length, threshold in ((100, 5), (250, 15)):
+        dataset = filter_pair_dataset(
+            read_length=read_length, threshold=threshold, pairs=120, seed=21
+        )
+        truth = [myers_global(ref, qry) for ref, qry in dataset.pairs]
+
+        rows = []
+        for name, filt in (
+            ("GenASM", GenAsmFilter(threshold)),
+            ("Shouji", ShoujiFilter(threshold)),
+            ("SHD", ShdFilter(threshold)),
+        ):
+            decisions = [filt.accepts(ref, qry) for ref, qry in dataset.pairs]
+            accuracy = filter_accuracy(decisions, truth, threshold)
+            rows.append(
+                [
+                    name,
+                    f"{accuracy.false_accept_rate:.2%}",
+                    f"{accuracy.false_reject_rate:.2%}",
+                    accuracy.true_rejects,
+                ]
+            )
+        print(
+            format_table(
+                ("Filter", "False accept", "False reject", "Pairs rejected"),
+                rows,
+                title=f"\n{dataset.name} ({len(dataset.pairs)} pairs)",
+            )
+        )
+        print(
+            "  -> GenASM computes the exact distance: near-zero false"
+            " accepts; estimators trade accepts for speed."
+        )
+
+
+if __name__ == "__main__":
+    main()

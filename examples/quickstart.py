@@ -1,0 +1,49 @@
+"""Quickstart: the three GenASM use cases in a dozen lines each.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    GenAsmFilter,
+    ScoringScheme,
+    genasm_align,
+    genasm_edit_distance,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # Use case 1: read alignment (Section 10.2).
+    # The reference region comes from a candidate mapping location; the
+    # read carries one deletion and one substitution.
+    # ------------------------------------------------------------------
+    reference_region = "ACGTACGTTGCAACGTACGTACGT"
+    read = "ACGTACGTGCATCGTACGTACGT"
+    alignment = genasm_align(reference_region, read)
+    print("== read alignment ==")
+    print(f"  CIGAR          : {alignment.cigar}")
+    print(f"  edit distance  : {alignment.edit_distance}")
+    print(f"  BWA-MEM score  : {alignment.score(ScoringScheme.bwa_mem())}")
+    print(f"  valid CIGAR    : {alignment.cigar.is_valid_for(reference_region, read)}")
+
+    # ------------------------------------------------------------------
+    # Use case 2: pre-alignment filtering (Section 10.3).
+    # ------------------------------------------------------------------
+    print("\n== pre-alignment filtering ==")
+    filt = GenAsmFilter(threshold=2)
+    similar = filt.decide(reference_region, read)
+    print(f"  similar pair   : accepted={similar.accepted} distance={similar.distance}")
+    dissimilar = filt.decide("A" * len(read), read)
+    print(f"  dissimilar pair: accepted={dissimilar.accepted}")
+
+    # ------------------------------------------------------------------
+    # Use case 3: edit distance calculation (Section 10.4).
+    # ------------------------------------------------------------------
+    print("\n== edit distance ==")
+    result = genasm_edit_distance(reference_region, read, report_cigar=True)
+    print(f"  distance       : {result.distance}")
+    print(f"  traceback      : {result.cigar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""End-to-end read mapping: index, seed, filter, align, emit SAM.
+
+Builds the full Figure 1 pipeline around GenASM: a synthetic reference is
+indexed, Illumina-style reads are simulated with ground truth, and each
+read flows through seeding, GenASM pre-alignment filtering, and GenASM
+alignment. Output lands in ``mapped_reads.sam`` next to this script.
+
+Run:  python examples/read_mapping_pipeline.py
+"""
+
+from pathlib import Path
+
+from repro.mapping.pipeline import make_genasm_mapper
+from repro.mapping.sam import write_sam
+from repro.sequences.genome import synthesize_genome
+from repro.sequences.read_simulator import illumina_profile, simulate_reads
+
+
+def main() -> None:
+    genome = synthesize_genome(60_000, seed=33, repeat_fraction=0.10)
+    reads = simulate_reads(
+        genome, count=40, read_length=150, profile=illumina_profile(0.05), seed=34
+    )
+    mapper = make_genasm_mapper(genome, seed_length=13, error_rate=0.10)
+
+    results = mapper.map_reads([(r.name, r.sequence) for r in reads])
+    correct = sum(
+        1
+        for read, result in zip(reads, results)
+        if result.record.is_mapped
+        and abs((result.record.position - 1) - read.true_start) <= 20
+    )
+
+    out_path = Path(__file__).with_name("mapped_reads.sam")
+    write_sam(
+        [result.record for result in results],
+        out_path,
+        reference_name=genome.name,
+        reference_length=len(genome),
+    )
+
+    stats = mapper.stats
+    print(f"reads mapped to true origin : {correct}/{len(reads)}")
+    print(f"candidates examined         : {stats.candidates}")
+    print(f"rejected by GenASM filter   : {stats.filtered_out} "
+          f"({stats.filter_rate:.0%})")
+    print(f"alignments executed         : {stats.alignments_run}")
+    print(f"SAM written to              : {out_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project metadata lives in pyproject.toml; this file exists only so that
+``pip install -e .`` works on environments without the ``wheel`` package
+(offline machines cannot fetch it for PEP 517 editable builds).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""repro — a reproduction of GenASM (MICRO 2020).
+
+GenASM is an approximate string matching (ASM) acceleration framework for
+genome sequence analysis, built on an enhanced Bitap algorithm with the first
+Bitap-compatible traceback. This package reproduces the paper end to end:
+
+* :mod:`repro.core` — GenASM-DC, GenASM-TB, the windowed aligner, and the
+  derived pre-alignment filter and edit-distance use cases;
+* :mod:`repro.sequences` — alphabets, synthetic genomes, read simulators;
+* :mod:`repro.baselines` — the comparators the paper evaluates against
+  (DP aligners, Myers/Edlib, Shouji, GACT, ...);
+* :mod:`repro.hardware` — the systolic-array accelerator model, SRAMs,
+  vault-level parallelism, and the analytical performance/area/power models;
+* :mod:`repro.mapping` — a full read-mapping pipeline (index, seed, filter,
+  align) hosting GenASM as its alignment step;
+* :mod:`repro.eval` — datasets, metrics, and one experiment driver per
+  table/figure in the paper's evaluation.
+"""
+
+from repro.core import (
+    Alignment,
+    Cigar,
+    GenAsmAligner,
+    GenAsmFilter,
+    ScoringScheme,
+    TracebackConfig,
+    bitap_edit_distance,
+    bitap_scan,
+    genasm_align,
+    genasm_edit_distance,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Alignment",
+    "Cigar",
+    "GenAsmAligner",
+    "GenAsmFilter",
+    "ScoringScheme",
+    "TracebackConfig",
+    "__version__",
+    "bitap_edit_distance",
+    "bitap_scan",
+    "genasm_align",
+    "genasm_edit_distance",
+]

@@ -1,0 +1,51 @@
+"""Baseline algorithms the paper compares GenASM against.
+
+* Dynamic-programming aligners: Needleman-Wunsch (global), Smith-Waterman
+  (local), Gotoh (affine-gap — the kernel inside BWA-MEM/Minimap2).
+* Myers' bit-vector algorithm — the engine of the Edlib baseline.
+* Ukkonen's banded algorithm — fast exact ground truth.
+* Pre-alignment filters: Shouji (the Section 10.3 baseline) and SHD.
+* GACT — Darwin's tiled aligner (the Figures 12-13 baseline).
+"""
+
+from repro.baselines.gact import GactAlignment, gact_align
+from repro.baselines.gotoh import GotohAlignment, gotoh_global, gotoh_score
+from repro.baselines.myers import (
+    myers_global,
+    myers_global_bounded,
+    myers_semiglobal,
+)
+from repro.baselines.needleman_wunsch import (
+    NwAlignment,
+    edit_distance_dp,
+    needleman_wunsch,
+    semiglobal_distance_dp,
+)
+from repro.baselines.shd import ShdDecision, ShdFilter
+from repro.baselines.shouji import ShoujiDecision, ShoujiFilter
+from repro.baselines.smith_waterman import SwAlignment, SwScoring, smith_waterman
+from repro.baselines.ukkonen import banded_edit_distance, edit_distance_doubling
+
+__all__ = [
+    "GactAlignment",
+    "GotohAlignment",
+    "NwAlignment",
+    "ShdDecision",
+    "ShdFilter",
+    "ShoujiDecision",
+    "ShoujiFilter",
+    "SwAlignment",
+    "SwScoring",
+    "banded_edit_distance",
+    "edit_distance_doubling",
+    "edit_distance_dp",
+    "gact_align",
+    "gotoh_global",
+    "gotoh_score",
+    "myers_global",
+    "myers_global_bounded",
+    "myers_semiglobal",
+    "needleman_wunsch",
+    "semiglobal_distance_dp",
+    "smith_waterman",
+]

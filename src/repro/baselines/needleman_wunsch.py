@@ -1,0 +1,109 @@
+"""Needleman-Wunsch global alignment (Needleman & Wunsch 1970).
+
+The paper cites NW as the classic quadratic dynamic-programming ASM
+formulation (Section 2.2) and uses Edlib's "default global Needleman-Wunsch
+mode" as the edit-distance baseline (Section 9). This implementation provides
+both the unit-cost edit-distance DP (ground truth for every property test in
+the suite) and a linear-gap scored variant with traceback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cigar import Cigar
+
+
+def edit_distance_dp(a: str, b: str) -> int:
+    """Exact global (Levenshtein) edit distance, O(|a|·|b|) time, O(|b|) space."""
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i] + [0] * len(b)
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current[j] = min(
+                previous[j] + 1,  # deletion (consume a)
+                current[j - 1] + 1,  # insertion (consume b)
+                previous[j - 1] + cost,  # match/substitution
+            )
+        previous = current
+    return previous[-1]
+
+
+def semiglobal_distance_dp(text: str, pattern: str) -> int:
+    """Minimum edit distance of ``pattern`` against any infix of ``text``.
+
+    This is the quantity Bitap computes (free leading and trailing text);
+    used to validate :func:`repro.core.bitap.bitap_edit_distance`.
+    """
+    if not pattern:
+        return 0
+    # Rows: pattern; columns: text. Top row 0 (free leading text).
+    previous = [0] * (len(text) + 1)
+    best = len(pattern)
+    for i, cp in enumerate(pattern, start=1):
+        current = [i] + [0] * len(text)
+        for j, ct in enumerate(text, start=1):
+            cost = 0 if cp == ct else 1
+            current[j] = min(
+                previous[j] + 1,
+                current[j - 1] + 1,
+                previous[j - 1] + cost,
+            )
+        previous = current
+    best = min(previous)  # free trailing text
+    return best
+
+
+@dataclass(frozen=True)
+class NwAlignment:
+    """Global alignment result with a full transcript."""
+
+    cigar: Cigar
+    distance: int
+
+
+def needleman_wunsch(a: str, b: str) -> NwAlignment:
+    """Unit-cost global alignment with traceback.
+
+    ``a`` plays the reference/text role and ``b`` the query/pattern role, so
+    the transcript's D consumes ``a`` and I consumes ``b`` — the same
+    convention as GenASM's CIGAR.
+    """
+    n, m = len(a), len(b)
+    # dp[i][j]: distance between a[:i] and b[:j].
+    dp = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(n + 1):
+        dp[i][0] = i
+    for j in range(m + 1):
+        dp[0][j] = j
+    for i in range(1, n + 1):
+        row = dp[i]
+        prev = dp[i - 1]
+        ca = a[i - 1]
+        for j in range(1, m + 1):
+            cost = 0 if ca == b[j - 1] else 1
+            row[j] = min(prev[j] + 1, row[j - 1] + 1, prev[j - 1] + cost)
+
+    ops: list[str] = []
+    i, j = n, m
+    while i > 0 or j > 0:
+        here = dp[i][j]
+        if i > 0 and j > 0:
+            diag_cost = 0 if a[i - 1] == b[j - 1] else 1
+            if here == dp[i - 1][j - 1] + diag_cost:
+                ops.append("M" if diag_cost == 0 else "S")
+                i, j = i - 1, j - 1
+                continue
+        if i > 0 and here == dp[i - 1][j] + 1:
+            ops.append("D")
+            i -= 1
+            continue
+        ops.append("I")
+        j -= 1
+    cigar = Cigar("".join(reversed(ops)))
+    return NwAlignment(cigar=cigar, distance=dp[n][m])

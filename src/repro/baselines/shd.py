@@ -1,0 +1,98 @@
+"""Shifted Hamming Distance pre-alignment filter (Xin et al. 2015).
+
+SHD is the SIMD-based filter the paper lists among prior pre-alignment
+approaches (Section 12). It ANDs the Hamming masks of all diagonal shifts in
+[-E, +E] after *amending* each mask — flipping short runs of 0s (shorter
+than 3) to 1s, since isolated 1-2 base matches between mismatches are almost
+never part of a real alignment. The count of 1s in the ANDed vector, divided
+among edits, estimates whether the pair can align within the threshold.
+
+Like Shouji, SHD underestimates (0% false rejects, non-zero false accepts);
+its estimates are cruder, which is why later filters superseded it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_MIN_RUN = 3  # zero-runs shorter than this are amended away
+
+
+@dataclass(frozen=True)
+class ShdDecision:
+    """Filter outcome: the mismatch estimate and the accept decision."""
+
+    accepted: bool
+    estimated_edits: int
+
+
+class ShdFilter:
+    """Shifted Hamming Distance filter with threshold ``E``."""
+
+    def __init__(self, threshold: int) -> None:
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.threshold = threshold
+
+    def decide(self, reference: str, read: str) -> ShdDecision:
+        estimate = self.estimate_edits(reference, read)
+        return ShdDecision(
+            accepted=estimate <= self.threshold, estimated_edits=estimate
+        )
+
+    def accepts(self, reference: str, read: str) -> bool:
+        return self.decide(reference, read).accepted
+
+    def estimate_edits(self, reference: str, read: str) -> int:
+        """1s remaining after amending and ANDing all shift masks.
+
+        Each maximal run of 1s is counted once: a single edit (especially an
+        indel) smears into a run of mismatches on any fixed diagonal, so
+        counting runs rather than bits keeps the estimate a lower bound.
+        """
+        m = len(read)
+        if m == 0:
+            return 0
+        combined = [1] * m
+        for shift in range(-self.threshold, self.threshold + 1):
+            mask = self._amend(self._hamming_mask(reference, read, shift))
+            for i in range(m):
+                combined[i] &= mask[i]
+        # Count maximal 1-runs.
+        runs = 0
+        in_run = False
+        for bit in combined:
+            if bit and not in_run:
+                runs += 1
+            in_run = bool(bit)
+        return runs
+
+    @staticmethod
+    def _hamming_mask(reference: str, read: str, shift: int) -> list[int]:
+        n = len(reference)
+        mask = [1] * len(read)
+        for i in range(len(read)):
+            j = i + shift
+            if 0 <= j < n and read[i] == reference[j]:
+                mask[i] = 0
+        return mask
+
+    @staticmethod
+    def _amend(mask: list[int]) -> list[int]:
+        """Flip interior zero-runs shorter than ``_MIN_RUN`` to ones."""
+        amended = list(mask)
+        i = 0
+        m = len(mask)
+        while i < m:
+            if amended[i] == 0:
+                j = i
+                while j < m and amended[j] == 0:
+                    j += 1
+                interior = i > 0 and j < m
+                if interior and (j - i) < _MIN_RUN:
+                    for t in range(i, j):
+                        amended[t] = 1
+                i = j
+            else:
+                i += 1
+        return amended

@@ -1,0 +1,96 @@
+"""Smith-Waterman local alignment (Smith & Waterman 1981).
+
+The expensive DP kernel that GenASM replaces (Section 2.2) and the algorithm
+underlying the GACT accelerator the paper compares against (Section 10.2).
+Linear gap penalties; see :mod:`repro.baselines.gotoh` for the affine-gap
+variant used in the accuracy analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cigar import Cigar
+
+
+@dataclass(frozen=True)
+class SwScoring:
+    """Linear-gap local alignment scores."""
+
+    match: int = 2
+    mismatch: int = -1
+    gap: int = -2
+
+    def __post_init__(self) -> None:
+        if self.match <= 0:
+            raise ValueError("match score must be positive")
+        if self.mismatch >= 0 or self.gap >= 0:
+            raise ValueError("mismatch and gap penalties must be negative")
+
+
+@dataclass(frozen=True)
+class SwAlignment:
+    """A local alignment: transcript plus its anchor coordinates."""
+
+    cigar: Cigar
+    score: int
+    text_start: int
+    text_end: int
+    query_start: int
+    query_end: int
+
+
+def smith_waterman(
+    text: str, query: str, scoring: SwScoring | None = None
+) -> SwAlignment:
+    """Best-scoring local alignment of ``query`` within ``text``.
+
+    Returns a zero-length alignment when every cell scores <= 0 (completely
+    dissimilar sequences).
+    """
+    if scoring is None:
+        scoring = SwScoring()
+    n, m = len(text), len(query)
+    dp = [[0] * (m + 1) for _ in range(n + 1)]
+    best = 0
+    best_pos = (0, 0)
+    for i in range(1, n + 1):
+        row = dp[i]
+        prev = dp[i - 1]
+        ct = text[i - 1]
+        for j in range(1, m + 1):
+            diag = prev[j - 1] + (
+                scoring.match if ct == query[j - 1] else scoring.mismatch
+            )
+            up = prev[j] + scoring.gap
+            left = row[j - 1] + scoring.gap
+            score = max(0, diag, up, left)
+            row[j] = score
+            if score > best:
+                best = score
+                best_pos = (i, j)
+
+    ops: list[str] = []
+    i, j = best_pos
+    end_i, end_j = i, j
+    while i > 0 and j > 0 and dp[i][j] > 0:
+        here = dp[i][j]
+        is_match = text[i - 1] == query[j - 1]
+        diag = dp[i - 1][j - 1] + (scoring.match if is_match else scoring.mismatch)
+        if here == diag:
+            ops.append("M" if is_match else "S")
+            i, j = i - 1, j - 1
+        elif here == dp[i - 1][j] + scoring.gap:
+            ops.append("D")
+            i -= 1
+        else:
+            ops.append("I")
+            j -= 1
+    return SwAlignment(
+        cigar=Cigar("".join(reversed(ops))),
+        score=best,
+        text_start=i,
+        text_end=end_i,
+        query_start=j,
+        query_end=end_j,
+    )

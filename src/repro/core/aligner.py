@@ -1,0 +1,194 @@
+"""The GenASM aligner: divide-and-conquer DC + TB (Sections 4 and 6).
+
+This is the paper's full execution loop (Figure 4 steps 3-7): the reference
+region and query are processed in overlapping windows of ``W`` characters;
+GenASM-DC generates each window's bitvectors, GenASM-TB consumes at most
+``W - O`` characters of either sequence from them, and the per-window partial
+traceback outputs are merged into the final CIGAR. The defaults
+``W = 64, O = 24`` are the configuration the paper found optimal for both
+performance and accuracy (Section 10.2).
+
+Alignment semantics are *glocal*: the whole pattern is aligned, anchored at
+the start of the given text region, with trailing text free. Read mapping
+supplies a text region of length ``m + k`` starting at the candidate mapping
+location, exactly as Section 6 prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bitap import bitap_scan
+from repro.core.cigar import Cigar
+from repro.core.genasm_dc import run_dc_window
+from repro.core.genasm_tb import TracebackError, traceback_window
+from repro.core.scoring import ScoringScheme, TracebackConfig
+from repro.sequences.alphabet import DNA, Alphabet
+
+#: Window size the paper uses throughout the evaluation.
+DEFAULT_WINDOW_SIZE = 64
+#: Window overlap the paper uses ("the optimum (W, O) setting ... W=64, O=24").
+DEFAULT_OVERLAP = 24
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """A completed GenASM alignment.
+
+    Attributes
+    ----------
+    cigar:
+        The merged traceback output.
+    edit_distance:
+        Total edits in the alignment (``cigar.edit_distance``).
+    text_start:
+        Offset within the supplied text where the alignment begins (non-zero
+        only when the aligner was asked to locate the match first).
+    text_consumed:
+        Reference characters covered by the alignment from ``text_start``.
+    """
+
+    cigar: Cigar
+    edit_distance: int
+    text_start: int
+    text_consumed: int
+
+    def score(self, scheme: ScoringScheme) -> int:
+        """Alignment score under ``scheme`` (used by the accuracy analysis)."""
+        return self.cigar.score(scheme)
+
+
+class GenAsmAligner:
+    """Windowed GenASM aligner with configurable traceback priorities.
+
+    Parameters
+    ----------
+    window_size, overlap:
+        ``W`` and ``O`` of Algorithm 2. ``W - O`` characters are consumed
+        per window; the remaining ``O`` are recomputed by the next window so
+        the merged output stays accurate across window boundaries.
+    config:
+        Traceback priority order (affine-gap mimicry by default); build one
+        from a scoring scheme with :meth:`TracebackConfig.from_scoring`.
+    """
+
+    def __init__(
+        self,
+        *,
+        window_size: int = DEFAULT_WINDOW_SIZE,
+        overlap: int = DEFAULT_OVERLAP,
+        config: TracebackConfig | None = None,
+        alphabet: Alphabet = DNA,
+    ) -> None:
+        if window_size <= 0:
+            raise ValueError("window_size must be positive")
+        if not 0 <= overlap < window_size:
+            raise ValueError("overlap must satisfy 0 <= O < W")
+        self.window_size = window_size
+        self.overlap = overlap
+        self.config = config if config is not None else TracebackConfig()
+        self.alphabet = alphabet
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def align(self, text: str, pattern: str) -> Alignment:
+        """Align ``pattern`` against ``text``, anchored at ``text[0]``.
+
+        The text should be the candidate reference region (length about
+        ``m + k``); the full pattern is always consumed — if the text runs
+        out first, the remaining pattern characters become insertions.
+        """
+        ops, text_consumed = self._windowed_ops(text, pattern)
+        cigar = Cigar(ops)
+        return Alignment(
+            cigar=cigar,
+            edit_distance=cigar.edit_distance,
+            text_start=0,
+            text_consumed=text_consumed,
+        )
+
+    def align_located(
+        self, text: str, pattern: str, k: int
+    ) -> Alignment | None:
+        """Locate the best match with DC, then trace it back (Section 4).
+
+        Runs a full Bitap scan to find the start location with the minimum
+        edit distance (GenASM-DC's "distance calculation" role), then aligns
+        the pattern against the ``m + k``-long region starting there.
+        Returns None when no location matches within ``k`` edits.
+        """
+        matches = bitap_scan(text, pattern, k, alphabet=self.alphabet)
+        if not matches:
+            return None
+        best = min(matches, key=lambda match: (match.distance, match.start))
+        region = text[best.start : best.start + len(pattern) + k]
+        aligned = self.align(region, pattern)
+        return Alignment(
+            cigar=aligned.cigar,
+            edit_distance=aligned.edit_distance,
+            text_start=best.start,
+            text_consumed=aligned.text_consumed,
+        )
+
+    # ------------------------------------------------------------------
+    # Algorithm 2 outer loop
+    # ------------------------------------------------------------------
+    def _windowed_ops(self, text: str, pattern: str) -> tuple[str, int]:
+        """Run the window loop; return (expanded ops, text consumed)."""
+        w = self.window_size
+        consume_limit = w - self.overlap
+        cur_text = 0
+        cur_pattern = 0
+        m = len(pattern)
+        n = len(text)
+        parts: list[str] = []
+
+        while cur_pattern < m:
+            sub_pattern = pattern[cur_pattern : cur_pattern + w]
+            sub_text = text[cur_text : cur_text + w]
+            if not sub_text:
+                # Text exhausted: every remaining pattern character is an
+                # insertion relative to the reference.
+                parts.append("I" * (m - cur_pattern))
+                cur_pattern = m
+                break
+            window = run_dc_window(sub_text, sub_pattern, alphabet=self.alphabet)
+            tb = traceback_window(
+                window, consume_limit=consume_limit, config=self.config
+            )
+            if tb.pattern_consumed == 0 and tb.text_consumed == 0:
+                raise TracebackError(
+                    "window made no progress "
+                    f"(curText={cur_text}, curPattern={cur_pattern})"
+                )
+            parts.append(tb.ops)
+            cur_pattern += tb.pattern_consumed
+            cur_text += tb.text_consumed
+            if cur_text > n:
+                raise TracebackError("window consumed past the end of the text")
+        return "".join(parts), cur_text
+
+
+def genasm_align(
+    text: str,
+    pattern: str,
+    *,
+    window_size: int = DEFAULT_WINDOW_SIZE,
+    overlap: int = DEFAULT_OVERLAP,
+    scoring: ScoringScheme | None = None,
+    alphabet: Alphabet = DNA,
+) -> Alignment:
+    """One-shot convenience wrapper around :class:`GenAsmAligner`.
+
+    When ``scoring`` is given, the traceback priority order is derived from
+    it (Section 6's partial support for complex scoring schemes).
+    """
+    config = TracebackConfig.from_scoring(scoring) if scoring else None
+    aligner = GenAsmAligner(
+        window_size=window_size,
+        overlap=overlap,
+        config=config,
+        alphabet=alphabet,
+    )
+    return aligner.align(text, pattern)

@@ -1,0 +1,190 @@
+"""GenASM-DC: the modified Bitap kernel (Section 5).
+
+GenASM-DC differs from baseline Bitap in what it *keeps*: besides the status
+bitvectors ``R[d]``, it stores the per-iteration intermediate bitvectors that
+GenASM-TB later walks — match, insertion, and deletion. The substitution
+bitvector is never stored because it is recoverable as ``deletion << 1``
+(Section 6, the optimization that cuts the TB-SRAM footprint from
+``W·4·W·W`` to ``W·3·W·W`` bits).
+
+Within the divide-and-conquer scheme, DC runs on one *window* at a time: a
+sub-text and sub-pattern of at most ``W`` characters each (Algorithm 2 lines
+3-5). The traceback starts from the window's text offset 0, so the quantity
+a window DC must produce is the minimum ``d`` whose ``R[d]`` has a 0 MSB at
+the *final* text iteration (``i = 0``).
+
+The software implementation runs on Python integers; because the per-window
+edit distance is usually far below the worst case, :func:`run_dc_window`
+retries with a doubling error budget instead of always computing all
+``W + 1`` distance rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bitap import pattern_bitmasks
+from repro.sequences.alphabet import DNA, Alphabet
+
+
+class WindowUnalignableError(RuntimeError):
+    """Raised when a window cannot be aligned within its maximum budget.
+
+    With ``len(sub_text) >= 1`` this cannot happen for ``k = m`` (an
+    all-substitution/insertion chain always exists); seeing this error
+    indicates a bug or an empty window, both worth failing loudly over.
+    """
+
+
+@dataclass
+class WindowBitvectors:
+    """Everything GenASM-DC hands to GenASM-TB for one window.
+
+    Attributes
+    ----------
+    text, pattern:
+        The window's sub-text and sub-pattern.
+    k:
+        Number of error rows computed (bitvectors exist for ``d in [1, k]``).
+    match, insertion, deletion:
+        ``match[i][d]`` is the match intermediate bitvector computed at text
+        iteration ``i`` for distance ``d``; likewise for insertion and
+        deletion with ``d >= 1`` (index 0 is unused padding for those two).
+        For ``d = 0`` the match bitvector *is* ``R[0]``.
+    edit_distance:
+        Minimum ``d`` with a 0 MSB at text iteration 0 — the window's
+        traceback entry error count.
+    """
+
+    text: str
+    pattern: str
+    k: int
+    match: list[list[int]]
+    insertion: list[list[int]]
+    deletion: list[list[int]]
+    edit_distance: int
+
+    @property
+    def pattern_length(self) -> int:
+        return len(self.pattern)
+
+    @property
+    def text_length(self) -> int:
+        return len(self.text)
+
+    def match_bit(self, text_index: int, distance: int, pattern_index: int) -> int:
+        """Bit of the match bitvector at (textI, curError, patternI)."""
+        return (self.match[text_index][distance] >> pattern_index) & 1
+
+    def insertion_bit(self, text_index: int, distance: int, pattern_index: int) -> int:
+        """Bit of the insertion bitvector; 1 (no) when ``distance`` is 0."""
+        if distance == 0:
+            return 1
+        return (self.insertion[text_index][distance] >> pattern_index) & 1
+
+    def deletion_bit(self, text_index: int, distance: int, pattern_index: int) -> int:
+        """Bit of the deletion bitvector; 1 (no) when ``distance`` is 0."""
+        if distance == 0:
+            return 1
+        return (self.deletion[text_index][distance] >> pattern_index) & 1
+
+    def substitution_bit(
+        self, text_index: int, distance: int, pattern_index: int
+    ) -> int:
+        """Substitution = deletion shifted left by one (Section 6).
+
+        The shift feeds a 0 into the LSB, so a substitution consuming the
+        final pattern character is always available once an error budget
+        remains — the same behaviour the stored S bitvector would have had.
+        """
+        if distance == 0:
+            return 1
+        if pattern_index == 0:
+            return 0
+        return self.deletion_bit(text_index, distance, pattern_index - 1)
+
+    def stored_bits(self) -> int:
+        """Bits of TB-SRAM this window occupies (3 vectors per (i, d))."""
+        m = self.pattern_length
+        return self.text_length * 3 * self.k * m
+
+
+def run_dc_window(
+    text: str,
+    pattern: str,
+    *,
+    alphabet: Alphabet = DNA,
+    initial_budget: int = 8,
+) -> WindowBitvectors:
+    """Run GenASM-DC on one window, storing the traceback bitvectors.
+
+    The error budget starts at ``initial_budget`` and doubles until the
+    window aligns (``R[d]`` MSB 0 at text iteration 0) or the budget reaches
+    the pattern length, which is always sufficient: every pattern character
+    can be consumed by a substitution or insertion.
+    """
+    if not pattern:
+        raise ValueError("window pattern must be non-empty")
+    if not text:
+        raise WindowUnalignableError("window text is empty")
+
+    m = len(pattern)
+    budget = min(max(1, initial_budget), m)
+    while True:
+        result = _dc_fixed_k(text, pattern, budget, alphabet)
+        if result is not None:
+            return result
+        if budget >= m:
+            raise WindowUnalignableError(
+                f"window unalignable at k={budget} "
+                f"(text {len(text)} chars, pattern {m} chars)"
+            )
+        budget = min(budget * 2, m)
+
+
+def _dc_fixed_k(
+    text: str,
+    pattern: str,
+    k: int,
+    alphabet: Alphabet,
+) -> WindowBitvectors | None:
+    """One DC pass with a fixed error budget; None if the window misses."""
+    m = len(pattern)
+    n = len(text)
+    masks = pattern_bitmasks(pattern, alphabet)
+    all_ones = (1 << m) - 1
+    msb_mask = 1 << (m - 1)
+
+    match_store: list[list[int]] = [[all_ones] * (k + 1) for _ in range(n)]
+    insertion_store: list[list[int]] = [[all_ones] * (k + 1) for _ in range(n)]
+    deletion_store: list[list[int]] = [[all_ones] * (k + 1) for _ in range(n)]
+
+    r = [all_ones] * (k + 1)
+    for i in range(n - 1, -1, -1):
+        cur_pm = masks.get(text[i], all_ones)
+        old_r = r
+        r = [0] * (k + 1)
+        r[0] = ((old_r[0] << 1) | cur_pm) & all_ones
+        match_store[i][0] = r[0]
+        for d in range(1, k + 1):
+            deletion = old_r[d - 1]
+            substitution = (old_r[d - 1] << 1) & all_ones
+            insertion = (r[d - 1] << 1) & all_ones
+            match = ((old_r[d] << 1) | cur_pm) & all_ones
+            r[d] = deletion & substitution & insertion & match
+            match_store[i][d] = match
+            insertion_store[i][d] = insertion
+            deletion_store[i][d] = deletion
+
+    for d in range(k + 1):
+        if not r[d] & msb_mask:
+            return WindowBitvectors(
+                text=text,
+                pattern=pattern,
+                k=k,
+                match=match_store,
+                insertion=insertion_store,
+                deletion=deletion_store,
+                edit_distance=d,
+            )
+    return None

@@ -1,0 +1,175 @@
+"""GenASM-TB: the Bitap-compatible traceback (Algorithm 2, Section 6).
+
+Starting from the MSB of the window's ``R[editDist]`` bitvector, the
+traceback follows a chain of 0s toward the LSB, reverting the bitwise
+operations that produced them:
+
+* **match** — a 0 in the match bitvector consumes one text and one pattern
+  character and keeps the error count (``<x, y, z> -> <x-1, y+1, z>``);
+* **substitution** — consumes both and decrements the errors
+  (``<x-1, y+1, z-1>``);
+* **insertion** — the inserted character is absent from the text: consumes
+  only a pattern character (``<x-1, y, z-1>``);
+* **deletion** — the deleted character is absent from the pattern: consumes
+  only a text character (``<x, y+1, z-1>``).
+
+The priority among cases is configurable (:class:`TracebackConfig`); the
+paper's default checks gap *extensions* first to mimic the affine gap model.
+
+The chain-of-0s invariant (a 0 in ``R[d]`` guarantees a 0 in at least one
+intermediate bitvector, whose reversal lands on another 0 of the appropriate
+``R``) means a well-formed window can never dead-end; we still detect that
+case and raise, because silently emitting a wrong alignment would be worse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.genasm_dc import WindowBitvectors
+from repro.core.scoring import TracebackCase, TracebackConfig
+
+
+class TracebackError(RuntimeError):
+    """Raised if no traceback case applies — indicates a DC/TB bug."""
+
+
+@dataclass(frozen=True)
+class WindowTraceback:
+    """Result of tracing one window.
+
+    Attributes
+    ----------
+    ops:
+        Expanded CIGAR characters for this window, in alignment order.
+    text_consumed, pattern_consumed:
+        How far the window advanced each sequence (Algorithm 2 lines 31-32
+        use these to position the next window).
+    errors_used:
+        Edits consumed in this window (its contribution to the total
+        edit distance).
+    """
+
+    ops: str
+    text_consumed: int
+    pattern_consumed: int
+    errors_used: int
+
+
+def traceback_window(
+    window: WindowBitvectors,
+    *,
+    consume_limit: int,
+    config: TracebackConfig | None = None,
+) -> WindowTraceback:
+    """Run Algorithm 2's inner loop on one window.
+
+    Parameters
+    ----------
+    consume_limit:
+        ``W - O``: the traceback stops once this many characters of either
+        sequence are consumed, so consecutive windows overlap by ``O``
+        characters and the merged output stays accurate (Section 6).
+    config:
+        Case priority order; defaults to the paper's Algorithm 2 order.
+    """
+    if consume_limit <= 0:
+        raise ValueError("consume_limit must be positive")
+    if config is None:
+        config = TracebackConfig()
+
+    m = window.pattern_length
+    n = window.text_length
+    pattern_index = m - 1
+    text_index = 0
+    cur_error = window.edit_distance
+    text_consumed = 0
+    pattern_consumed = 0
+    errors_used = 0
+    prev = ""
+    ops: list[str] = []
+
+    while text_consumed < consume_limit and pattern_consumed < consume_limit:
+        if pattern_index < 0 or text_index >= n:
+            break
+        case = _pick_case(window, config, text_index, cur_error, pattern_index, prev)
+        if case is None:
+            raise TracebackError(
+                f"traceback dead end at textI={text_index} "
+                f"patternI={pattern_index} errors={cur_error}"
+            )
+        if case is TracebackCase.MATCH:
+            ops.append("M")
+            prev = "M"
+            text_index += 1
+            text_consumed += 1
+            pattern_index -= 1
+            pattern_consumed += 1
+        elif case is TracebackCase.SUBSTITUTION:
+            ops.append("S")
+            prev = "S"
+            cur_error -= 1
+            errors_used += 1
+            text_index += 1
+            text_consumed += 1
+            pattern_index -= 1
+            pattern_consumed += 1
+        elif case in (TracebackCase.INSERTION_OPEN, TracebackCase.INSERTION_EXTEND):
+            ops.append("I")
+            prev = "I"
+            cur_error -= 1
+            errors_used += 1
+            pattern_index -= 1
+            pattern_consumed += 1
+        else:  # deletion open / extend
+            ops.append("D")
+            prev = "D"
+            cur_error -= 1
+            errors_used += 1
+            text_index += 1
+            text_consumed += 1
+
+    return WindowTraceback(
+        ops="".join(ops),
+        text_consumed=text_consumed,
+        pattern_consumed=pattern_consumed,
+        errors_used=errors_used,
+    )
+
+
+def _pick_case(
+    window: WindowBitvectors,
+    config: TracebackConfig,
+    text_index: int,
+    cur_error: int,
+    pattern_index: int,
+    prev: str,
+) -> TracebackCase | None:
+    """First case in priority order whose bitvector shows a 0 here."""
+    for case in config.order:
+        if case is TracebackCase.MATCH:
+            if window.match_bit(text_index, cur_error, pattern_index) == 0:
+                return case
+            continue
+        if cur_error <= 0:
+            continue  # error cases need budget remaining
+        if case is TracebackCase.INSERTION_EXTEND:
+            if not config.affine or prev != "I":
+                continue
+            if window.insertion_bit(text_index, cur_error, pattern_index) == 0:
+                return case
+        elif case is TracebackCase.DELETION_EXTEND:
+            if not config.affine or prev != "D":
+                continue
+            if window.deletion_bit(text_index, cur_error, pattern_index) == 0:
+                return case
+        elif case is TracebackCase.SUBSTITUTION:
+            if window.substitution_bit(text_index, cur_error, pattern_index) == 0:
+                return case
+        elif case is TracebackCase.INSERTION_OPEN:
+            if window.insertion_bit(text_index, cur_error, pattern_index) == 0:
+                return case
+        elif case is TracebackCase.DELETION_OPEN:
+            if window.deletion_bit(text_index, cur_error, pattern_index) == 0:
+                return case
+    return None

@@ -1,0 +1,130 @@
+"""Scoring schemes and traceback-priority configuration.
+
+GenASM-TB provides *partial* support for complex scoring (Section 6): it
+cannot re-weight the DP itself (the underlying Bitap distance is unit-cost),
+but it can (a) prioritize extending an open gap to mimic the affine gap
+model, and (b) reorder the substitution / insertion-open / deletion-open
+checks from lowest to highest penalty. This module captures both knobs, plus
+the scoring schemes used in the accuracy analysis (Section 10.2): BWA-MEM's
+defaults for short reads and Minimap2's for long reads.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TracebackCase(enum.Enum):
+    """The six cases Algorithm 2 checks, in its default order."""
+
+    INSERTION_EXTEND = "insertion_extend"
+    DELETION_EXTEND = "deletion_extend"
+    MATCH = "match"
+    SUBSTITUTION = "substitution"
+    INSERTION_OPEN = "insertion_open"
+    DELETION_OPEN = "deletion_open"
+
+
+#: Algorithm 2's order (lines 13-24): gap extensions first (affine mimicry),
+#: then match, then substitution before gap openings (unit-ish costs).
+DEFAULT_ORDER: tuple[TracebackCase, ...] = (
+    TracebackCase.INSERTION_EXTEND,
+    TracebackCase.DELETION_EXTEND,
+    TracebackCase.MATCH,
+    TracebackCase.SUBSTITUTION,
+    TracebackCase.INSERTION_OPEN,
+    TracebackCase.DELETION_OPEN,
+)
+
+
+@dataclass(frozen=True)
+class ScoringScheme:
+    """An affine-gap scoring function (Section 2.2's user-defined scoring).
+
+    All penalties are stored as the (negative) value added to the score, so
+    a gap of length ``L`` contributes ``gap_open + L * gap_extend``.
+    """
+
+    match: int = 1
+    substitution: int = -4
+    gap_open: int = -6
+    gap_extend: int = -1
+
+    def __post_init__(self) -> None:
+        if self.match < 0:
+            raise ValueError("match score must be non-negative")
+        for penalty in (self.substitution, self.gap_open, self.gap_extend):
+            if penalty > 0:
+                raise ValueError("penalties must be non-positive")
+
+    @classmethod
+    def bwa_mem(cls) -> "ScoringScheme":
+        """BWA-MEM defaults used for short reads in Section 10.2."""
+        return cls(match=1, substitution=-4, gap_open=-6, gap_extend=-1)
+
+    @classmethod
+    def minimap2(cls) -> "ScoringScheme":
+        """Minimap2 defaults used for long reads in Section 10.2."""
+        return cls(match=2, substitution=-4, gap_open=-4, gap_extend=-2)
+
+    @classmethod
+    def unit(cls) -> "ScoringScheme":
+        """Unit-cost edit distance viewed as a score (match 0, edits -1)."""
+        return cls(match=0, substitution=-1, gap_open=0, gap_extend=-1)
+
+    def gap_cost(self, length: int) -> int:
+        """Score contribution of one gap of ``length`` characters."""
+        if length < 0:
+            raise ValueError("gap length must be non-negative")
+        if length == 0:
+            return 0
+        return self.gap_open + length * self.gap_extend
+
+
+@dataclass(frozen=True)
+class TracebackConfig:
+    """Priority order GenASM-TB uses when several bitvectors show a 0.
+
+    ``affine`` keeps the gap-extension checks ahead of everything else (the
+    paper's affine-gap mimicry); with ``affine=False`` the extend cases are
+    treated like their open counterparts, yielding pure unit-cost behaviour.
+    """
+
+    order: tuple[TracebackCase, ...] = DEFAULT_ORDER
+    affine: bool = True
+
+    def __post_init__(self) -> None:
+        if set(self.order) != set(TracebackCase):
+            raise ValueError("traceback order must contain each case exactly once")
+        if len(self.order) != len(TracebackCase):
+            raise ValueError("traceback order must not repeat cases")
+
+    @classmethod
+    def from_scoring(cls, scheme: ScoringScheme) -> "TracebackConfig":
+        """Derive the check order from a scoring scheme (Section 6).
+
+        Error cases are sorted from lowest penalty to highest: "if
+        substitutions have a greater penalty than gap openings, we should
+        check for the substitution case after checking the insertion-open
+        and deletion-open cases."
+        """
+        open_penalty = scheme.gap_open + scheme.gap_extend
+        if scheme.substitution >= open_penalty:
+            error_cases = (
+                TracebackCase.SUBSTITUTION,
+                TracebackCase.INSERTION_OPEN,
+                TracebackCase.DELETION_OPEN,
+            )
+        else:
+            error_cases = (
+                TracebackCase.INSERTION_OPEN,
+                TracebackCase.DELETION_OPEN,
+                TracebackCase.SUBSTITUTION,
+            )
+        order = (
+            TracebackCase.INSERTION_EXTEND,
+            TracebackCase.DELETION_EXTEND,
+            TracebackCase.MATCH,
+        ) + error_cases
+        return cls(order=order, affine=True)

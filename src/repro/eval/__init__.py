@@ -1,0 +1,63 @@
+"""Evaluation harness: datasets, metrics, per-figure experiment drivers."""
+
+from repro.eval.datasets import (
+    PairDataset,
+    ReadDataset,
+    edlib_pair_dataset,
+    filter_pair_dataset,
+    long_read_datasets,
+    short_read_datasets,
+)
+from repro.eval.experiments import (
+    experiment_ablation,
+    experiment_accuracy,
+    experiment_asap,
+    experiment_fig9,
+    experiment_fig10,
+    experiment_fig11,
+    experiment_fig12,
+    experiment_fig13,
+    experiment_fig14,
+    experiment_gasal2,
+    experiment_prefilter,
+    experiment_sillax,
+    experiment_table1,
+)
+from repro.eval.metrics import (
+    FilterAccuracy,
+    ScoreAccuracy,
+    filter_accuracy,
+    power_reduction,
+    score_accuracy,
+    speedup,
+)
+from repro.eval.reporting import format_table
+
+__all__ = [
+    "FilterAccuracy",
+    "PairDataset",
+    "ReadDataset",
+    "ScoreAccuracy",
+    "edlib_pair_dataset",
+    "experiment_ablation",
+    "experiment_accuracy",
+    "experiment_asap",
+    "experiment_fig9",
+    "experiment_fig10",
+    "experiment_fig11",
+    "experiment_fig12",
+    "experiment_fig13",
+    "experiment_fig14",
+    "experiment_gasal2",
+    "experiment_prefilter",
+    "experiment_sillax",
+    "experiment_table1",
+    "filter_accuracy",
+    "filter_pair_dataset",
+    "format_table",
+    "long_read_datasets",
+    "power_reduction",
+    "score_accuracy",
+    "short_read_datasets",
+    "speedup",
+]

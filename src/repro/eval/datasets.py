@@ -1,0 +1,196 @@
+"""Dataset builders matching the paper's evaluation inputs (Section 9).
+
+The paper uses GRCh38 plus simulated reads (PBSIM/Mason), Shouji's two
+pair sets, and Edlib's similarity-sweep set. Our builders generate the same
+*configurations* — read lengths, error profiles, similarity sweeps — at
+sizes a pure-Python reproduction can execute; every count is a parameter so
+benches can scale up or down.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.sequences.genome import Genome, synthesize_genome
+from repro.sequences.mutate import MutationProfile, mutate
+from repro.sequences.read_simulator import (
+    SimulatedRead,
+    illumina_profile,
+    ont_r9_profile,
+    pacbio_clr_profile,
+    simulate_reads,
+)
+
+
+@dataclass(frozen=True)
+class ReadDataset:
+    """A named read set with its generating parameters and ground truth."""
+
+    name: str
+    technology: str
+    read_length: int
+    error_rate: float
+    genome: Genome
+    reads: list[SimulatedRead]
+
+
+@dataclass(frozen=True)
+class PairDataset:
+    """Sequence pairs with ground-truth injected edit counts.
+
+    Used for the filter experiments (Section 10.3) and the edit-distance
+    experiments (Section 10.4).
+    """
+
+    name: str
+    pairs: list[tuple[str, str]]
+    injected_edits: list[int]
+
+
+def _genome(length: int, seed: int) -> Genome:
+    return synthesize_genome(length, seed=seed, name=f"ref{length}")
+
+
+def long_read_datasets(
+    *,
+    read_length: int = 10_000,
+    reads_per_set: int = 4,
+    genome_length: int = 120_000,
+    seed: int = 2020,
+) -> list[ReadDataset]:
+    """The paper's four long-read sets: PacBio/ONT x 10%/15% error.
+
+    Defaults are scaled from the paper's 240,000 reads to a handful —
+    enough to exercise every code path; benches pass larger counts.
+    """
+    genome = _genome(genome_length, seed)
+    sets = []
+    for technology, profile_fn in (("PacBio", pacbio_clr_profile), ("ONT", ont_r9_profile)):
+        for rate in (0.10, 0.15):
+            profile = profile_fn(rate)
+            reads = simulate_reads(
+                genome,
+                count=reads_per_set,
+                read_length=read_length,
+                profile=profile,
+                seed=seed + int(rate * 100),
+                both_strands=False,
+                name_prefix=f"{technology.lower()}_{int(rate * 100)}",
+            )
+            sets.append(
+                ReadDataset(
+                    name=f"{technology} - {int(rate * 100)}%",
+                    technology=technology,
+                    read_length=read_length,
+                    error_rate=rate,
+                    genome=genome,
+                    reads=reads,
+                )
+            )
+    return sets
+
+
+def short_read_datasets(
+    *,
+    reads_per_set: int = 50,
+    genome_length: int = 80_000,
+    seed: int = 2021,
+) -> list[ReadDataset]:
+    """The paper's three Illumina sets: 100/150/250 bp at 5% error."""
+    genome = _genome(genome_length, seed)
+    sets = []
+    for length in (100, 150, 250):
+        profile = illumina_profile(0.05)
+        reads = simulate_reads(
+            genome,
+            count=reads_per_set,
+            read_length=length,
+            profile=profile,
+            seed=seed + length,
+            both_strands=False,
+            name_prefix=f"illumina_{length}",
+        )
+        sets.append(
+            ReadDataset(
+                name=f"Illumina-{length}bp",
+                technology="Illumina",
+                read_length=length,
+                error_rate=0.05,
+                genome=genome,
+                reads=reads,
+            )
+        )
+    return sets
+
+
+def filter_pair_dataset(
+    *,
+    read_length: int,
+    threshold: int,
+    pairs: int = 200,
+    seed: int = 7,
+) -> PairDataset:
+    """Shouji-style candidate pairs mimicking real seeding output.
+
+    Candidate sets produced by seeding contain (a) true locations, whose
+    edit count sits below the threshold, (b) near-boundary locations from
+    repeats, and (c) spurious seed hits whose sequences are unrelated. The
+    mix below (40% / 30% / 30%) represents all three, because a filter's
+    false-accept rate is dominated by how it handles (b) and (c) — the
+    cases Section 10.3 stresses. Shouji's own test sets were generated the
+    same way (read mapper candidate pairs at E = 5 and 15).
+    """
+    rng = random.Random(seed)
+    out_pairs: list[tuple[str, str]] = []
+    injected: list[int] = []
+    for i in range(pairs):
+        reference = "".join(rng.choice("ACGT") for _ in range(read_length))
+        bucket = i % 10
+        if bucket < 4:  # true location: within threshold
+            target_edits = rng.randint(0, threshold)
+        elif bucket < 7:  # near-boundary repeat: just beyond threshold
+            target_edits = rng.randint(threshold + 1, 4 * threshold)
+        else:  # spurious seed hit: unrelated sequence
+            target_edits = read_length  # sentinel: replace wholesale below
+        if target_edits >= read_length:
+            query = "".join(rng.choice("ACGT") for _ in range(read_length))
+            out_pairs.append((reference, query))
+            injected.append(read_length)  # upper bound; truth computed later
+            continue
+        profile = MutationProfile(error_rate=min(0.95, target_edits / read_length))
+        result = mutate(reference, profile, rng=rng)
+        out_pairs.append((reference, result.sequence))
+        injected.append(result.edit_count)
+    return PairDataset(
+        name=f"{read_length}bp/t={threshold}",
+        pairs=out_pairs,
+        injected_edits=injected,
+    )
+
+
+def edlib_pair_dataset(
+    *,
+    length: int,
+    similarities: tuple[float, ...] = (0.60, 0.70, 0.80, 0.90, 0.95, 0.99),
+    seed: int = 11,
+) -> PairDataset:
+    """Edlib-style pairs: one sequence plus mutated copies at each similarity.
+
+    The paper's set uses 100 Kbp and 1 Mbp sequences at 60-99% similarity;
+    benches measure scaled lengths and model-project the full ones.
+    """
+    rng = random.Random(seed)
+    original = "".join(rng.choice("ACGT") for _ in range(length))
+    pairs: list[tuple[str, str]] = []
+    injected: list[int] = []
+    for similarity in similarities:
+        profile = MutationProfile(error_rate=1.0 - similarity)
+        result = mutate(original, profile, rng=rng)
+        pairs.append((original, result.sequence))
+        injected.append(result.edit_count)
+    return PairDataset(
+        name=f"edlib-{length}bp",
+        pairs=pairs,
+        injected_edits=injected,
+    )

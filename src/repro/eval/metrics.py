@@ -1,0 +1,140 @@
+"""Evaluation metrics: filter accuracy, score accuracy, speedups.
+
+Definitions follow the paper:
+
+* **false accept rate** — dissimilar pairs the filter wrongly accepts over
+  all truly dissimilar pairs ("the ratio of the number of dissimilar
+  sequences that are falsely accepted by the filter and the total number of
+  dissimilar sequences that are rejected by the ground truth", Section 10.3);
+* **false reject rate** — similar pairs the filter wrongly rejects over all
+  truly similar pairs; must be 0% for a sound filter;
+* **score accuracy** — the fraction of reads whose GenASM alignment score
+  equals (or falls within a tolerance of) the optimal score (Section 10.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class FilterAccuracy:
+    """Confusion summary of a pre-alignment filter against ground truth."""
+
+    true_accepts: int
+    false_accepts: int
+    true_rejects: int
+    false_rejects: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.true_accepts
+            + self.false_accepts
+            + self.true_rejects
+            + self.false_rejects
+        )
+
+    @property
+    def false_accept_rate(self) -> float:
+        """Falsely accepted / truly dissimilar (lower is better)."""
+        dissimilar = self.false_accepts + self.true_rejects
+        if dissimilar == 0:
+            return 0.0
+        return self.false_accepts / dissimilar
+
+    @property
+    def false_reject_rate(self) -> float:
+        """Falsely rejected / truly similar (must be 0)."""
+        similar = self.true_accepts + self.false_rejects
+        if similar == 0:
+            return 0.0
+        return self.false_rejects / similar
+
+
+def filter_accuracy(
+    decisions: Sequence[bool],
+    true_distances: Sequence[int],
+    threshold: int,
+) -> FilterAccuracy:
+    """Score filter decisions against exact ground-truth distances."""
+    if len(decisions) != len(true_distances):
+        raise ValueError("decisions and ground truth must align")
+    ta = fa = tr = fr = 0
+    for accepted, distance in zip(decisions, true_distances):
+        similar = distance <= threshold
+        if accepted and similar:
+            ta += 1
+        elif accepted and not similar:
+            fa += 1
+        elif not accepted and not similar:
+            tr += 1
+        else:
+            fr += 1
+    return FilterAccuracy(
+        true_accepts=ta, false_accepts=fa, true_rejects=tr, false_rejects=fr
+    )
+
+
+@dataclass(frozen=True)
+class ScoreAccuracy:
+    """How often GenASM's alignment score matches the optimal score."""
+
+    total: int
+    exact: int
+    within_tolerance: int
+    tolerance: float
+
+    @property
+    def exact_fraction(self) -> float:
+        return self.exact / self.total if self.total else 0.0
+
+    @property
+    def within_fraction(self) -> float:
+        return self.within_tolerance / self.total if self.total else 0.0
+
+
+def score_accuracy(
+    candidate_scores: Sequence[int],
+    optimal_scores: Sequence[int],
+    *,
+    tolerance: float = 0.045,
+) -> ScoreAccuracy:
+    """Compare per-read scores against the DP optimum.
+
+    ``tolerance`` is relative (the paper reports 99.7% of short reads within
+    +/-4.5% of BWA-MEM's scores).
+    """
+    if len(candidate_scores) != len(optimal_scores):
+        raise ValueError("score lists must align")
+    exact = 0
+    within = 0
+    for got, want in zip(candidate_scores, optimal_scores):
+        if got == want:
+            exact += 1
+            within += 1
+            continue
+        scale = max(1.0, abs(want))
+        if abs(got - want) / scale <= tolerance:
+            within += 1
+    return ScoreAccuracy(
+        total=len(candidate_scores),
+        exact=exact,
+        within_tolerance=within,
+        tolerance=tolerance,
+    )
+
+
+def speedup(baseline_time: float, accelerated_time: float) -> float:
+    """How many times faster the accelerated system is."""
+    if accelerated_time <= 0 or baseline_time <= 0:
+        raise ValueError("times must be positive")
+    return baseline_time / accelerated_time
+
+
+def power_reduction(baseline_power_w: float, accelerated_power_w: float) -> float:
+    """How many times less power the accelerated system draws."""
+    if accelerated_power_w <= 0 or baseline_power_w <= 0:
+        raise ValueError("powers must be positive")
+    return baseline_power_w / accelerated_power_w

@@ -1,0 +1,139 @@
+"""Area and power model (Table 1 of the paper).
+
+The paper synthesizes GenASM-DC and GenASM-TB with Synopsys Design Compiler
+at a typical 28 nm low-power node, 1 GHz, SRAMs from an industry compiler.
+We cannot run synthesis, so — per the substitution policy in DESIGN.md —
+this module encodes Table 1's component results and scales them with the
+design parameters (PE count, SRAM kilobytes), preserving every derived claim
+the evaluation makes: per-vault and 32-vault totals, the comparison against
+a Xeon core, and the fit within the 3D-stacked logic layer's area/power
+budget per vault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.performance_model import GenAsmConfig, DEFAULT_CONFIG
+
+#: Logic-layer budget per vault (Section 9): ~3.5-4.4 mm^2, 312 mW.
+VAULT_AREA_BUDGET_MM2 = 3.5
+VAULT_POWER_BUDGET_W = 0.312
+
+#: Conservative Xeon Gold 6126 per-core figures used in Section 10.1.
+XEON_CORE_AREA_MM2 = 32.2
+XEON_CORE_POWER_W = 10.4
+
+# Table 1 anchors (the synthesized 64-PE, 8 KB + 64x1.5 KB design @ 28 nm).
+_DC_AREA_MM2_64PE = 0.049
+_DC_POWER_W_64PE = 0.033
+_TB_AREA_MM2 = 0.016
+_TB_POWER_W = 0.004
+_DC_SRAM_AREA_MM2_8KB = 0.013
+_DC_SRAM_POWER_W_8KB = 0.009
+_TB_SRAM_AREA_MM2_96KB = 0.256
+_TB_SRAM_POWER_W_96KB = 0.055
+
+
+@dataclass(frozen=True)
+class ComponentCost:
+    """Area and power of one accelerator component."""
+
+    name: str
+    area_mm2: float
+    power_w: float
+
+
+@dataclass(frozen=True)
+class AreaPowerBreakdown:
+    """Table 1 reconstructed for a given configuration."""
+
+    components: tuple[ComponentCost, ...]
+    vaults: int
+
+    @property
+    def accelerator_area_mm2(self) -> float:
+        """One accelerator (one vault) — 0.334 mm^2 at the paper's point."""
+        return sum(component.area_mm2 for component in self.components)
+
+    @property
+    def accelerator_power_w(self) -> float:
+        """One accelerator including SRAM power — 0.101 W in the paper."""
+        return sum(component.power_w for component in self.components)
+
+    @property
+    def total_area_mm2(self) -> float:
+        """All vaults — 10.69 mm^2 for 32 vaults in the paper."""
+        return self.accelerator_area_mm2 * self.vaults
+
+    @property
+    def total_power_w(self) -> float:
+        """All vaults — 3.23 W for 32 vaults in the paper."""
+        return self.accelerator_power_w * self.vaults
+
+    def fits_logic_layer(self) -> bool:
+        """Check the per-vault budget of the 3D-stacked logic layer."""
+        return (
+            self.accelerator_area_mm2 <= VAULT_AREA_BUDGET_MM2
+            and self.accelerator_power_w <= VAULT_POWER_BUDGET_W
+        )
+
+
+def genasm_area_power(
+    config: GenAsmConfig = DEFAULT_CONFIG,
+    *,
+    dc_sram_kb: float = 8.0,
+    tb_sram_kb_per_pe: float = 1.5,
+) -> AreaPowerBreakdown:
+    """Reconstruct Table 1, scaling the anchors with the configuration.
+
+    Logic scales with PE count; SRAM scales with kilobytes. At the default
+    configuration this returns Table 1's numbers exactly.
+    """
+    pe_scale = config.processing_elements / 64.0
+    width_scale = config.pe_width_bits / 64.0
+    dc_scale = pe_scale * width_scale
+    dc_sram_scale = dc_sram_kb / 8.0
+    tb_sram_total_kb = tb_sram_kb_per_pe * config.processing_elements
+    tb_sram_scale = tb_sram_total_kb / 96.0
+
+    components = (
+        ComponentCost(
+            name=f"GenASM-DC ({config.processing_elements} PEs)",
+            area_mm2=_DC_AREA_MM2_64PE * dc_scale,
+            power_w=_DC_POWER_W_64PE * dc_scale,
+        ),
+        ComponentCost(
+            name="GenASM-TB",
+            area_mm2=_TB_AREA_MM2,
+            power_w=_TB_POWER_W,
+        ),
+        ComponentCost(
+            name=f"DC-SRAM ({dc_sram_kb:g} KB)",
+            area_mm2=_DC_SRAM_AREA_MM2_8KB * dc_sram_scale,
+            power_w=_DC_SRAM_POWER_W_8KB * dc_sram_scale,
+        ),
+        ComponentCost(
+            name=(
+                f"TB-SRAMs ({config.processing_elements} x "
+                f"{tb_sram_kb_per_pe:g} KB)"
+            ),
+            area_mm2=_TB_SRAM_AREA_MM2_96KB * tb_sram_scale,
+            power_w=_TB_SRAM_POWER_W_96KB * tb_sram_scale,
+        ),
+    )
+    return AreaPowerBreakdown(components=components, vaults=config.vaults)
+
+
+def xeon_core_comparison(
+    breakdown: AreaPowerBreakdown,
+) -> tuple[float, float]:
+    """(area ratio, power ratio) of one Xeon core to one GenASM accelerator.
+
+    Section 10.1's efficiency claim: a single CPU core is ~96x larger and
+    ~103x more power-hungry than one GenASM accelerator.
+    """
+    return (
+        XEON_CORE_AREA_MM2 / breakdown.accelerator_area_mm2,
+        XEON_CORE_POWER_W / breakdown.accelerator_power_w,
+    )

@@ -1,0 +1,147 @@
+"""Cycle-level model of the GenASM-DC linear cyclic systolic array (Section 7).
+
+GenASM-DC removes Bitap's two-level loop dependency by scheduling bitvector
+computations on a wavefront (Figure 5): the cell for text character ``Ti``
+and distance row ``Rd`` depends on ``Ti-1/Rd`` (oldR[d]), ``Ti/Rd-1``
+(R[d-1]) and ``Ti-1/Rd-1`` (oldR[d-1]) — but not on its diagonal neighbours,
+so PE ``x`` can compute ``Ti-Rd`` in the cycle after PE ``x-1`` computed
+``Ti-Rd-1``. With more rows than PEs the array operates *cyclically*: rows
+are striped over PEs in passes (thread 1 computes R0 then R4, as in the
+figure).
+
+This simulator builds the exact schedule, checks every dependency, counts
+DC-SRAM/TB-SRAM traffic, and reports the cycle count that the closed-form
+model of :mod:`repro.hardware.performance_model` must match — our version of
+the paper's "verify the analytically-estimated cycle counts ... with the
+cycle counts collected from our RTL simulations".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.performance_model import TB_WRITE_BITS_PER_CYCLE
+
+
+@dataclass(frozen=True)
+class ScheduledCell:
+    """One (text iteration, distance row) cell placed on the schedule."""
+
+    cycle: int
+    pe: int
+    text_index: int
+    row: int
+
+
+@dataclass
+class SystolicSchedule:
+    """The complete wavefront schedule for one window.
+
+    Attributes
+    ----------
+    cells:
+        Every scheduled cell, in issue order.
+    total_cycles:
+        Number of cycles until the last cell completes (1-based).
+    dc_sram_reads, dc_sram_writes:
+        Per-cycle DC-SRAM accesses for spilling/reloading row state between
+        passes; the cyclic feedback keeps this at one read and one write per
+        cycle per processing block, as Section 7 claims.
+    tb_sram_write_bits:
+        Total bits streamed to the TB-SRAMs (192 per cell: the three stored
+        bitvectors at 64 bits each).
+    """
+
+    text_length: int
+    rows: int
+    processing_elements: int
+    cells: list[ScheduledCell] = field(default_factory=list)
+    total_cycles: int = 0
+    dc_sram_reads: int = 0
+    dc_sram_writes: int = 0
+    tb_sram_write_bits: int = 0
+
+
+def schedule_window(
+    text_length: int,
+    rows: int,
+    processing_elements: int,
+) -> SystolicSchedule:
+    """Schedule one window's ``text_length x rows`` cells onto the PEs.
+
+    Rows are striped over PEs in passes (row ``r`` runs on PE ``r % P`` in
+    pass ``r // P``); within a pass, PE ``x`` starts one cycle after PE
+    ``x-1`` and processes one text character per cycle. A pass begins after
+    its PE finished the previous pass *and* its dependencies from the prior
+    row (held by the neighbouring PE or spilled to DC-SRAM) are available.
+    """
+    if text_length <= 0 or rows <= 0 or processing_elements <= 0:
+        raise ValueError("text_length, rows, processing_elements must be positive")
+
+    p = processing_elements
+    schedule = SystolicSchedule(
+        text_length=text_length, rows=rows, processing_elements=p
+    )
+    finish: dict[tuple[int, int], int] = {}  # (text_index, row) -> cycle done
+
+    for row in range(rows):
+        pe = row % p
+        for t in range(text_length):
+            # Dependencies (Figure 5): oldR[d] = (t-1, row);
+            # R[d-1] = (t, row-1); oldR[d-1] = (t-1, row-1).
+            ready = 0
+            for dep in ((t - 1, row), (t, row - 1), (t - 1, row - 1)):
+                if dep[0] >= 0 and dep[1] >= 0:
+                    ready = max(ready, finish.get(dep, 0))
+            # PE serialization: one cell per PE per cycle.
+            prev_self = finish.get((t - 1, row), 0)
+            if t == 0 and row >= p:
+                # Cyclic pass: the PE must have retired its previous row.
+                prev_self = finish.get((text_length - 1, row - p), 0)
+            start = max(ready, prev_self)
+            cycle = start + 1
+            finish[(t, row)] = cycle
+            schedule.cells.append(
+                ScheduledCell(cycle=cycle, pe=pe, text_index=t, row=row)
+            )
+            schedule.tb_sram_write_bits += TB_WRITE_BITS_PER_CYCLE
+            if row >= p:
+                schedule.dc_sram_reads += 1  # reload spilled oldR state
+            if rows > p and rows - row <= p:
+                schedule.dc_sram_writes += 1  # spill for a later pass
+
+    schedule.total_cycles = max(cell.cycle for cell in schedule.cells)
+    _validate(schedule, finish)
+    return schedule
+
+
+def _validate(schedule: SystolicSchedule, finish: dict[tuple[int, int], int]) -> None:
+    """Assert no cell ran before its dependencies or overlapped on its PE."""
+    by_pe_cycle: set[tuple[int, int]] = set()
+    for cell in schedule.cells:
+        key = (cell.pe, cell.cycle)
+        if key in by_pe_cycle:
+            raise AssertionError(f"PE {cell.pe} double-booked at cycle {cell.cycle}")
+        by_pe_cycle.add(key)
+        for dep in (
+            (cell.text_index - 1, cell.row),
+            (cell.text_index, cell.row - 1),
+            (cell.text_index - 1, cell.row - 1),
+        ):
+            if dep[0] >= 0 and dep[1] >= 0 and finish[dep] >= cell.cycle:
+                raise AssertionError(
+                    f"dependency violation: cell {cell} needs {dep} "
+                    f"finishing at {finish[dep]}"
+                )
+
+
+def expected_cycles(text_length: int, rows: int, processing_elements: int) -> int:
+    """The analytical model's count for the same schedule.
+
+    Re-exported from :mod:`repro.hardware.performance_model` so tests can
+    assert simulator == model, mirroring the paper's RTL-vs-spreadsheet
+    verification.
+    """
+    from repro.hardware.performance_model import wavefront_cycles
+
+    return wavefront_cycles(text_length, rows, processing_elements)

@@ -1,0 +1,78 @@
+"""Hash-table based reference index (Figure 1, step 0).
+
+"Read mapping starts with indexing, which is an offline pre-processing step
+performed on a known reference genome": the index maps every k-mer (seed) of
+the reference to the list of positions where it occurs. This is the
+structure the seeding step queries, and — per Section 11 — a structure
+GenASM itself could help build; here we build it directly.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.sequences.genome import Genome
+
+#: Positions lists longer than this are dropped, as real mappers do for
+#: ultra-frequent seeds (repeat regions would otherwise flood seeding).
+DEFAULT_MAX_OCCURRENCES = 128
+
+
+@dataclass
+class KmerIndex:
+    """K-mer -> sorted reference positions, with frequency capping.
+
+    Parameters
+    ----------
+    k:
+        Seed length. Mappers use 11-21 for short reads; tests use smaller
+        genomes and proportionally smaller seeds.
+    max_occurrences:
+        Seeds occurring more often than this are masked out (treated as
+        uninformative repeats).
+    """
+
+    k: int
+    max_occurrences: int = DEFAULT_MAX_OCCURRENCES
+    _table: dict[str, list[int]] = field(default_factory=dict, repr=False)
+    genome_length: int = 0
+    masked_seeds: int = 0
+
+    @classmethod
+    def build(
+        cls,
+        genome: Genome,
+        k: int = 15,
+        *,
+        max_occurrences: int = DEFAULT_MAX_OCCURRENCES,
+    ) -> "KmerIndex":
+        """Index every k-mer of ``genome`` (the offline step 0)."""
+        if k <= 0:
+            raise ValueError("seed length k must be positive")
+        if len(genome) < k:
+            raise ValueError("genome shorter than the seed length")
+        table: dict[str, list[int]] = defaultdict(list)
+        sequence = genome.sequence
+        for pos in range(len(sequence) - k + 1):
+            table[sequence[pos : pos + k]].append(pos)
+        index = cls(k=k, max_occurrences=max_occurrences)
+        index.genome_length = len(genome)
+        for seed, positions in table.items():
+            if len(positions) > max_occurrences:
+                index.masked_seeds += 1
+                continue
+            index._table[seed] = positions
+        return index
+
+    def lookup(self, seed: str) -> list[int]:
+        """Reference positions of ``seed`` (empty if absent or masked)."""
+        if len(seed) != self.k:
+            raise ValueError(f"seed length {len(seed)} != index k {self.k}")
+        return self._table.get(seed, [])
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, seed: str) -> bool:
+        return seed in self._table

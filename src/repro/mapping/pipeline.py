@@ -1,0 +1,172 @@
+"""The four-step read-mapping pipeline (Figure 1) with GenASM inside.
+
+Indexing (offline) -> seeding -> pre-alignment filtering -> read alignment.
+The filter and the aligner are pluggable so the Figure 11 experiment can
+compare pipeline variants: a DP aligner in the alignment slot (the software
+baseline) versus GenASM, with or without a pre-alignment filter.
+
+Both strands are considered: seeding runs on the read and on its reverse
+complement, and the better-scoring alignment wins, as in real mappers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.core.aligner import Alignment, GenAsmAligner
+from repro.core.prefilter import GenAsmFilter
+from repro.core.scoring import ScoringScheme
+from repro.mapping.index import KmerIndex
+from repro.mapping.sam import FLAG_REVERSE, SamRecord, unmapped_record
+from repro.mapping.seeding import candidate_locations
+from repro.sequences.genome import Genome
+
+
+class PairFilter(Protocol):
+    """Anything with an ``accepts(reference, read) -> bool`` method."""
+
+    def accepts(self, reference: str, read: str) -> bool: ...
+
+
+#: An aligner callable: (reference region, read) -> Alignment.
+AlignerFn = Callable[[str, str], Alignment]
+
+
+@dataclass
+class PipelineStats:
+    """Work counters for each pipeline stage (drives Figure 11's story)."""
+
+    reads: int = 0
+    candidates: int = 0
+    filtered_out: int = 0
+    alignments_run: int = 0
+    mapped: int = 0
+
+    @property
+    def filter_rate(self) -> float:
+        """Fraction of candidates rejected before alignment."""
+        if self.candidates == 0:
+            return 0.0
+        return self.filtered_out / self.candidates
+
+
+@dataclass(frozen=True)
+class MappingResult:
+    """Best alignment for one read (or None if unmapped)."""
+
+    record: SamRecord
+    alignment: Alignment | None
+    candidate_position: int | None
+    reverse: bool
+
+
+@dataclass
+class ReadMapper:
+    """Configurable mapper hosting GenASM (or a baseline) as its aligner.
+
+    Parameters
+    ----------
+    genome, index:
+        The reference and its k-mer index.
+    error_rate:
+        Expected divergence; sets the reference-region padding ``k`` (the
+        region handed to the aligner spans ``m + k`` characters, Section 6).
+    prefilter:
+        Optional pre-alignment filter applied to every candidate region.
+    aligner:
+        Defaults to the paper's GenASM configuration.
+    scoring:
+        Scheme used to pick the best candidate and report scores.
+    """
+
+    genome: Genome
+    index: KmerIndex
+    error_rate: float = 0.15
+    prefilter: PairFilter | None = None
+    aligner: AlignerFn | None = None
+    scoring: ScoringScheme = field(default_factory=ScoringScheme.bwa_mem)
+    max_candidates: int = 8
+    stats: PipelineStats = field(default_factory=PipelineStats)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.error_rate < 1.0:
+            raise ValueError("error_rate must be within [0, 1)")
+        if self.aligner is None:
+            genasm = GenAsmAligner()
+            self.aligner = genasm.align
+
+    # ------------------------------------------------------------------
+    def map_read(self, name: str, read: str) -> MappingResult:
+        """Run steps 1-3 for one read and return the best alignment."""
+        self.stats.reads += 1
+        if len(read) < self.index.k:
+            return MappingResult(unmapped_record(name, read), None, None, False)
+
+        best: tuple[int, Alignment, int, bool] | None = None  # score, aln, pos, rev
+        for reverse in (False, True):
+            oriented = (
+                self.genome.alphabet.reverse_complement(read) if reverse else read
+            )
+            for candidate in candidate_locations(
+                oriented, self.index, max_candidates=self.max_candidates
+            ):
+                region = self._region(candidate.position, len(oriented))
+                self.stats.candidates += 1
+                if self.prefilter is not None and not self.prefilter.accepts(
+                    region, oriented
+                ):
+                    self.stats.filtered_out += 1
+                    continue
+                self.stats.alignments_run += 1
+                alignment = self.aligner(region, oriented)
+                score = alignment.score(self.scoring)
+                if best is None or score > best[0]:
+                    best = (score, alignment, candidate.position, reverse)
+
+        if best is None:
+            return MappingResult(unmapped_record(name, read), None, None, False)
+
+        score, alignment, position, reverse = best
+        self.stats.mapped += 1
+        record = SamRecord(
+            query_name=name,
+            flag=FLAG_REVERSE if reverse else 0,
+            reference_name=self.genome.name,
+            position=position + 1,  # SAM is 1-based
+            mapping_quality=min(60, max(0, score)),
+            cigar=alignment.cigar,
+            sequence=read,
+        )
+        return MappingResult(record, alignment, position, reverse)
+
+    def map_reads(self, reads: list[tuple[str, str]]) -> list[MappingResult]:
+        """Map a batch of (name, sequence) reads."""
+        return [self.map_read(name, sequence) for name, sequence in reads]
+
+    # ------------------------------------------------------------------
+    def _region(self, position: int, read_length: int) -> str:
+        """Reference region of length ``m + k`` at a candidate location."""
+        k = max(8, int(read_length * self.error_rate))
+        return self.genome.region(position, read_length + k)
+
+
+def make_genasm_mapper(
+    genome: Genome,
+    *,
+    seed_length: int = 15,
+    error_rate: float = 0.15,
+    use_prefilter: bool = True,
+) -> ReadMapper:
+    """Convenience constructor: index the genome, attach GenASM + filter."""
+    index = KmerIndex.build(genome, k=seed_length)
+    prefilter = None
+    if use_prefilter:
+        threshold = max(4, int(200 * error_rate))
+        prefilter = GenAsmFilter(threshold)
+    return ReadMapper(
+        genome=genome,
+        index=index,
+        error_rate=error_rate,
+        prefilter=prefilter,
+    )

@@ -1,0 +1,89 @@
+"""Minimal SAM-format output for mapped reads.
+
+Read alignment's product is "the optimal alignment ... defined using a CIGAR
+string" (Section 2.1); SAM is how the ecosystem exchanges it. Only the core
+eleven columns are produced — enough for downstream tooling and for the
+examples to emit inspectable output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from repro.core.cigar import Cigar
+
+FLAG_UNMAPPED = 0x4
+FLAG_REVERSE = 0x10
+
+
+@dataclass(frozen=True)
+class SamRecord:
+    """One alignment line (1-based position, per the SAM spec)."""
+
+    query_name: str
+    flag: int
+    reference_name: str
+    position: int
+    mapping_quality: int
+    cigar: Cigar | None
+    sequence: str
+
+    def to_line(self) -> str:
+        cigar_text = self.cigar.to_sam() if self.cigar is not None else "*"
+        return "\t".join(
+            (
+                self.query_name,
+                str(self.flag),
+                self.reference_name,
+                str(self.position),
+                str(self.mapping_quality),
+                cigar_text if cigar_text else "*",
+                "*",  # RNEXT
+                "0",  # PNEXT
+                "0",  # TLEN
+                self.sequence,
+                "*",  # QUAL
+            )
+        )
+
+    @property
+    def is_mapped(self) -> bool:
+        return not self.flag & FLAG_UNMAPPED
+
+
+def unmapped_record(query_name: str, sequence: str) -> SamRecord:
+    """The record emitted when no candidate location survives."""
+    return SamRecord(
+        query_name=query_name,
+        flag=FLAG_UNMAPPED,
+        reference_name="*",
+        position=0,
+        mapping_quality=0,
+        cigar=None,
+        sequence=sequence,
+    )
+
+
+def write_sam(
+    records: Iterable[SamRecord],
+    destination: str | Path | TextIO,
+    *,
+    reference_name: str,
+    reference_length: int,
+) -> None:
+    """Write a header plus all records."""
+    own = isinstance(destination, (str, Path))
+    handle: TextIO = (
+        open(destination, "w", encoding="ascii") if own else destination
+    )
+    try:
+        handle.write("@HD\tVN:1.6\tSO:unknown\n")
+        handle.write(f"@SQ\tSN:{reference_name}\tLN:{reference_length}\n")
+        handle.write("@PG\tID:repro-genasm\tPN:repro-genasm\n")
+        for record in records:
+            handle.write(record.to_line() + "\n")
+    finally:
+        if own:
+            handle.close()

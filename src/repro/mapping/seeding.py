@@ -1,0 +1,103 @@
+"""Seeding: candidate mapping locations from index queries (Figure 1, step 1).
+
+"The seeding process queries the index structure to determine the candidate
+(i.e., potential) mapping locations of each read in the reference genome
+using substrings (i.e., seeds) from each read."
+
+Seeds extracted from the read vote for the *diagonal* (reference position
+minus read offset) they imply; nearby diagonals are clustered and each
+cluster becomes one candidate location, ranked by vote count. Sequencing
+errors knock out individual seeds but similar regions still accumulate
+multiple votes — the FastHASH-style heuristic real mappers use.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.mapping.index import KmerIndex
+
+
+@dataclass(frozen=True)
+class CandidateLocation:
+    """One candidate mapping location for a read.
+
+    ``position`` is where the read would start in the reference; ``votes``
+    counts the supporting seeds (more votes = more promising candidate).
+    """
+
+    position: int
+    votes: int
+
+
+def extract_seeds(read: str, k: int, stride: int | None = None) -> list[tuple[int, str]]:
+    """(offset, seed) pairs sampled along the read.
+
+    The default stride of ``k`` gives non-overlapping seeds — enough for
+    voting while keeping index pressure low, as real seeding does.
+    """
+    if k <= 0:
+        raise ValueError("seed length must be positive")
+    if stride is None:
+        stride = k
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+    return [
+        (offset, read[offset : offset + k])
+        for offset in range(0, max(0, len(read) - k + 1), stride)
+    ]
+
+
+def candidate_locations(
+    read: str,
+    index: KmerIndex,
+    *,
+    max_candidates: int = 16,
+    diagonal_tolerance: int = 8,
+    stride: int | None = None,
+) -> list[CandidateLocation]:
+    """Seed the read and cluster diagonal votes into candidate locations.
+
+    Parameters
+    ----------
+    max_candidates:
+        Keep only the best-voted candidates (mappers bound downstream work).
+    diagonal_tolerance:
+        Diagonals within this distance merge into one cluster, absorbing
+        small indel-induced shifts between seeds of the same alignment.
+    """
+    votes: dict[int, int] = defaultdict(int)
+    for offset, seed in extract_seeds(read, index.k, stride):
+        for position in index.lookup(seed):
+            votes[position - offset] += 1
+    if not votes:
+        return []
+
+    # Cluster nearby diagonals: scan sorted diagonals and merge runs.
+    clusters: list[tuple[int, int]] = []  # (representative diagonal, votes)
+    current_diag: int | None = None
+    current_votes = 0
+    best_diag = 0
+    best_count = -1
+    for diagonal in sorted(votes):
+        if current_diag is not None and diagonal - current_diag <= diagonal_tolerance:
+            current_votes += votes[diagonal]
+            if votes[diagonal] > best_count:
+                best_count = votes[diagonal]
+                best_diag = diagonal
+        else:
+            if current_diag is not None:
+                clusters.append((best_diag, current_votes))
+            current_votes = votes[diagonal]
+            best_diag = diagonal
+            best_count = votes[diagonal]
+        current_diag = diagonal
+    clusters.append((best_diag, current_votes))
+
+    candidates = [
+        CandidateLocation(position=max(0, diagonal), votes=count)
+        for diagonal, count in clusters
+    ]
+    candidates.sort(key=lambda c: (-c.votes, c.position))
+    return candidates[:max_candidates]

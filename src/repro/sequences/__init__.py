@@ -1,0 +1,62 @@
+"""Genomics substrate: alphabets, genomes, mutation, read simulation, I/O.
+
+This subpackage provides everything GenASM's evaluation consumes that is not
+part of the accelerator itself: sequence alphabets with 2-bit encoding
+(Section 9 of the paper), synthetic reference genomes, a mutation engine, and
+read simulators modelled on PBSIM (PacBio CLR), the ONT R9.0 error profile,
+and Mason (Illumina short reads).
+"""
+
+from repro.sequences.alphabet import (
+    AMINO_ACIDS,
+    DNA,
+    RNA,
+    Alphabet,
+)
+from repro.sequences.genome import (
+    Genome,
+    synthesize_genome,
+)
+from repro.sequences.io import (
+    FastaRecord,
+    FastqRecord,
+    read_fasta,
+    read_fastq,
+    write_fasta,
+    write_fastq,
+)
+from repro.sequences.mutate import (
+    EditKind,
+    MutationProfile,
+    mutate,
+)
+from repro.sequences.read_simulator import (
+    SimulatedRead,
+    illumina_profile,
+    ont_r9_profile,
+    pacbio_clr_profile,
+    simulate_reads,
+)
+
+__all__ = [
+    "AMINO_ACIDS",
+    "DNA",
+    "RNA",
+    "Alphabet",
+    "EditKind",
+    "FastaRecord",
+    "FastqRecord",
+    "Genome",
+    "MutationProfile",
+    "SimulatedRead",
+    "illumina_profile",
+    "mutate",
+    "ont_r9_profile",
+    "pacbio_clr_profile",
+    "read_fasta",
+    "read_fastq",
+    "simulate_reads",
+    "synthesize_genome",
+    "write_fasta",
+    "write_fastq",
+]

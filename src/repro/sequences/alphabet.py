@@ -1,0 +1,141 @@
+"""Sequence alphabets and fixed-width binary encodings.
+
+The paper encodes genome characters into 2-bit patterns (A=00, C=01, G=10,
+T=11; Section 9) and notes that GenASM generalises to RNA, protein, and
+arbitrary text alphabets by widening the pattern-bitmask table (Section 11).
+This module provides that abstraction: an :class:`Alphabet` knows its symbol
+set, the number of bits per encoded symbol, and how to round-trip sequences
+through the packed integer encoding used by the hardware model's SRAM
+accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class AlphabetError(ValueError):
+    """Raised when a sequence contains symbols outside its alphabet."""
+
+
+@dataclass(frozen=True)
+class Alphabet:
+    """An ordered symbol set with a fixed-width binary encoding.
+
+    Parameters
+    ----------
+    name:
+        Human-readable name, e.g. ``"DNA"``.
+    symbols:
+        The ordered symbols; the encoding of ``symbols[i]`` is ``i``.
+    wildcard:
+        Optional symbol (e.g. ``"N"``) accepted on input and treated as
+        mismatching every symbol, mirroring how read mappers treat ambiguous
+        bases. It is *not* part of the packed encoding.
+    """
+
+    name: str
+    symbols: str
+    wildcard: str | None = None
+    _index: dict[str, int] = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        if len(set(self.symbols)) != len(self.symbols):
+            raise ValueError(f"duplicate symbols in alphabet {self.name!r}")
+        if self.wildcard is not None and self.wildcard in self.symbols:
+            raise ValueError("wildcard must not be a regular symbol")
+        object.__setattr__(
+            self, "_index", {ch: i for i, ch in enumerate(self.symbols)}
+        )
+
+    def __len__(self) -> int:
+        return len(self.symbols)
+
+    def __contains__(self, symbol: str) -> bool:
+        return symbol in self._index or symbol == self.wildcard
+
+    @property
+    def bits_per_symbol(self) -> int:
+        """Bits needed to encode one symbol (2 for DNA, 5 for proteins)."""
+        return max(1, (len(self.symbols) - 1).bit_length())
+
+    def index(self, symbol: str) -> int:
+        """Return the integer code of ``symbol``.
+
+        The wildcard maps to ``len(self)``, a sentinel code outside the
+        packed encoding that mismatches every pattern bitmask.
+        """
+        code = self._index.get(symbol)
+        if code is not None:
+            return code
+        if symbol == self.wildcard:
+            return len(self.symbols)
+        raise AlphabetError(f"symbol {symbol!r} not in alphabet {self.name!r}")
+
+    def validate(self, sequence: str) -> None:
+        """Raise :class:`AlphabetError` if ``sequence`` has foreign symbols."""
+        for ch in sequence:
+            if ch not in self:
+                raise AlphabetError(
+                    f"symbol {ch!r} not in alphabet {self.name!r}"
+                )
+
+    def encode(self, sequence: str) -> int:
+        """Pack ``sequence`` into an integer, first symbol in the high bits.
+
+        This is the 2-bit encoding of Section 9 generalised to any symbol
+        width. Wildcards cannot be packed and raise.
+        """
+        bits = self.bits_per_symbol
+        value = 0
+        for ch in sequence:
+            code = self._index.get(ch)
+            if code is None:
+                raise AlphabetError(
+                    f"cannot pack symbol {ch!r} in alphabet {self.name!r}"
+                )
+            value = (value << bits) | code
+        return value
+
+    def decode(self, value: int, length: int) -> str:
+        """Inverse of :meth:`encode` for a sequence of ``length`` symbols."""
+        bits = self.bits_per_symbol
+        mask = (1 << bits) - 1
+        out = []
+        for i in range(length):
+            shift = bits * (length - 1 - i)
+            code = (value >> shift) & mask
+            if code >= len(self.symbols):
+                raise AlphabetError(f"code {code} out of range for {self.name!r}")
+            out.append(self.symbols[code])
+        return "".join(out)
+
+    def encoded_bytes(self, length: int) -> int:
+        """Storage in bytes for ``length`` packed symbols (ceil division)."""
+        return (length * self.bits_per_symbol + 7) // 8
+
+    def complement(self, sequence: str) -> str:
+        """Complement for nucleic-acid alphabets; identity otherwise."""
+        table = _COMPLEMENTS.get(self.name)
+        if table is None:
+            return sequence
+        return sequence.translate(table)
+
+    def reverse_complement(self, sequence: str) -> str:
+        """Reverse complement (used when simulating reverse-strand reads)."""
+        return self.complement(sequence)[::-1]
+
+
+_COMPLEMENTS = {
+    "DNA": str.maketrans("ACGTN", "TGCAN"),
+    "RNA": str.maketrans("ACGUN", "UGCAN"),
+}
+
+#: The 4-symbol DNA alphabet with the paper's 2-bit encoding order.
+DNA = Alphabet("DNA", "ACGT", wildcard="N")
+
+#: RNA alphabet (Section 11, "special cases of general text search").
+RNA = Alphabet("RNA", "ACGU", wildcard="N")
+
+#: The 20 amino acids, in the order the paper lists them (Section 11).
+AMINO_ACIDS = Alphabet("protein", "ARNDCQEGHILKMFPSTWYV", wildcard="X")

@@ -1,0 +1,157 @@
+"""Minimal FASTA/FASTQ readers and writers.
+
+The mapping pipeline consumes references and reads; these helpers let the
+examples and experiments persist datasets the way real tools exchange them.
+Only the features the pipeline needs are implemented (multi-line FASTA,
+4-line FASTQ) — by design, not omission.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+
+@dataclass(frozen=True)
+class FastaRecord:
+    """One FASTA entry: ``>name description`` plus a sequence."""
+
+    name: str
+    sequence: str
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class FastqRecord:
+    """One FASTQ entry; ``quality`` is the Phred+33 string."""
+
+    name: str
+    sequence: str
+    quality: str
+
+    def __post_init__(self) -> None:
+        if len(self.quality) != len(self.sequence):
+            raise ValueError(
+                f"quality length {len(self.quality)} != sequence length "
+                f"{len(self.sequence)} for record {self.name!r}"
+            )
+
+
+def _as_text_handle(source: str | Path | TextIO) -> tuple[TextIO, bool]:
+    """Return (handle, should_close) for a path or an open handle."""
+    if isinstance(source, (str, Path)):
+        return open(source, "r", encoding="ascii"), True
+    return source, False
+
+
+def read_fasta(source: str | Path | TextIO) -> list[FastaRecord]:
+    """Parse all records from a FASTA file or handle."""
+    handle, should_close = _as_text_handle(source)
+    try:
+        return list(iter_fasta(handle))
+    finally:
+        if should_close:
+            handle.close()
+
+
+def iter_fasta(handle: TextIO) -> Iterator[FastaRecord]:
+    """Stream FASTA records from an open handle."""
+    name: str | None = None
+    description = ""
+    chunks: list[str] = []
+    for raw in handle:
+        line = raw.rstrip("\n")
+        if not line:
+            continue
+        if line.startswith(">"):
+            if name is not None:
+                yield FastaRecord(name, "".join(chunks), description)
+            header = line[1:].split(maxsplit=1)
+            if not header:
+                raise ValueError("FASTA header with no name")
+            name = header[0]
+            description = header[1] if len(header) > 1 else ""
+            chunks = []
+        else:
+            if name is None:
+                raise ValueError("FASTA sequence data before any header")
+            chunks.append(line.strip())
+    if name is not None:
+        yield FastaRecord(name, "".join(chunks), description)
+
+
+def write_fasta(
+    records: Iterable[FastaRecord],
+    destination: str | Path | TextIO,
+    *,
+    line_width: int = 70,
+) -> None:
+    """Write records in wrapped FASTA format."""
+    if line_width <= 0:
+        raise ValueError("line_width must be positive")
+    handle, should_close = _as_writable_handle(destination)
+    try:
+        for record in records:
+            header = f">{record.name}"
+            if record.description:
+                header = f"{header} {record.description}"
+            handle.write(header + "\n")
+            seq = record.sequence
+            for i in range(0, len(seq), line_width):
+                handle.write(seq[i : i + line_width] + "\n")
+    finally:
+        if should_close:
+            handle.close()
+
+
+def read_fastq(source: str | Path | TextIO) -> list[FastqRecord]:
+    """Parse all records from a 4-line-per-record FASTQ file or handle."""
+    handle, should_close = _as_text_handle(source)
+    try:
+        return list(iter_fastq(handle))
+    finally:
+        if should_close:
+            handle.close()
+
+
+def iter_fastq(handle: TextIO) -> Iterator[FastqRecord]:
+    """Stream FASTQ records from an open handle."""
+    while True:
+        header = handle.readline()
+        if not header:
+            return
+        header = header.rstrip("\n")
+        if not header:
+            continue
+        if not header.startswith("@"):
+            raise ValueError(f"expected FASTQ header, got {header!r}")
+        sequence = handle.readline().rstrip("\n")
+        plus = handle.readline().rstrip("\n")
+        quality = handle.readline().rstrip("\n")
+        if not plus.startswith("+"):
+            raise ValueError(f"expected FASTQ separator, got {plus!r}")
+        yield FastqRecord(header[1:].split()[0], sequence, quality)
+
+
+def write_fastq(
+    records: Iterable[FastqRecord],
+    destination: str | Path | TextIO,
+) -> None:
+    """Write records in 4-line FASTQ format."""
+    handle, should_close = _as_writable_handle(destination)
+    try:
+        for record in records:
+            handle.write(f"@{record.name}\n{record.sequence}\n+\n{record.quality}\n")
+    finally:
+        if should_close:
+            handle.close()
+
+
+def _as_writable_handle(destination: str | Path | TextIO) -> tuple[TextIO, bool]:
+    if isinstance(destination, (str, Path)):
+        return open(destination, "w", encoding="ascii"), True
+    if isinstance(destination, io.TextIOBase) or hasattr(destination, "write"):
+        return destination, False
+    raise TypeError(f"cannot write to {destination!r}")

@@ -1,0 +1,145 @@
+"""Sequence mutation engine.
+
+Generates the "edits" of Section 2.2 — substitutions, insertions, deletions —
+at configurable rates and mixes. This single engine backs both the read
+simulators (sequencing error injection) and the Edlib-style dataset builder
+("artificially-mutated versions of the original DNA sequences with measures
+of similarity ranging between 60%-99%", Section 9).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+from repro.sequences.alphabet import DNA, Alphabet
+
+
+class EditKind(enum.Enum):
+    """The three edit types of Figure 2, plus MATCH for bookkeeping."""
+
+    MATCH = "M"
+    SUBSTITUTION = "S"
+    INSERTION = "I"
+    DELETION = "D"
+
+
+@dataclass(frozen=True)
+class AppliedEdit:
+    """One concrete edit applied during mutation.
+
+    ``position`` indexes the *original* sequence at the point the edit was
+    applied (for deletions, the deleted character; for insertions, the
+    character before which the new one was inserted).
+    """
+
+    kind: EditKind
+    position: int
+    original: str
+    replacement: str
+
+
+@dataclass(frozen=True)
+class MutationProfile:
+    """Error/divergence model: overall rate plus the edit-type mix.
+
+    Parameters
+    ----------
+    error_rate:
+        Per-base probability that an edit happens at that base.
+    substitution_fraction / insertion_fraction / deletion_fraction:
+        Conditional mix of edit types; must sum to 1.
+    """
+
+    error_rate: float
+    substitution_fraction: float = 1.0 / 3.0
+    insertion_fraction: float = 1.0 / 3.0
+    deletion_fraction: float = 1.0 / 3.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.error_rate <= 1.0:
+            raise ValueError("error_rate must be within [0, 1]")
+        total = (
+            self.substitution_fraction
+            + self.insertion_fraction
+            + self.deletion_fraction
+        )
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError("edit-type fractions must sum to 1")
+        for frac in (
+            self.substitution_fraction,
+            self.insertion_fraction,
+            self.deletion_fraction,
+        ):
+            if frac < 0:
+                raise ValueError("edit-type fractions must be non-negative")
+
+
+@dataclass(frozen=True)
+class MutationResult:
+    """Mutated sequence plus the ground-truth edit list."""
+
+    sequence: str
+    edits: tuple[AppliedEdit, ...]
+
+    @property
+    def edit_count(self) -> int:
+        return len(self.edits)
+
+
+def mutate(
+    sequence: str,
+    profile: MutationProfile,
+    *,
+    rng: random.Random | None = None,
+    alphabet: Alphabet = DNA,
+) -> MutationResult:
+    """Apply random edits to ``sequence`` according to ``profile``.
+
+    Substitutions always change the base (never a silent substitution), so
+    ``profile.error_rate`` is an *actual* divergence rate, matching how PBSIM
+    and Mason report their error rates.
+    """
+    if rng is None:
+        rng = random.Random()
+    symbols = alphabet.symbols
+
+    out: list[str] = []
+    edits: list[AppliedEdit] = []
+    for pos, base in enumerate(sequence):
+        if rng.random() >= profile.error_rate:
+            out.append(base)
+            continue
+        roll = rng.random()
+        if roll < profile.substitution_fraction:
+            choices = [s for s in symbols if s != base]
+            new = rng.choice(choices) if choices else base
+            out.append(new)
+            edits.append(AppliedEdit(EditKind.SUBSTITUTION, pos, base, new))
+        elif roll < profile.substitution_fraction + profile.insertion_fraction:
+            inserted = rng.choice(symbols)
+            out.append(inserted)
+            out.append(base)
+            edits.append(AppliedEdit(EditKind.INSERTION, pos, "", inserted))
+        else:
+            edits.append(AppliedEdit(EditKind.DELETION, pos, base, ""))
+    return MutationResult(sequence="".join(out), edits=tuple(edits))
+
+
+def mutate_to_similarity(
+    sequence: str,
+    similarity: float,
+    *,
+    rng: random.Random | None = None,
+    alphabet: Alphabet = DNA,
+) -> MutationResult:
+    """Mutate so the pair has roughly the requested similarity.
+
+    ``similarity = 0.9`` yields ~10% divergence. Used by the Fig. 14 dataset
+    builder which sweeps similarity from 60% to 99% as Edlib's dataset does.
+    """
+    if not 0.0 < similarity <= 1.0:
+        raise ValueError("similarity must be within (0, 1]")
+    profile = MutationProfile(error_rate=1.0 - similarity)
+    return mutate(sequence, profile, rng=rng, alphabet=alphabet)

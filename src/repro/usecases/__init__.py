@@ -1,0 +1,30 @@
+"""The four additional GenASM use cases of Section 11.
+
+The paper evaluates three use cases and sketches four more, "whose
+evaluation we leave for future work". This subpackage implements all four
+so downstream users can exercise them:
+
+* :mod:`repro.usecases.overlap` — read-to-read overlap finding, the first
+  step of de novo assembly;
+* :mod:`repro.usecases.indexing` — hash-table index construction driven by
+  GenASM's exact-match machinery;
+* :mod:`repro.usecases.whole_genome` — whole genome alignment of two
+  arbitrary-length genomes;
+* :mod:`repro.usecases.text_search` — generic text search over arbitrary
+  alphabets (RNA, protein, ASCII text).
+"""
+
+from repro.usecases.indexing import build_index_with_genasm
+from repro.usecases.overlap import Overlap, find_overlaps
+from repro.usecases.text_search import TextMatch, search_text
+from repro.usecases.whole_genome import WholeGenomeAlignment, align_genomes
+
+__all__ = [
+    "Overlap",
+    "TextMatch",
+    "WholeGenomeAlignment",
+    "align_genomes",
+    "build_index_with_genasm",
+    "find_overlaps",
+    "search_text",
+]

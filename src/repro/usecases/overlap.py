@@ -1,0 +1,120 @@
+"""Read-to-read overlap finding (Section 11, de novo assembly).
+
+"The first step of de novo assembly is to find read-to-read overlaps since
+the reference genome does not exist ... GenASM can be used for the pairwise
+read alignment step of overlap finding."
+
+The implementation mirrors minimap-style overlap: shared k-mers nominate
+candidate read pairs and the offset between them; GenASM then performs the
+pairwise alignment that verifies (or rejects) each candidate. Suffix of one
+read aligned against prefix of the other — the dovetail layout assemblers
+consume.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.core.aligner import GenAsmAligner
+from repro.sequences.alphabet import DNA, Alphabet
+
+
+@dataclass(frozen=True)
+class Overlap:
+    """A verified dovetail overlap between two reads.
+
+    ``a_start`` is where the overlap begins in read ``a`` (the suffix of
+    ``a`` aligns to the prefix of ``b``); ``length`` counts the overlapping
+    query characters; ``edit_distance`` is GenASM's alignment cost.
+    """
+
+    a_index: int
+    b_index: int
+    a_start: int
+    length: int
+    edit_distance: int
+
+    @property
+    def identity(self) -> float:
+        """Fraction of matching positions within the overlap."""
+        if self.length == 0:
+            return 0.0
+        return 1.0 - self.edit_distance / self.length
+
+
+def find_overlaps(
+    reads: list[str],
+    *,
+    k: int = 15,
+    min_overlap: int = 50,
+    max_error_rate: float = 0.20,
+    alphabet: Alphabet = DNA,
+) -> list[Overlap]:
+    """All-vs-all overlap finding over a read set.
+
+    K-mers shared between two reads vote for the implied offset; the best
+    offset per pair is verified by aligning the overlapping suffix/prefix
+    with GenASM and thresholding the alignment's error rate.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if min_overlap <= 0:
+        raise ValueError("min_overlap must be positive")
+    if not 0.0 <= max_error_rate < 1.0:
+        raise ValueError("max_error_rate must be within [0, 1)")
+
+    # Index every k-mer position of every read: overlapping reads sample
+    # the genome at arbitrary relative phases, so stride-k sampling would
+    # miss shared k-mers entirely.
+    kmer_hits: dict[str, list[tuple[int, int]]] = defaultdict(list)
+    for index, read in enumerate(reads):
+        for offset in range(max(0, len(read) - k + 1)):
+            kmer_hits[read[offset : offset + k]].append((index, offset))
+
+    # Vote per ordered pair for the relative offset a_start = off_a - off_b.
+    votes: dict[tuple[int, int], dict[int, int]] = defaultdict(
+        lambda: defaultdict(int)
+    )
+    for hits in kmer_hits.values():
+        if len(hits) > 16:
+            continue  # repetitive k-mer: uninformative
+        for a_index, a_offset in hits:
+            for b_index, b_offset in hits:
+                if a_index == b_index:
+                    continue
+                shift = a_offset - b_offset
+                if shift >= 0:
+                    votes[(a_index, b_index)][shift] += 1
+
+    aligner = GenAsmAligner(alphabet=alphabet)
+    overlaps: list[Overlap] = []
+    seen: set[tuple[int, int]] = set()
+    for (a_index, b_index), shifts in votes.items():
+        if (b_index, a_index) in seen:
+            continue
+        shift, count = max(shifts.items(), key=lambda item: item[1])
+        if count < 2:
+            continue
+        a, b = reads[a_index], reads[b_index]
+        overlap_len = min(len(a) - shift, len(b))
+        if overlap_len < min_overlap:
+            continue
+        # Align read b's prefix against read a's suffix (plus slack).
+        query = b[:overlap_len]
+        slack = max(4, int(overlap_len * max_error_rate))
+        region = a[shift : shift + overlap_len + slack]
+        alignment = aligner.align(region, query)
+        if alignment.edit_distance / max(1, overlap_len) <= max_error_rate:
+            seen.add((a_index, b_index))
+            overlaps.append(
+                Overlap(
+                    a_index=a_index,
+                    b_index=b_index,
+                    a_start=shift,
+                    length=overlap_len,
+                    edit_distance=alignment.edit_distance,
+                )
+            )
+    overlaps.sort(key=lambda o: (o.a_index, o.b_index))
+    return overlaps

@@ -1,0 +1,88 @@
+"""Generic text search (Section 11).
+
+"GenASM-DC can be extended to support larger alphabets, thus enabling
+generic text search. When generating the pattern bitmasks during the
+pre-processing step, the only change that is required is to generate
+bitmasks for the entire alphabet ... There is no change required to the
+edit distance calculation step."
+
+:func:`search_text` builds the alphabet from the inputs (or accepts RNA /
+protein / any :class:`Alphabet`), runs the Bitap scan for candidate
+locations, and optionally tracebacks each hit for its transcript — fuzzy
+grep with alignments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.aligner import GenAsmAligner
+from repro.core.bitap import bitap_scan
+from repro.core.cigar import Cigar
+from repro.sequences.alphabet import Alphabet
+
+
+@dataclass(frozen=True)
+class TextMatch:
+    """One approximate occurrence of the pattern in the text."""
+
+    start: int
+    distance: int
+    cigar: Cigar | None
+
+
+def alphabet_from_text(*texts: str) -> Alphabet:
+    """Derive a minimal alphabet covering every character in ``texts``."""
+    symbols = sorted(set("".join(texts)))
+    if not symbols:
+        raise ValueError("cannot derive an alphabet from empty text")
+    return Alphabet("derived", "".join(symbols))
+
+
+def search_text(
+    text: str,
+    pattern: str,
+    max_errors: int,
+    *,
+    alphabet: Alphabet | None = None,
+    with_traceback: bool = False,
+    max_matches: int | None = None,
+) -> list[TextMatch]:
+    """Find approximate occurrences of ``pattern`` in ``text``.
+
+    Results are sorted by position. Overlapping hits at consecutive
+    positions are collapsed to the best (lowest-distance) representative so
+    one fuzzy occurrence reports once, like a fuzzy-grep user expects.
+    """
+    if max_errors < 0:
+        raise ValueError("max_errors must be non-negative")
+    if not pattern:
+        raise ValueError("pattern must be non-empty")
+    if alphabet is None:
+        alphabet = alphabet_from_text(text, pattern)
+
+    raw = bitap_scan(text, pattern, max_errors, alphabet=alphabet)
+    raw.sort(key=lambda match: match.start)
+
+    # Collapse runs of adjacent starts into their best representative.
+    collapsed: list[tuple[int, int]] = []
+    for match in raw:
+        if collapsed and match.start - collapsed[-1][0] <= max_errors:
+            if match.distance < collapsed[-1][1]:
+                collapsed[-1] = (match.start, match.distance)
+        else:
+            collapsed.append((match.start, match.distance))
+
+    aligner = (
+        GenAsmAligner(alphabet=alphabet) if with_traceback else None
+    )
+    matches: list[TextMatch] = []
+    for start, distance in collapsed:
+        cigar = None
+        if aligner is not None:
+            region = text[start : start + len(pattern) + max_errors]
+            cigar = aligner.align(region, pattern).cigar
+        matches.append(TextMatch(start=start, distance=distance, cigar=cigar))
+        if max_matches is not None and len(matches) >= max_matches:
+            break
+    return matches

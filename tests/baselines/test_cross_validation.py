@@ -1,0 +1,45 @@
+"""Hypothesis cross-validation across independent baseline implementations.
+
+Four independently-written edit distance computations (row DP, full-matrix
+NW with traceback, Myers bit-vector, Ukkonen banded) must agree everywhere;
+GenASM and GACT, the two tiled heuristics, must upper-bound them.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.gact import gact_align
+from repro.baselines.myers import myers_global
+from repro.baselines.needleman_wunsch import edit_distance_dp, needleman_wunsch
+from repro.baselines.ukkonen import edit_distance_doubling
+from repro.core.edit_distance import genasm_edit_distance
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=30)
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=dna, b=dna)
+def test_four_exact_algorithms_agree(a, b):
+    expected = edit_distance_dp(a, b)
+    assert needleman_wunsch(a, b).distance == expected
+    assert myers_global(a, b) == expected
+    assert edit_distance_doubling(a, b) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=dna, b=dna)
+def test_tiled_heuristics_upper_bound_exact(a, b):
+    expected = edit_distance_dp(a, b)
+    assert genasm_edit_distance(a, b).distance >= expected
+    gact = gact_align(a, b, tile_size=16, overlap=6)
+    # GACT consumes the query fully; its edit count can only exceed optimal.
+    trailing = len(a) - gact.text_consumed
+    assert gact.cigar.edit_distance + max(0, trailing) >= expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=dna)
+def test_all_report_zero_on_identity(a):
+    assert edit_distance_dp(a, a) == 0
+    assert myers_global(a, a) == 0
+    assert edit_distance_doubling(a, a) == 0
+    assert genasm_edit_distance(a, a).distance == 0

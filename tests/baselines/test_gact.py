@@ -1,0 +1,44 @@
+"""Unit tests for the GACT tiled aligner baseline."""
+
+import pytest
+
+from repro.baselines.gact import gact_align
+from repro.sequences.mutate import MutationProfile, mutate
+from tests.conftest import random_dna
+
+
+class TestGact:
+    def test_perfect_match(self):
+        result = gact_align("ACGTACGT", "ACGTACGT", tile_size=8, overlap=3)
+        assert str(result.cigar) == "8M"
+
+    def test_transcript_valid_across_tiles(self, rng):
+        for _ in range(10):
+            text = random_dna(300, rng)
+            query = mutate(text, MutationProfile(0.08), rng=rng).sequence
+            region = text + random_dna(40, rng)
+            result = gact_align(region, query, tile_size=64, overlap=24)
+            assert result.cigar.is_valid_for(region, query)
+            assert result.cigar.query_length == len(query)
+
+    def test_distance_close_to_optimal(self, rng):
+        from repro.baselines.needleman_wunsch import edit_distance_dp
+
+        for _ in range(8):
+            text = random_dna(200, rng)
+            query = mutate(text, MutationProfile(0.05), rng=rng).sequence
+            region = text + random_dna(20, rng)
+            result = gact_align(region, query, tile_size=64, overlap=24)
+            consumed = region[: result.text_consumed]
+            optimal = edit_distance_dp(consumed, query)
+            assert result.cigar.edit_distance <= optimal + 8  # tiling slack
+
+    def test_text_exhaustion_pads_insertions(self):
+        result = gact_align("ACG", "ACGTTT", tile_size=8, overlap=2)
+        assert result.cigar.query_length == 6
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            gact_align("ACGT", "ACGT", tile_size=0)
+        with pytest.raises(ValueError):
+            gact_align("ACGT", "ACGT", tile_size=8, overlap=8)

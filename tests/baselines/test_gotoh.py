@@ -1,0 +1,52 @@
+"""Unit tests for the Gotoh affine-gap aligner."""
+
+from repro.baselines.gotoh import gotoh_global, gotoh_score
+from repro.core.scoring import ScoringScheme
+from tests.conftest import random_dna
+
+
+class TestGotohGlobal:
+    def test_perfect_match(self):
+        result = gotoh_global("ACGT", "ACGT")
+        assert str(result.cigar) == "4M"
+        assert result.score == 4  # BWA-MEM match = +1
+
+    def test_affine_prefers_one_long_gap(self):
+        # With affine costs, a 2-gap should be contiguous.
+        scheme = ScoringScheme(match=1, substitution=-4, gap_open=-6, gap_extend=-1)
+        result = gotoh_global("ACGTACGT", "ACACGT", scheme)
+        runs = list(result.cigar.runs())
+        gap_runs = [run for run in runs if run[0] == "D"]
+        assert gap_runs == [("D", 2)]
+
+    def test_transcript_scores_match_dp_score(self, rng):
+        scheme = ScoringScheme.bwa_mem()
+        for _ in range(20):
+            a = random_dna(rng.randint(1, 25), rng)
+            b = random_dna(rng.randint(1, 25), rng)
+            result = gotoh_global(a, b, scheme)
+            assert result.cigar.is_valid_for(a, b)
+            assert result.cigar.score(scheme) == result.score
+
+    def test_score_only_variant_agrees(self, rng):
+        scheme = ScoringScheme.minimap2()
+        for _ in range(20):
+            a = random_dna(rng.randint(1, 25), rng)
+            b = random_dna(rng.randint(1, 25), rng)
+            assert gotoh_score(a, b, scheme) == gotoh_global(a, b, scheme).score
+
+    def test_optimality_vs_unit_distance(self, rng):
+        """With unit-ish costs the Gotoh score equals -edit distance."""
+        from repro.baselines.needleman_wunsch import edit_distance_dp
+
+        scheme = ScoringScheme(match=0, substitution=-1, gap_open=0, gap_extend=-1)
+        for _ in range(20):
+            a = random_dna(rng.randint(1, 20), rng)
+            b = random_dna(rng.randint(1, 20), rng)
+            assert gotoh_score(a, b, scheme) == -edit_distance_dp(a, b)
+
+    def test_empty_inputs(self):
+        scheme = ScoringScheme.bwa_mem()
+        assert gotoh_global("", "AC", scheme).cigar.ops == "II"
+        assert gotoh_global("AC", "", scheme).cigar.ops == "DD"
+        assert gotoh_score("", "AC", scheme) == scheme.gap_cost(2)

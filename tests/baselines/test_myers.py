@@ -1,0 +1,62 @@
+"""Unit tests for the Myers bit-vector algorithm (Edlib substitute)."""
+
+import pytest
+
+from repro.baselines.myers import (
+    myers_global,
+    myers_global_bounded,
+    myers_semiglobal,
+)
+from repro.baselines.needleman_wunsch import edit_distance_dp, semiglobal_distance_dp
+from tests.conftest import random_dna
+
+
+class TestMyersGlobal:
+    def test_known_values(self):
+        assert myers_global("ACGT", "ACGT") == 0
+        assert myers_global("ACGT", "ACCT") == 1
+        assert myers_global("", "ACGT") == 4
+        assert myers_global("ACGT", "") == 4
+
+    def test_equals_dp_on_random_pairs(self, rng):
+        for _ in range(40):
+            a = random_dna(rng.randint(1, 60), rng)
+            b = random_dna(rng.randint(1, 60), rng)
+            assert myers_global(a, b) == edit_distance_dp(a, b)
+
+    def test_long_patterns_multiword_territory(self, rng):
+        # Patterns > 64 chars exercise the big-int (multi-word) regime.
+        a = random_dna(300, rng)
+        b = random_dna(280, rng)
+        assert myers_global(a, b) == edit_distance_dp(a, b)
+
+    def test_bounded_variant(self):
+        assert myers_global_bounded("ACGT", "ACCT", 1) == 1
+        assert myers_global_bounded("AAAA", "TTTT", 1) is None
+
+
+class TestMyersSemiglobal:
+    def test_free_flanks(self):
+        assert myers_semiglobal("TTTACGTT", "ACG") == 0
+
+    def test_equals_infix_dp(self, rng):
+        for _ in range(40):
+            text = random_dna(rng.randint(1, 50), rng)
+            pattern = random_dna(rng.randint(1, 30), rng)
+            assert myers_semiglobal(text, pattern) == semiglobal_distance_dp(
+                text, pattern
+            )
+
+    def test_empty_cases(self):
+        assert myers_semiglobal("ACGT", "") == 0
+        assert myers_semiglobal("", "ACGT") == 4
+
+
+class TestValidation:
+    def test_foreign_pattern_symbol_rejected(self):
+        with pytest.raises(ValueError):
+            myers_global("ACGT", "ACXT")
+
+    def test_foreign_text_symbol_mismatches(self):
+        # Unknown text characters simply never match (Eq = 0).
+        assert myers_global("ACGT", "ACGT") == 0

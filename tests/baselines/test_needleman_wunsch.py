@@ -1,0 +1,60 @@
+"""Unit tests for the Needleman-Wunsch DP baselines."""
+
+from repro.baselines.needleman_wunsch import (
+    edit_distance_dp,
+    needleman_wunsch,
+    semiglobal_distance_dp,
+)
+from tests.conftest import random_dna
+
+
+class TestEditDistanceDp:
+    def test_known_values(self):
+        assert edit_distance_dp("kitten", "sitting") == 3
+        assert edit_distance_dp("", "abc") == 3
+        assert edit_distance_dp("abc", "") == 3
+        assert edit_distance_dp("ACGT", "ACGT") == 0
+
+    def test_triangle_inequality(self, rng):
+        for _ in range(15):
+            a = random_dna(rng.randint(1, 20), rng)
+            b = random_dna(rng.randint(1, 20), rng)
+            c = random_dna(rng.randint(1, 20), rng)
+            assert edit_distance_dp(a, c) <= edit_distance_dp(
+                a, b
+            ) + edit_distance_dp(b, c)
+
+    def test_symmetry(self, rng):
+        for _ in range(15):
+            a = random_dna(rng.randint(1, 25), rng)
+            b = random_dna(rng.randint(1, 25), rng)
+            assert edit_distance_dp(a, b) == edit_distance_dp(b, a)
+
+
+class TestSemiglobal:
+    def test_free_flanks(self):
+        assert semiglobal_distance_dp("TTTACGTTTT", "ACG") == 0
+
+    def test_at_most_global(self, rng):
+        for _ in range(20):
+            text = random_dna(rng.randint(1, 25), rng)
+            pattern = random_dna(rng.randint(1, 25), rng)
+            assert semiglobal_distance_dp(text, pattern) <= edit_distance_dp(
+                text, pattern
+            )
+
+    def test_empty_pattern(self):
+        assert semiglobal_distance_dp("ACGT", "") == 0
+
+
+class TestTraceback:
+    def test_transcript_valid_and_consistent(self, rng):
+        for _ in range(25):
+            a = random_dna(rng.randint(1, 25), rng)
+            b = random_dna(rng.randint(1, 25), rng)
+            result = needleman_wunsch(a, b)
+            assert result.distance == edit_distance_dp(a, b)
+            assert result.cigar.edit_distance == result.distance
+            assert result.cigar.is_valid_for(a, b)
+            assert result.cigar.reference_length == len(a)
+            assert result.cigar.query_length == len(b)

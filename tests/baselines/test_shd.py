@@ -1,0 +1,53 @@
+"""Unit tests for the Shifted Hamming Distance filter baseline."""
+
+import pytest
+
+from repro.baselines.shd import ShdFilter
+from repro.sequences.mutate import MutationProfile, mutate
+from tests.conftest import random_dna
+
+
+class TestShd:
+    def test_identical_pair(self):
+        assert ShdFilter(5).estimate_edits("ACGT" * 25, "ACGT" * 25) == 0
+
+    def test_single_substitution_counted_once(self):
+        reference = "A" * 20 + "C" + "A" * 20
+        read = "A" * 41
+        estimate = ShdFilter(2).estimate_edits(reference, read)
+        assert estimate <= 1
+
+    def test_indel_counts_as_one_run(self):
+        reference = "ACGTACGTACGTACGTACGT"
+        read = reference[:10] + reference[11:]  # one deletion
+        assert ShdFilter(3).estimate_edits(reference, read) <= 3
+
+    def test_underestimates_on_similar_pairs(self, rng):
+        filt = ShdFilter(5)
+        for _ in range(20):
+            reference = random_dna(100, rng)
+            result = mutate(reference, MutationProfile(0.03), rng=rng)
+            if result.edit_count <= 5:
+                assert filt.accepts(reference, result.sequence)
+
+    def test_rejects_most_unrelated_pairs(self, rng):
+        filt = ShdFilter(3)
+        rejected = sum(
+            1
+            for _ in range(20)
+            if not filt.accepts(random_dna(100, rng), random_dna(100, rng))
+        )
+        assert rejected >= 12
+
+    def test_amendment_removes_short_zero_runs(self):
+        amended = ShdFilter._amend([1, 0, 1, 0, 0, 1, 0, 0, 0, 1])
+        # Interior runs shorter than 3 flip to 1; the 3-run survives.
+        assert amended == [1, 1, 1, 1, 1, 1, 0, 0, 0, 1]
+
+    def test_edge_zero_runs_kept(self):
+        # Leading/trailing short zero-runs are not interior; kept as matches.
+        assert ShdFilter._amend([0, 1, 1, 1, 0]) == [0, 1, 1, 1, 0]
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            ShdFilter(-2)

@@ -1,0 +1,48 @@
+"""Unit tests for the Shouji pre-alignment filter baseline."""
+
+import pytest
+
+from repro.baselines.shouji import ShoujiFilter
+from repro.sequences.mutate import MutationProfile, mutate
+from tests.conftest import random_dna
+
+
+class TestShouji:
+    def test_identical_pair_estimates_zero(self):
+        assert ShoujiFilter(5).estimate_edits("ACGT" * 25, "ACGT" * 25) == 0
+
+    def test_accepts_similar_pairs(self, rng):
+        filt = ShoujiFilter(5)
+        for _ in range(15):
+            reference = random_dna(100, rng)
+            result = mutate(reference, MutationProfile(0.02), rng=rng)
+            if result.edit_count <= 5:
+                assert filt.accepts(reference, result.sequence)
+
+    def test_underestimates_distance(self, rng):
+        """Shouji's estimate never exceeds the injected edit count — the
+        property behind its 0% false-reject and non-zero false-accept."""
+        filt = ShoujiFilter(5)
+        for _ in range(25):
+            reference = random_dna(100, rng)
+            result = mutate(reference, MutationProfile(0.05), rng=rng)
+            assert filt.estimate_edits(reference, result.sequence) <= max(
+                result.edit_count, 1
+            ) + 2  # window effects allow slight wobble above 0 edits
+
+    def test_rejects_unrelated_sequences(self, rng):
+        filt = ShoujiFilter(5)
+        rejected = 0
+        for _ in range(20):
+            a = random_dna(100, rng)
+            b = random_dna(100, rng)
+            if not filt.accepts(a, b):
+                rejected += 1
+        assert rejected >= 15  # most random pairs are way past threshold
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            ShoujiFilter(-1)
+
+    def test_empty_read(self):
+        assert ShoujiFilter(3).estimate_edits("ACGT", "") == 0

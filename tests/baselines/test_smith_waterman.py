@@ -1,0 +1,59 @@
+"""Unit tests for the Smith-Waterman local aligner."""
+
+import pytest
+
+from repro.baselines.smith_waterman import SwScoring, smith_waterman
+from tests.conftest import random_dna
+
+
+class TestScoring:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SwScoring(match=0)
+        with pytest.raises(ValueError):
+            SwScoring(mismatch=1)
+        with pytest.raises(ValueError):
+            SwScoring(gap=0)
+
+
+class TestLocalAlignment:
+    def test_embedded_exact_match(self):
+        result = smith_waterman("TTTTACGTACGTTTTT", "ACGTACGT")
+        assert str(result.cigar) == "8M"
+        assert result.text_start == 4
+        assert result.score == 16  # 8 matches x 2
+
+    def test_dissimilar_yields_empty(self):
+        result = smith_waterman("AAAA", "TTTT")
+        assert result.score == 0
+        assert len(result.cigar) == 0
+
+    def test_local_ignores_flanking_noise(self):
+        result = smith_waterman("GGGGACGTACGTGGGG", "TTACGTACGTTT")
+        # Core ACGTACGT should align; flanking TT mismatch clipped away.
+        assert result.score >= 12
+
+    def test_transcript_valid_for_clipped_regions(self, rng):
+        for _ in range(20):
+            text = random_dna(rng.randint(10, 40), rng)
+            query = random_dna(rng.randint(5, 20), rng)
+            result = smith_waterman(text, query)
+            clipped_text = text[result.text_start : result.text_end]
+            clipped_query = query[result.query_start : result.query_end]
+            assert result.cigar.is_valid_for(clipped_text, clipped_query)
+
+    def test_score_consistent_with_ops(self, rng):
+        scoring = SwScoring()
+        for _ in range(15):
+            text = random_dna(30, rng)
+            query = random_dna(15, rng)
+            result = smith_waterman(text, query, scoring)
+            recomputed = 0
+            for op in result.cigar.ops:
+                if op == "M":
+                    recomputed += scoring.match
+                elif op == "S":
+                    recomputed += scoring.mismatch
+                else:
+                    recomputed += scoring.gap
+            assert recomputed == result.score

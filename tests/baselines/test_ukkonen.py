@@ -1,0 +1,49 @@
+"""Unit tests for Ukkonen's banded edit distance."""
+
+import pytest
+
+from repro.baselines.needleman_wunsch import edit_distance_dp
+from repro.baselines.ukkonen import banded_edit_distance, edit_distance_doubling
+from tests.conftest import random_dna
+
+
+class TestBanded:
+    def test_within_band(self):
+        assert banded_edit_distance("ACGT", "ACCT", 2) == 1
+
+    def test_outside_band_returns_none(self):
+        assert banded_edit_distance("AAAAAAAA", "TTTTTTTT", 2) is None
+
+    def test_length_gap_exceeding_band(self):
+        assert banded_edit_distance("A", "AAAAAA", 2) is None
+
+    def test_exact_at_band_boundary(self):
+        # distance exactly k must be found
+        assert banded_edit_distance("AAAA", "AATA", 1) == 1
+
+    def test_empty_strings(self):
+        assert banded_edit_distance("", "", 0) == 0
+        assert banded_edit_distance("", "AB".replace("B", "C"), 2) == 2
+        assert banded_edit_distance("", "ACG", 2) is None
+
+    def test_negative_band_rejected(self):
+        with pytest.raises(ValueError):
+            banded_edit_distance("A", "A", -1)
+
+
+class TestDoubling:
+    def test_equals_dp(self, rng):
+        for _ in range(30):
+            a = random_dna(rng.randint(0, 40), rng)
+            b = random_dna(rng.randint(0, 40), rng)
+            if not a and not b:
+                continue
+            assert edit_distance_doubling(a, b) == edit_distance_dp(a, b)
+
+    def test_identical_long_strings_fast_path(self, rng):
+        seq = random_dna(2_000, rng)
+        assert edit_distance_doubling(seq, seq) == 0
+
+    def test_invalid_initial_band(self):
+        with pytest.raises(ValueError):
+            edit_distance_doubling("A", "A", initial=0)

@@ -1,0 +1,18 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+
+def random_dna(length: int, rng: random.Random) -> str:
+    """Uniform random DNA string."""
+    return "".join(rng.choice("ACGT") for _ in range(length))
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """Deterministic RNG for reproducible tests."""
+    return random.Random(0xC0FFEE)

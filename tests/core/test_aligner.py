@@ -1,0 +1,126 @@
+"""Unit tests for the windowed GenASM aligner."""
+
+import pytest
+
+from repro.core.aligner import GenAsmAligner, genasm_align
+from repro.core.scoring import ScoringScheme
+from repro.sequences.mutate import MutationProfile, mutate
+from tests.conftest import random_dna
+
+
+class TestBasicAlignment:
+    def test_perfect_match(self):
+        alignment = genasm_align("ACGTACGT", "ACGTACGT")
+        assert str(alignment.cigar) == "8M"
+        assert alignment.edit_distance == 0
+        assert alignment.text_consumed == 8
+
+    def test_figure6_deletion(self):
+        alignment = genasm_align("CGTGA", "CTGA")
+        assert str(alignment.cigar) == "1M1D3M"
+        assert alignment.edit_distance == 1
+
+    def test_pattern_longer_than_text_pads_insertions(self):
+        alignment = genasm_align("ACGT", "ACGTTT")
+        assert alignment.cigar.query_length == 6
+        assert alignment.cigar.ops.count("I") >= 2
+
+    def test_empty_pattern_yields_empty_alignment(self):
+        alignment = genasm_align("ACGT", "")
+        assert str(alignment.cigar) == ""
+        assert alignment.edit_distance == 0
+
+    def test_cigar_always_valid(self, rng):
+        for _ in range(30):
+            text = random_dna(rng.randint(10, 200), rng)
+            profile = MutationProfile(error_rate=rng.uniform(0.0, 0.2))
+            pattern = mutate(text, profile, rng=rng).sequence
+            region = text + random_dna(40, rng)
+            alignment = genasm_align(region, pattern)
+            assert alignment.cigar.is_valid_for(region, pattern)
+
+
+class TestWindowingParameters:
+    def test_invalid_window_params_rejected(self):
+        with pytest.raises(ValueError):
+            GenAsmAligner(window_size=0)
+        with pytest.raises(ValueError):
+            GenAsmAligner(window_size=32, overlap=32)
+        with pytest.raises(ValueError):
+            GenAsmAligner(window_size=32, overlap=-1)
+
+    def test_small_windows_still_valid(self, rng):
+        aligner = GenAsmAligner(window_size=16, overlap=4)
+        for _ in range(10):
+            text = random_dna(120, rng)
+            pattern = mutate(text, MutationProfile(0.1), rng=rng).sequence
+            alignment = aligner.align(text + "ACGTACGTACGT", pattern)
+            assert alignment.cigar.is_valid_for(text + "ACGTACGTACGT", pattern)
+
+    def test_paper_default_window_setting(self):
+        aligner = GenAsmAligner()
+        assert aligner.window_size == 64
+        assert aligner.overlap == 24
+
+
+class TestAccuracyAgainstOptimal:
+    def test_never_below_global_optimum(self, rng):
+        """Windowed alignment is a real alignment: its edit count cannot be
+        below the global optimum of the consumed region."""
+        from repro.baselines.needleman_wunsch import edit_distance_dp
+
+        for _ in range(25):
+            text = random_dna(rng.randint(20, 150), rng)
+            pattern = mutate(text, MutationProfile(0.1), rng=rng).sequence
+            region = text + random_dna(30, rng)
+            alignment = genasm_align(region, pattern)
+            consumed = region[: alignment.text_consumed]
+            assert alignment.edit_distance >= edit_distance_dp(consumed, pattern)
+
+    def test_usually_matches_optimum_at_low_error(self, rng):
+        from repro.baselines.needleman_wunsch import edit_distance_dp
+
+        exact = 0
+        trials = 20
+        for _ in range(trials):
+            text = random_dna(100, rng)
+            pattern = mutate(text, MutationProfile(0.05), rng=rng).sequence
+            region = text + random_dna(20, rng)
+            alignment = genasm_align(region, pattern)
+            consumed = region[: alignment.text_consumed]
+            if alignment.edit_distance == edit_distance_dp(consumed, pattern):
+                exact += 1
+        # The paper reports ~97-99% score accuracy; allow some slack at
+        # this tiny sample size.
+        assert exact >= trials * 0.8
+
+
+class TestAlignLocated:
+    def test_finds_offset_match(self):
+        aligner = GenAsmAligner()
+        text = "TTTTTTTTTT" + "ACGTACGTACGT" + "GGGG"
+        result = aligner.align_located(text, "ACGTACGTACGT", k=2)
+        assert result is not None
+        assert result.text_start == 10
+        assert result.edit_distance == 0
+
+    def test_returns_none_when_no_match(self):
+        aligner = GenAsmAligner()
+        assert aligner.align_located("AAAAAAAA", "TTTT", k=1) is None
+
+
+class TestScoringIntegration:
+    def test_score_uses_scheme(self):
+        alignment = genasm_align("ACGTACGT", "ACGTACGT")
+        assert alignment.score(ScoringScheme.bwa_mem()) == 8
+        assert alignment.score(ScoringScheme.minimap2()) == 16
+
+    def test_scoring_param_reorders_traceback(self, rng):
+        # Just verifies the plumbing: scoring-derived config yields a valid
+        # alignment.
+        text = random_dna(80, rng)
+        pattern = mutate(text, MutationProfile(0.1), rng=rng).sequence
+        alignment = genasm_align(
+            text + "ACGT" * 5, pattern, scoring=ScoringScheme.minimap2()
+        )
+        assert alignment.cigar.is_valid_for(text + "ACGT" * 5, pattern)

@@ -1,0 +1,90 @@
+"""Unit tests for the multi-word bitvector (Section 5 mechanics)."""
+
+import pytest
+
+from repro.core.bitvector import MultiWordBitVector, words_needed
+
+
+class TestConstruction:
+    def test_zeros_round_trip(self):
+        vec = MultiWordBitVector.zeros(10, word_size=4)
+        assert vec.to_int() == 0
+        assert vec.word_count == 3
+
+    def test_ones_masks_top_word(self):
+        vec = MultiWordBitVector.ones(10, word_size=4)
+        assert vec.to_int() == (1 << 10) - 1
+
+    def test_from_int_round_trip(self):
+        vec = MultiWordBitVector.from_int(0b1011001, 7, word_size=3)
+        assert vec.to_int() == 0b1011001
+
+    def test_from_int_truncates_to_length(self):
+        vec = MultiWordBitVector.from_int(0b111111, 3, word_size=8)
+        assert vec.to_int() == 0b111
+
+    def test_invalid_shapes_raise(self):
+        with pytest.raises(ValueError):
+            MultiWordBitVector.zeros(0)
+        with pytest.raises(ValueError):
+            MultiWordBitVector.zeros(8, word_size=0)
+        with pytest.raises(ValueError):
+            MultiWordBitVector.from_int(-1, 8)
+
+
+class TestQueries:
+    def test_bit_indexing(self):
+        vec = MultiWordBitVector.from_int(0b1010, 4, word_size=2)
+        assert [vec.bit(i) for i in range(4)] == [0, 1, 0, 1]
+
+    def test_bit_out_of_range(self):
+        vec = MultiWordBitVector.zeros(4)
+        with pytest.raises(IndexError):
+            vec.bit(4)
+        with pytest.raises(IndexError):
+            vec.bit(-1)
+
+    def test_msb_is_match_flag(self):
+        assert MultiWordBitVector.from_int(0b0111, 4).msb == 0
+        assert MultiWordBitVector.from_int(0b1000, 4).msb == 1
+
+
+class TestOperations:
+    def test_shift_left_carries_across_words(self):
+        # 3-bit words; value spans two words so the carry chain is exercised.
+        vec = MultiWordBitVector.from_int(0b001100, 6, word_size=3)
+        vec.shift_left()
+        assert vec.to_int() == 0b011000
+
+    def test_shift_left_drops_live_msb(self):
+        vec = MultiWordBitVector.from_int(0b100001, 6, word_size=3)
+        vec.shift_left()
+        assert vec.to_int() == 0b000010
+
+    def test_or_and(self):
+        a = MultiWordBitVector.from_int(0b1100, 4, word_size=2)
+        b = MultiWordBitVector.from_int(0b1010, 4, word_size=2)
+        assert a.copy().or_with(b).to_int() == 0b1110
+        assert a.copy().and_with(b).to_int() == 0b1000
+
+    def test_shape_mismatch_raises(self):
+        a = MultiWordBitVector.zeros(4, word_size=2)
+        b = MultiWordBitVector.zeros(6, word_size=2)
+        with pytest.raises(ValueError):
+            a.or_with(b)
+
+    def test_copy_is_independent(self):
+        a = MultiWordBitVector.from_int(0b1, 4)
+        b = a.copy()
+        b.shift_left()
+        assert a.to_int() == 0b1
+        assert b.to_int() == 0b10
+
+
+class TestWordsNeeded:
+    @pytest.mark.parametrize(
+        ("length", "word_size", "expected"),
+        [(1, 64, 1), (64, 64, 1), (65, 64, 2), (10_000, 64, 157), (128, 64, 2)],
+    )
+    def test_counts(self, length, word_size, expected):
+        assert words_needed(length, word_size) == expected

@@ -1,0 +1,59 @@
+"""Hypothesis property tests for CIGAR round trips and score algebra."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cigar import Cigar, concat_all
+from repro.core.scoring import ScoringScheme
+
+ops_text = st.text(alphabet="MSID", min_size=0, max_size=60)
+schemes = st.builds(
+    ScoringScheme,
+    match=st.integers(min_value=0, max_value=5),
+    substitution=st.integers(min_value=-8, max_value=0),
+    gap_open=st.integers(min_value=-10, max_value=0),
+    gap_extend=st.integers(min_value=-4, max_value=0),
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops=ops_text)
+def test_string_round_trip(ops):
+    cigar = Cigar(ops)
+    assert Cigar.from_string(str(cigar)).ops == ops
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops=ops_text)
+def test_sam_round_trip(ops):
+    cigar = Cigar(ops)
+    assert Cigar.from_string(cigar.to_sam()).ops == ops
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops=ops_text)
+def test_length_identities(ops):
+    cigar = Cigar(ops)
+    assert cigar.reference_length + cigar.ops.count("I") == len(ops)
+    assert cigar.query_length + cigar.ops.count("D") == len(ops)
+    assert cigar.edit_distance + cigar.matches == len(ops)
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=ops_text, b=ops_text, scheme=schemes)
+def test_concat_score_superadditive_across_gap_joins(a, b, scheme):
+    """Concatenation can merge a gap at the seam (one fewer gap-open), so
+    the joint score is >= the sum of the parts, equal when no gap spans the
+    boundary."""
+    joint = concat_all([Cigar(a), Cigar(b)]).score(scheme)
+    parts = Cigar(a).score(scheme) + Cigar(b).score(scheme)
+    assert joint >= parts
+    boundary_gap = a and b and a[-1] in "ID" and a[-1] == b[0]
+    if not boundary_gap:
+        assert joint == parts
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops=ops_text)
+def test_unit_scheme_score_is_negative_edit_distance(ops):
+    cigar = Cigar(ops)
+    assert cigar.score(ScoringScheme.unit()) == -cigar.edit_distance

@@ -1,0 +1,167 @@
+"""Edge-case and failure-injection tests for the windowed core.
+
+These exercise the corners the main suites do not: degenerate window
+geometries, error-type-skewed reads (insertion-heavy PacBio vs
+deletion-heavy ONT mixes), ambiguous bases, and boundary conditions at the
+very start/end of the matched region.
+"""
+
+import pytest
+
+from repro.core.aligner import GenAsmAligner, genasm_align
+from repro.core.bitap import bitap_edit_distance, bitap_scan
+from repro.core.genasm_dc import run_dc_window
+from repro.core.genasm_tb import traceback_window
+from repro.sequences.mutate import MutationProfile, mutate
+from tests.conftest import random_dna
+
+
+class TestDegenerateWindows:
+    def test_window_size_one(self):
+        aligner = GenAsmAligner(window_size=1, overlap=0)
+        alignment = aligner.align("ACGT", "ACGT")
+        assert str(alignment.cigar) == "4M"
+
+    def test_window_size_two_with_errors(self):
+        aligner = GenAsmAligner(window_size=2, overlap=0)
+        alignment = aligner.align("ACGTACGT", "ACCTACGT")
+        assert alignment.cigar.is_valid_for("ACGTACGT", "ACCTACGT")
+
+    def test_zero_overlap(self, rng):
+        aligner = GenAsmAligner(window_size=32, overlap=0)
+        text = random_dna(200, rng)
+        pattern = mutate(text, MutationProfile(0.05), rng=rng).sequence
+        alignment = aligner.align(text + "ACGTACGT", pattern)
+        assert alignment.cigar.is_valid_for(text + "ACGTACGT", pattern)
+
+    def test_overlap_one_below_window(self, rng):
+        # W - O = 1: one character consumed per window — slow but correct.
+        aligner = GenAsmAligner(window_size=8, overlap=7)
+        alignment = aligner.align("ACGTACGTAC", "ACGTACGTAC")
+        assert str(alignment.cigar) == "10M"
+
+
+class TestErrorTypeSkews:
+    def test_insertion_heavy_read(self, rng):
+        """PacBio-like: most errors are insertions (pattern > text)."""
+        text = random_dna(300, rng)
+        profile = MutationProfile(0.15, 0.05, 0.90, 0.05)
+        pattern = mutate(text, profile, rng=rng).sequence
+        assert len(pattern) > len(text)
+        alignment = genasm_align(text, pattern)
+        assert alignment.cigar.is_valid_for(text, pattern)
+        assert alignment.cigar.ops.count("I") > alignment.cigar.ops.count("D")
+
+    def test_deletion_heavy_read(self, rng):
+        """ONT-like lean: deletions dominate (pattern < text)."""
+        text = random_dna(300, rng)
+        profile = MutationProfile(0.15, 0.05, 0.05, 0.90)
+        pattern = mutate(text, profile, rng=rng).sequence
+        assert len(pattern) < len(text)
+        alignment = genasm_align(text, pattern)
+        assert alignment.cigar.is_valid_for(text, pattern)
+        assert alignment.cigar.ops.count("D") > alignment.cigar.ops.count("I")
+
+    def test_burst_error(self, rng):
+        """A contiguous 20-base corruption inside an otherwise clean read."""
+        text = random_dna(200, rng)
+        burst = random_dna(20, rng)
+        pattern = text[:90] + burst + text[110:]
+        alignment = genasm_align(text + "ACGT" * 4, pattern)
+        assert alignment.cigar.is_valid_for(text + "ACGT" * 4, pattern)
+        assert alignment.edit_distance <= 45  # bounded damage
+
+
+class TestAmbiguousBases:
+    def test_wildcard_in_text_never_matches(self):
+        matches = bitap_scan("ACGNACGT", "ACGT", 0)
+        assert [(m.start, m.distance) for m in matches] == [(4, 0)]
+
+    def test_wildcard_costs_one_edit(self):
+        assert bitap_edit_distance("ACGNACGT", "ACGTACGT", 2) == 1
+
+    def test_alignment_over_wildcards(self):
+        alignment = genasm_align("ACGNNCGT", "ACGTACGT")
+        assert alignment.cigar.query_length == 8
+        assert alignment.edit_distance >= 2
+
+
+class TestBoundaryConditions:
+    def test_single_character_sequences(self):
+        assert genasm_align("A", "A").edit_distance == 0
+        assert genasm_align("A", "C").edit_distance == 1
+        assert bitap_edit_distance("A", "A", 0) == 0
+
+    def test_pattern_equals_window_size(self, rng):
+        pattern = random_dna(64, rng)
+        alignment = genasm_align(pattern, pattern)
+        assert str(alignment.cigar) == "64M"
+
+    def test_pattern_one_over_window_size(self, rng):
+        pattern = random_dna(65, rng)
+        alignment = genasm_align(pattern, pattern)
+        assert str(alignment.cigar) == "65M"
+
+    def test_all_errors_at_pattern_end(self, rng):
+        from repro.baselines.needleman_wunsch import edit_distance_dp
+
+        text = random_dna(100, rng)
+        pattern = text[:90] + "".join(
+            "T" if c != "T" else "A" for c in text[90:]
+        )
+        region = text + "ACGT"
+        alignment = genasm_align(region, pattern)
+        assert alignment.cigar.is_valid_for(region, pattern)
+        # Ten substitutions is an upper bound; indels may beat it, but the
+        # result can never be below the anchored global optimum.
+        consumed = region[: alignment.text_consumed]
+        assert (
+            edit_distance_dp(consumed, pattern)
+            <= alignment.edit_distance
+            <= 10
+        )
+
+    def test_all_errors_at_pattern_start(self, rng):
+        from repro.baselines.needleman_wunsch import edit_distance_dp
+
+        text = random_dna(100, rng)
+        head = "".join("T" if c != "T" else "A" for c in text[:10])
+        pattern = head + text[10:]
+        region = text + "ACGT"
+        alignment = genasm_align(region, pattern)
+        assert alignment.cigar.is_valid_for(region, pattern)
+        consumed = region[: alignment.text_consumed]
+        assert (
+            edit_distance_dp(consumed, pattern)
+            <= alignment.edit_distance
+            <= 10
+        )
+
+
+class TestTracebackRobustness:
+    def test_consume_limit_larger_than_window(self):
+        window = run_dc_window("ACGT", "ACGT")
+        result = traceback_window(window, consume_limit=1000)
+        assert result.ops == "MMMM"
+
+    def test_repeated_alignment_is_deterministic(self, rng):
+        text = random_dna(150, rng)
+        pattern = mutate(text, MutationProfile(0.1), rng=rng).sequence
+        first = genasm_align(text + "ACGT" * 4, pattern)
+        second = genasm_align(text + "ACGT" * 4, pattern)
+        assert str(first.cigar) == str(second.cigar)
+
+    def test_homopolymer_runs(self):
+        # Homopolymers are the classic indel trap for nanopore data.
+        text = "ACG" + "T" * 30 + "GCA"
+        pattern = "ACG" + "T" * 27 + "GCA"
+        alignment = genasm_align(text, pattern)
+        assert alignment.cigar.is_valid_for(text, pattern)
+        assert alignment.edit_distance == 3
+
+    def test_tandem_repeat_alignment(self):
+        text = "ACGTACGTACGTACGTACGT"
+        pattern = "ACGTACGTACGTACGT"  # one repeat unit fewer
+        alignment = genasm_align(text, pattern)
+        assert alignment.cigar.is_valid_for(text, pattern)
+        assert alignment.edit_distance <= 4

@@ -1,0 +1,61 @@
+"""Unit tests for the GenASM edit-distance use case."""
+
+from repro.core.edit_distance import genasm_edit_distance
+from repro.sequences.mutate import MutationProfile, mutate
+from tests.conftest import random_dna
+
+
+class TestBasics:
+    def test_identical(self):
+        assert genasm_edit_distance("ACGTACGT", "ACGTACGT").distance == 0
+
+    def test_empty_cases(self):
+        assert genasm_edit_distance("", "ACGT").distance == 4
+        assert genasm_edit_distance("ACGT", "").distance == 4
+        assert genasm_edit_distance("", "").distance == 0
+
+    def test_single_edit_types(self):
+        assert genasm_edit_distance("ACGTACGT", "ACCTACGT").distance == 1  # sub
+        assert genasm_edit_distance("ACGTACGT", "ACGGTACGT").distance == 1  # ins
+        assert genasm_edit_distance("ACGTACGT", "ACTACGT").distance == 1  # del
+
+    def test_cigar_reporting_optional(self):
+        result = genasm_edit_distance("ACGT", "ACGT")
+        assert result.cigar is None
+        result = genasm_edit_distance("ACGT", "ACGT", report_cigar=True)
+        assert str(result.cigar) == "4M"
+
+    def test_trailing_text_charged_as_deletions(self):
+        result = genasm_edit_distance("ACGTAAAA", "ACGT", report_cigar=True)
+        assert result.distance == 4
+        assert result.cigar.ops.endswith("DDDD")
+
+
+class TestAgainstGroundTruth:
+    def test_upper_bounds_true_distance(self, rng):
+        """Windowed greedy distance is an upper bound on the global optimum
+        and equals it in the overwhelming majority of realistic cases."""
+        from repro.baselines.needleman_wunsch import edit_distance_dp
+
+        exact = 0
+        trials = 30
+        for _ in range(trials):
+            a = random_dna(rng.randint(50, 200), rng)
+            b = mutate(a, MutationProfile(0.08), rng=rng).sequence
+            got = genasm_edit_distance(a, b).distance
+            want = edit_distance_dp(a, b)
+            assert got >= want
+            if got == want:
+                exact += 1
+        assert exact >= trials * 0.7
+
+    def test_cigar_distance_consistent(self, rng):
+        for _ in range(15):
+            a = random_dna(rng.randint(20, 100), rng)
+            b = mutate(a, MutationProfile(0.1), rng=rng).sequence
+            result = genasm_edit_distance(a, b, report_cigar=True)
+            assert result.cigar.edit_distance == result.distance
+            assert result.cigar.is_valid_for(a, b)
+            # The reported CIGAR is global: consumes all of both sequences.
+            assert result.cigar.reference_length == len(a)
+            assert result.cigar.query_length == len(b)

@@ -1,0 +1,91 @@
+"""Unit tests for GenASM-DC window processing."""
+
+import pytest
+
+from repro.core.genasm_dc import (
+    WindowUnalignableError,
+    run_dc_window,
+)
+from tests.conftest import random_dna
+
+
+class TestWindowEditDistance:
+    def test_exact_window(self):
+        window = run_dc_window("ACGTACGT", "ACGTACGT")
+        assert window.edit_distance == 0
+
+    def test_single_substitution(self):
+        window = run_dc_window("ACGTACGT", "ACCTACGT")
+        assert window.edit_distance == 1
+
+    def test_single_insertion_in_pattern(self):
+        window = run_dc_window("ACGTACGT", "ACGGTACGT")
+        assert window.edit_distance == 1
+
+    def test_single_deletion_from_pattern(self):
+        window = run_dc_window("ACGTACGT", "ACTACGT")
+        assert window.edit_distance == 1
+
+    def test_completely_dissimilar_costs_pattern_length(self):
+        window = run_dc_window("AAAA", "TTTT")
+        assert window.edit_distance == 4
+
+    def test_budget_doubling_reaches_high_distances(self):
+        # Start with budget 1; the window needs 4 errors.
+        window = run_dc_window("AAAA", "TTTT", initial_budget=1)
+        assert window.edit_distance == 4
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            run_dc_window("ACGT", "")
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(WindowUnalignableError):
+            run_dc_window("", "ACGT")
+
+
+class TestStoredBitvectors:
+    def test_match_bitvector_for_d0_is_r0(self):
+        window = run_dc_window("ACGT", "ACGT")
+        # Perfect match: R[0] at iteration 0 has MSB 0, visible via match_bit.
+        assert window.match_bit(0, 0, len(window.pattern) - 1) == 0
+
+    def test_substitution_derived_from_deletion(self):
+        window = run_dc_window("ACGT", "AGGT")  # one substitution
+        d = window.edit_distance
+        assert d == 1
+        # substitution_bit(p) must equal deletion_bit(p-1) for p > 0.
+        for i in range(window.text_length):
+            for p in range(1, window.pattern_length):
+                assert window.substitution_bit(i, d, p) == window.deletion_bit(
+                    i, d, p - 1
+                )
+
+    def test_substitution_lsb_always_zero(self):
+        window = run_dc_window("ACGT", "AGGT")
+        assert window.substitution_bit(0, window.edit_distance, 0) == 0
+
+    def test_d0_has_no_error_bitvectors(self):
+        window = run_dc_window("ACGT", "ACGT")
+        assert window.insertion_bit(0, 0, 0) == 1
+        assert window.deletion_bit(0, 0, 0) == 1
+        assert window.substitution_bit(0, 0, 1) == 1
+
+    def test_stored_bits_accounting(self):
+        window = run_dc_window("ACGTACGT", "ACGTACGT")
+        expected = window.text_length * 3 * window.k * window.pattern_length
+        assert window.stored_bits() == expected
+
+
+class TestAgainstGroundTruth:
+    def test_window_distance_not_below_global(self, rng):
+        """The pinned-start window distance is at least the global optimum
+        of the consumed region (it is an anchored alignment)."""
+        from repro.baselines.needleman_wunsch import semiglobal_distance_dp
+
+        for _ in range(25):
+            text = random_dna(rng.randint(4, 20), rng)
+            pattern = random_dna(rng.randint(2, len(text)), rng)
+            window = run_dc_window(text, pattern)
+            assert window.edit_distance >= semiglobal_distance_dp(text, pattern) - 1
+            assert 0 <= window.edit_distance <= len(pattern)

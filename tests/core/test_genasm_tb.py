@@ -1,0 +1,121 @@
+"""Unit tests for GenASM-TB (Algorithm 2), including the Figure 6 examples."""
+
+import pytest
+
+from repro.core.genasm_dc import run_dc_window
+from repro.core.genasm_tb import traceback_window
+from repro.core.scoring import TracebackCase, TracebackConfig
+
+
+def trace(text: str, pattern: str, *, limit: int = 1000, config=None):
+    window = run_dc_window(text, pattern)
+    return traceback_window(window, consume_limit=limit, config=config)
+
+
+class TestFigure6Examples:
+    """The paper's worked traceback examples on text CGTGA, pattern CTGA."""
+
+    def test_deletion_example(self):
+        # Figure 6a: alignment at text location 0 -> Match(C), Del(G),
+        # Match(T), Match(G), Match(A) = 1M1D3M.
+        result = trace("CGTGA", "CTGA")
+        assert result.ops == "MDMMM"
+        assert result.errors_used == 1
+        assert result.text_consumed == 5
+        assert result.pattern_consumed == 4
+
+    def test_substitution_example(self):
+        # Figure 6b: at text location 1 -> Subs(C), Match(T), Match(G),
+        # Match(A).
+        result = trace("GTGA", "CTGA")
+        assert result.ops == "SMMM"
+        assert result.errors_used == 1
+
+    def test_insertion_example(self):
+        # Figure 6c: at text location 2 -> Ins(C), Match(T), Match(G),
+        # Match(A).
+        result = trace("TGA", "CTGA")
+        assert result.ops == "IMMM"
+        assert result.errors_used == 1
+
+
+class TestConsumeLimit:
+    def test_limit_stops_consumption(self):
+        result = trace("ACGTACGTACGT", "ACGTACGTACGT", limit=5)
+        assert result.text_consumed == 5
+        assert result.pattern_consumed == 5
+        assert result.ops == "MMMMM"
+
+    def test_limit_must_be_positive(self):
+        window = run_dc_window("ACGT", "ACGT")
+        with pytest.raises(ValueError):
+            traceback_window(window, consume_limit=0)
+
+
+class TestAffinePriorities:
+    def test_gap_extension_preferred_when_affine(self):
+        # Pattern has a 2-base insertion; affine mode should produce one
+        # contiguous II run rather than interleaving.
+        result = trace("ACGTACGT", "ACGGGTACGT")
+        ops = result.ops
+        assert ops.count("I") == 2
+        first = ops.index("I")
+        assert ops[first : first + 2] == "II"
+
+    def test_custom_order_prefers_gaps_over_substitutions(self):
+        # With substitution checked last, a mismatch can resolve as I+D.
+        order = (
+            TracebackCase.INSERTION_EXTEND,
+            TracebackCase.DELETION_EXTEND,
+            TracebackCase.MATCH,
+            TracebackCase.INSERTION_OPEN,
+            TracebackCase.DELETION_OPEN,
+            TracebackCase.SUBSTITUTION,
+        )
+        config = TracebackConfig(order=order)
+        result = trace("ACGT", "AGGT", config=config)
+        # Still a valid traceback that consumes the pattern.
+        assert result.pattern_consumed == 4
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            TracebackConfig(order=(TracebackCase.MATCH,) * 6)
+
+
+class TestTracebackConsistency:
+    def test_errors_match_non_match_ops(self, rng):
+        from tests.conftest import random_dna
+
+        for _ in range(30):
+            text = random_dna(rng.randint(4, 24), rng)
+            pattern = random_dna(rng.randint(2, len(text)), rng)
+            result = trace(text, pattern)
+            non_matches = sum(1 for op in result.ops if op != "M")
+            assert non_matches == result.errors_used
+
+    def test_ops_consume_correct_counts(self, rng):
+        from tests.conftest import random_dna
+
+        for _ in range(30):
+            text = random_dna(rng.randint(4, 24), rng)
+            pattern = random_dna(rng.randint(2, len(text)), rng)
+            result = trace(text, pattern)
+            text_ops = sum(1 for op in result.ops if op in "MSD")
+            pattern_ops = sum(1 for op in result.ops if op in "MSI")
+            assert text_ops == result.text_consumed
+            assert pattern_ops == result.pattern_consumed
+
+    def test_window_errors_equal_dc_distance_when_unbounded(self, rng):
+        from tests.conftest import random_dna
+        from repro.core.genasm_dc import run_dc_window
+
+        for _ in range(30):
+            text = random_dna(rng.randint(4, 20), rng)
+            pattern = random_dna(rng.randint(2, len(text)), rng)
+            window = run_dc_window(text, pattern)
+            result = traceback_window(window, consume_limit=10_000)
+            if result.pattern_consumed == len(pattern):
+                # A full traceback uses exactly the DC-reported distance
+                # only if it never "banks" errors; it can use fewer when a
+                # free trailing-text suffix exists, never more.
+                assert result.errors_used <= window.edit_distance

@@ -1,0 +1,70 @@
+"""Unit tests for the GenASM pre-alignment filter."""
+
+import pytest
+
+from repro.core.prefilter import GenAsmFilter
+from repro.sequences.mutate import MutationProfile, mutate
+from tests.conftest import random_dna
+
+
+class TestDecisions:
+    def test_identical_pair_accepted(self):
+        decision = GenAsmFilter(0).decide("ACGTACGT", "ACGTACGT")
+        assert decision.accepted
+        assert decision.distance == 0
+
+    def test_dissimilar_pair_rejected(self):
+        decision = GenAsmFilter(2).decide("AAAAAAAA", "TTTTTTTT")
+        assert not decision.accepted
+        assert decision.distance is None
+
+    def test_boundary_distance_accepted(self):
+        # Exactly threshold edits must pass.
+        decision = GenAsmFilter(1).decide("ACGTACGT", "ACCTACGT")
+        assert decision.accepted
+        assert decision.distance == 1
+
+    def test_empty_read_accepted(self):
+        assert GenAsmFilter(5).decide("ACGT", "").accepted
+
+    def test_empty_reference_rejected(self):
+        assert not GenAsmFilter(5).decide("", "ACGT").accepted
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            GenAsmFilter(-1)
+
+
+class TestFilterProperties:
+    def test_zero_false_reject_on_mutated_pairs(self, rng):
+        """Pairs with <= threshold injected edits must always pass (the
+        paper's 0% false reject claim)."""
+        threshold = 5
+        filt = GenAsmFilter(threshold)
+        for _ in range(40):
+            reference = random_dna(100, rng)
+            result = mutate(reference, MutationProfile(0.02), rng=rng)
+            if result.edit_count <= threshold:
+                assert filt.accepts(reference, result.sequence)
+
+    def test_distance_never_exceeds_global(self, rng):
+        """The filter's semi-global distance is at most the global edit
+        distance for typical (region >= read) filtering inputs."""
+        from repro.baselines.needleman_wunsch import edit_distance_dp
+
+        filt = GenAsmFilter(30)
+        for _ in range(25):
+            read = random_dna(rng.randint(10, 40), rng)
+            region = random_dna(5, rng) + read + random_dna(5, rng)
+            decision = filt.decide(region, read)
+            assert decision.accepted
+            assert decision.distance <= edit_distance_dp(region, read)
+
+    def test_filter_pairs_batch(self, rng):
+        filt = GenAsmFilter(3)
+        pairs = []
+        for _ in range(10):
+            ref = random_dna(50, rng)
+            pairs.append((ref, ref))
+        decisions = filt.filter_pairs(pairs)
+        assert all(d.accepted and d.distance == 0 for d in decisions)

@@ -1,0 +1,75 @@
+"""Unit tests for scoring schemes and traceback configuration."""
+
+import pytest
+
+from repro.core.scoring import (
+    DEFAULT_ORDER,
+    ScoringScheme,
+    TracebackCase,
+    TracebackConfig,
+)
+
+
+class TestScoringScheme:
+    def test_bwa_mem_defaults(self):
+        scheme = ScoringScheme.bwa_mem()
+        assert (scheme.match, scheme.substitution) == (1, -4)
+        assert (scheme.gap_open, scheme.gap_extend) == (-6, -1)
+
+    def test_minimap2_defaults(self):
+        scheme = ScoringScheme.minimap2()
+        assert (scheme.match, scheme.substitution) == (2, -4)
+        assert (scheme.gap_open, scheme.gap_extend) == (-4, -2)
+
+    def test_gap_cost(self):
+        scheme = ScoringScheme(match=1, substitution=-1, gap_open=-6, gap_extend=-1)
+        assert scheme.gap_cost(0) == 0
+        assert scheme.gap_cost(1) == -7
+        assert scheme.gap_cost(3) == -9
+
+    def test_negative_gap_length_rejected(self):
+        with pytest.raises(ValueError):
+            ScoringScheme.bwa_mem().gap_cost(-1)
+
+    def test_positive_penalty_rejected(self):
+        with pytest.raises(ValueError):
+            ScoringScheme(match=1, substitution=2)
+        with pytest.raises(ValueError):
+            ScoringScheme(match=-1)
+
+
+class TestTracebackConfig:
+    def test_default_order_is_algorithm2(self):
+        assert DEFAULT_ORDER[0] is TracebackCase.INSERTION_EXTEND
+        assert DEFAULT_ORDER[2] is TracebackCase.MATCH
+        assert DEFAULT_ORDER[3] is TracebackCase.SUBSTITUTION
+
+    def test_from_scoring_keeps_substitution_first_when_cheap(self):
+        # BWA-MEM: substitution (-4) cheaper than opening a gap (-7).
+        config = TracebackConfig.from_scoring(ScoringScheme.bwa_mem())
+        order = list(config.order)
+        assert order.index(TracebackCase.SUBSTITUTION) < order.index(
+            TracebackCase.INSERTION_OPEN
+        )
+
+    def test_from_scoring_demotes_expensive_substitution(self):
+        # Substitution -10 worse than gap open -3 + extend -1 = -4.
+        scheme = ScoringScheme(match=1, substitution=-10, gap_open=-3, gap_extend=-1)
+        config = TracebackConfig.from_scoring(scheme)
+        order = list(config.order)
+        assert order.index(TracebackCase.SUBSTITUTION) > order.index(
+            TracebackCase.DELETION_OPEN
+        )
+
+    def test_duplicate_case_rejected(self):
+        with pytest.raises(ValueError):
+            TracebackConfig(
+                order=(
+                    TracebackCase.MATCH,
+                    TracebackCase.MATCH,
+                    TracebackCase.SUBSTITUTION,
+                    TracebackCase.INSERTION_OPEN,
+                    TracebackCase.DELETION_OPEN,
+                    TracebackCase.INSERTION_EXTEND,
+                )
+            )

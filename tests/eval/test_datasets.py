@@ -1,0 +1,52 @@
+"""Unit tests for the dataset builders."""
+
+from repro.eval.datasets import (
+    edlib_pair_dataset,
+    filter_pair_dataset,
+    long_read_datasets,
+    short_read_datasets,
+)
+
+
+class TestReadDatasets:
+    def test_long_read_matrix(self):
+        sets = long_read_datasets(reads_per_set=2, read_length=1_000, genome_length=20_000)
+        assert len(sets) == 4
+        names = {s.name for s in sets}
+        assert names == {"PacBio - 10%", "PacBio - 15%", "ONT - 10%", "ONT - 15%"}
+        for dataset in sets:
+            assert len(dataset.reads) == 2
+            for read in dataset.reads:
+                assert read.true_length == 1_000
+
+    def test_short_read_matrix(self):
+        sets = short_read_datasets(reads_per_set=3)
+        assert [s.read_length for s in sets] == [100, 150, 250]
+        assert all(s.error_rate == 0.05 for s in sets)
+
+    def test_error_rates_realized(self):
+        sets = long_read_datasets(reads_per_set=2, read_length=2_000, genome_length=30_000)
+        for dataset in sets:
+            for read in dataset.reads:
+                observed = read.edit_count / read.true_length
+                assert abs(observed - dataset.error_rate) < 0.04
+
+
+class TestPairDatasets:
+    def test_filter_dataset_mixture(self):
+        dataset = filter_pair_dataset(read_length=100, threshold=5, pairs=50)
+        assert len(dataset.pairs) == 50
+        assert any(e <= 5 for e in dataset.injected_edits)  # similar bucket
+        assert any(e > 15 for e in dataset.injected_edits)  # dissimilar bucket
+
+    def test_filter_dataset_deterministic(self):
+        a = filter_pair_dataset(read_length=100, threshold=5, pairs=10, seed=1)
+        b = filter_pair_dataset(read_length=100, threshold=5, pairs=10, seed=1)
+        assert a.pairs == b.pairs
+
+    def test_edlib_dataset_similarity_sweep(self):
+        dataset = edlib_pair_dataset(length=2_000, similarities=(0.6, 0.9, 0.99))
+        assert len(dataset.pairs) == 3
+        # More divergence -> more injected edits.
+        assert dataset.injected_edits[0] > dataset.injected_edits[1]
+        assert dataset.injected_edits[1] > dataset.injected_edits[2]

@@ -1,0 +1,67 @@
+"""Unit tests for the evaluation metrics."""
+
+import pytest
+
+from repro.eval.metrics import (
+    filter_accuracy,
+    power_reduction,
+    score_accuracy,
+    speedup,
+)
+
+
+class TestFilterAccuracy:
+    def test_confusion_partition(self):
+        decisions = [True, True, False, False]
+        truths = [3, 10, 3, 10]  # threshold 5: similar, dissimilar, ...
+        accuracy = filter_accuracy(decisions, truths, threshold=5)
+        assert accuracy.true_accepts == 1
+        assert accuracy.false_accepts == 1
+        assert accuracy.false_rejects == 1
+        assert accuracy.true_rejects == 1
+        assert accuracy.total == 4
+
+    def test_rates(self):
+        accuracy = filter_accuracy(
+            [True, True, True, False], [1, 2, 100, 100], threshold=5
+        )
+        assert accuracy.false_accept_rate == pytest.approx(0.5)
+        assert accuracy.false_reject_rate == 0.0
+
+    def test_degenerate_rates(self):
+        accuracy = filter_accuracy([True], [0], threshold=5)
+        assert accuracy.false_accept_rate == 0.0
+        assert accuracy.false_reject_rate == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            filter_accuracy([True], [1, 2], threshold=5)
+
+
+class TestScoreAccuracy:
+    def test_exact_and_tolerance(self):
+        accuracy = score_accuracy([100, 99, 50], [100, 100, 100], tolerance=0.02)
+        assert accuracy.exact == 1
+        assert accuracy.within_tolerance == 2  # 99 within 2% of 100
+        assert accuracy.exact_fraction == pytest.approx(1 / 3)
+
+    def test_negative_scores(self):
+        accuracy = score_accuracy([-100, -104], [-100, -100], tolerance=0.045)
+        assert accuracy.exact == 1
+        assert accuracy.within_tolerance == 2
+
+    def test_empty(self):
+        accuracy = score_accuracy([], [])
+        assert accuracy.exact_fraction == 0.0
+
+
+class TestRatios:
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        with pytest.raises(ValueError):
+            speedup(0.0, 1.0)
+
+    def test_power_reduction(self):
+        assert power_reduction(100.0, 4.0) == 25.0
+        with pytest.raises(ValueError):
+            power_reduction(1.0, 0.0)

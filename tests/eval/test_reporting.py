@@ -1,0 +1,32 @@
+"""Unit tests for the table formatter."""
+
+import pytest
+
+from repro.eval.reporting import format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(
+            ("A", "B"), [[1, "x"], [22, "yy"]], title="T"
+        )
+        lines = text.split("\n")
+        assert lines[0] == "T"
+        assert lines[1].startswith("A")
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_column_alignment(self):
+        text = format_table(("Name", "V"), [["long-name-here", 1]])
+        header, rule, row = text.split("\n")
+        assert len(header) == len(rule) == len(row)
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            format_table(("A",), [[1, 2]])
+
+    def test_number_rendering(self):
+        text = format_table(("N",), [[1_234_567], [0.000123], [3.14159]])
+        assert "1,234,567" in text
+        assert "0.000123" in text
+        assert "3.14" in text

@@ -1,0 +1,53 @@
+"""Unit tests for the Table 1 area/power model."""
+
+import pytest
+
+from repro.hardware.area_power import (
+    VAULT_POWER_BUDGET_W,
+    genasm_area_power,
+    xeon_core_comparison,
+)
+from repro.hardware.performance_model import GenAsmConfig
+
+
+class TestTable1:
+    def test_per_vault_totals(self):
+        breakdown = genasm_area_power()
+        assert breakdown.accelerator_area_mm2 == pytest.approx(0.334, abs=0.001)
+        assert breakdown.accelerator_power_w == pytest.approx(0.101, abs=0.001)
+
+    def test_32_vault_totals(self):
+        breakdown = genasm_area_power()
+        assert breakdown.total_area_mm2 == pytest.approx(10.69, abs=0.01)
+        assert breakdown.total_power_w == pytest.approx(3.23, abs=0.01)
+
+    def test_component_values(self):
+        names = {c.name: c for c in genasm_area_power().components}
+        dc = names["GenASM-DC (64 PEs)"]
+        assert dc.area_mm2 == pytest.approx(0.049)
+        assert dc.power_w == pytest.approx(0.033)
+        tb_srams = names["TB-SRAMs (64 x 1.5 KB)"]
+        assert tb_srams.area_mm2 == pytest.approx(0.256)
+
+    def test_fits_logic_layer_budget(self):
+        breakdown = genasm_area_power()
+        assert breakdown.fits_logic_layer()
+        assert breakdown.accelerator_power_w < VAULT_POWER_BUDGET_W
+
+    def test_xeon_comparison(self):
+        area_ratio, power_ratio = xeon_core_comparison(genasm_area_power())
+        assert 90 < area_ratio < 105
+        assert 95 < power_ratio < 110
+
+
+class TestScaling:
+    def test_area_scales_with_pes(self):
+        small = genasm_area_power(GenAsmConfig(processing_elements=32))
+        large = genasm_area_power(GenAsmConfig(processing_elements=128))
+        assert small.accelerator_area_mm2 < large.accelerator_area_mm2
+
+    def test_sram_scales_with_kilobytes(self):
+        base = genasm_area_power()
+        double = genasm_area_power(dc_sram_kb=16.0)
+        delta = double.accelerator_area_mm2 - base.accelerator_area_mm2
+        assert delta == pytest.approx(0.013, abs=0.001)

@@ -1,0 +1,128 @@
+"""Unit tests for the calibrated baseline device models."""
+
+import pytest
+
+from repro.hardware.baseline_devices import (
+    GENASM_SYSTEM_POWER_W,
+    asap_time_s,
+    bwa_mem_model,
+    edlib_time_s,
+    gact_throughput,
+    gasal2_throughput,
+    genasm_edit_distance_time_s,
+    genasm_filter_time_s,
+    minimap2_model,
+    shouji_time_s,
+)
+from repro.hardware.performance_model import system_throughput
+
+
+class TestSoftwareAligners:
+    def test_bwa_anchor_reproduction(self):
+        """The calibration must reproduce the paper's anchors exactly."""
+        bwa = bwa_mem_model()
+        genasm_long = system_throughput(10_000, 1_500)
+        assert genasm_long / bwa.throughput(10_000, 0.15, threads=12) == pytest.approx(
+            648, rel=0.01
+        )
+        genasm_short = system_throughput(150, 7)
+        assert genasm_short / bwa.throughput(150, 0.05, threads=12) == pytest.approx(
+            111, rel=0.01
+        )
+
+    def test_minimap2_anchor_reproduction(self):
+        mm2 = minimap2_model()
+        genasm_long = system_throughput(10_000, 1_500)
+        assert genasm_long / mm2.throughput(10_000, 0.15, threads=12) == pytest.approx(
+            116, rel=0.01
+        )
+
+    def test_thread_scaling_matches_paper(self):
+        bwa = bwa_mem_model()
+        ratio = bwa.throughput(10_000, 0.15, threads=12) / bwa.throughput(
+            10_000, 0.15, threads=1
+        )
+        assert ratio == pytest.approx(7173 / 648, rel=0.01)
+
+    def test_cell_rate_is_plausible(self):
+        # A vectorized CPU DP kernel runs 1-50 Gcells/s/thread.
+        for model in (bwa_mem_model(), minimap2_model()):
+            assert 1e8 < model.cell_rate < 1e12
+
+    def test_power_constants(self):
+        assert bwa_mem_model().power_w(threads=12) == 109.5
+        assert minimap2_model().power_w(threads=1) == 59.8
+
+
+class TestHardwareBaselines:
+    def test_gact_long_read_anchors(self):
+        assert gact_throughput(1_000) == pytest.approx(55_556, rel=0.01)
+        # 10 Kbp: paper says 6,289; 1/L tiling gives the same decade.
+        assert 5_000 < gact_throughput(10_000) < 7_000
+
+    def test_gact_short_reads_flat(self):
+        # Fixed 320-wide tile: all short reads cost one tile.
+        assert gact_throughput(100, 0.05) == gact_throughput(250, 0.05)
+
+    def test_gasal2_anchor(self):
+        genasm = system_throughput(100, 5)
+        assert genasm / gasal2_throughput(100, 1_000_000) == pytest.approx(
+            9.2, rel=0.01
+        )
+
+    def test_gasal2_unknown_point_rejected(self):
+        with pytest.raises(KeyError):
+            gasal2_throughput(100, 12345)
+
+    def test_asap_range(self):
+        assert asap_time_s(64) == pytest.approx(6.8e-6)
+        assert asap_time_s(320) == pytest.approx(18.8e-6)
+        with pytest.raises(ValueError):
+            asap_time_s(1000)
+
+    def test_shouji_anchor(self):
+        speedup = shouji_time_s(100, 5) / genasm_filter_time_s(100, 5)
+        assert speedup == pytest.approx(3.7, rel=0.01)
+
+    def test_shouji_speedup_declines_with_length(self):
+        s100 = shouji_time_s(100, 5) / genasm_filter_time_s(100, 5)
+        s250 = shouji_time_s(250, 15) / genasm_filter_time_s(250, 15)
+        assert s250 < s100  # the paper's Section 10.3 trend
+
+
+class TestEdlibModel:
+    def test_fig14_speedup_ranges(self):
+        """Paper: 22-716x at 100 Kbp and 262-5413x at 1 Mbp (no traceback).
+
+        The model must land in overlapping decades across the similarity
+        sweep."""
+        sims = (0.60, 0.99)
+        speedups_100k = [
+            edlib_time_s(100_000, s) / genasm_edit_distance_time_s(100_000, s)
+            for s in sims
+        ]
+        assert 400 < max(speedups_100k) < 1_000
+        assert 15 < min(speedups_100k) < 40
+
+    def test_quadratic_vs_linear_scaling(self):
+        # Edlib x100 when length x10 (band grows too); GenASM only x10.
+        edlib_ratio = edlib_time_s(1_000_000, 0.9) / edlib_time_s(100_000, 0.9)
+        genasm_ratio = genasm_edit_distance_time_s(
+            1_000_000, 0.9
+        ) / genasm_edit_distance_time_s(100_000, 0.9)
+        assert edlib_ratio == pytest.approx(100, rel=0.05)
+        assert genasm_ratio == pytest.approx(10, rel=0.15)
+
+    def test_power_ratio_in_paper_band(self):
+        # Paper: 548-582x less power than Edlib (per accelerator: 0.101 W).
+        from repro.hardware.baseline_devices import (
+            EDLIB_POWER_100KBP_W,
+            GENASM_ACCELERATOR_POWER_W,
+        )
+
+        ratio = EDLIB_POWER_100KBP_W / GENASM_ACCELERATOR_POWER_W
+        assert 500 < ratio < 600
+
+    def test_similarity_validation(self):
+        with pytest.raises(ValueError):
+            edlib_time_s(1000, 0.0)

@@ -1,0 +1,77 @@
+"""Configuration-sweep tests: the model must behave sanely off the paper's
+design point, since the ablation benches explore exactly those regions."""
+
+import pytest
+
+from repro.hardware.area_power import genasm_area_power
+from repro.hardware.performance_model import (
+    GenAsmConfig,
+    alignment_cycles,
+    system_throughput,
+    throughput_per_accelerator,
+    wavefront_cycles,
+)
+
+
+def _config(**overrides) -> GenAsmConfig:
+    base = dict(
+        processing_elements=64,
+        pe_width_bits=64,
+        window_size=64,
+        overlap=24,
+        frequency_hz=1.0e9,
+        vaults=32,
+    )
+    base.update(overrides)
+    return GenAsmConfig(**base)
+
+
+class TestPeSweep:
+    def test_throughput_monotone_in_pes(self):
+        previous = 0.0
+        for pes in (1, 2, 4, 8, 16, 32, 64):
+            thr = throughput_per_accelerator(10_000, 1_500, _config(processing_elements=pes))
+            assert thr >= previous
+            previous = thr
+
+    def test_diminishing_returns_beyond_rows(self):
+        # More PEs than distance rows cannot help a single window.
+        at_rows = wavefront_cycles(64, 16, 16)
+        beyond = wavefront_cycles(64, 16, 64)
+        assert beyond == at_rows
+
+    def test_area_grows_with_pes(self):
+        small = genasm_area_power(_config(processing_elements=16))
+        large = genasm_area_power(_config(processing_elements=64))
+        assert large.accelerator_area_mm2 > small.accelerator_area_mm2
+
+
+class TestWindowSweep:
+    def test_fewer_windows_with_larger_w(self):
+        big = alignment_cycles(10_000, 1_500, _config(window_size=96, overlap=32))
+        small = alignment_cycles(10_000, 1_500, _config(window_size=32, overlap=12))
+        # Larger windows amortize fill better on long reads.
+        assert big != small  # distinct design points evaluated
+
+    def test_overlap_increases_cost(self):
+        low = alignment_cycles(10_000, 1_500, _config(overlap=8))
+        high = alignment_cycles(10_000, 1_500, _config(overlap=48))
+        assert high > low  # fewer characters retired per window
+
+
+class TestVaultAndFrequencySweep:
+    def test_linear_vault_scaling(self):
+        one = system_throughput(1_000, 100, _config(vaults=1))
+        sixteen = system_throughput(1_000, 100, _config(vaults=16))
+        assert sixteen == pytest.approx(16 * one)
+
+    def test_frequency_scaling(self):
+        slow = throughput_per_accelerator(1_000, 100, _config(frequency_hz=0.5e9))
+        fast = throughput_per_accelerator(1_000, 100, _config(frequency_hz=1.0e9))
+        assert fast == pytest.approx(2 * slow)
+
+    def test_edit_distance_monotonicity(self):
+        # More errors -> longer region -> more windows -> fewer aln/s.
+        low_k = throughput_per_accelerator(10_000, 500)
+        high_k = throughput_per_accelerator(10_000, 2_000)
+        assert high_k < low_k

@@ -1,0 +1,53 @@
+"""Unit tests for the 32-vault stacked-memory system."""
+
+import pytest
+
+from repro.hardware.memory import StackedMemorySystem
+from repro.hardware.performance_model import GenAsmConfig
+from repro.sequences.mutate import MutationProfile, mutate
+from tests.conftest import random_dna
+
+
+def _tasks(rng, count, length=120):
+    tasks = []
+    for _ in range(count):
+        text = random_dna(length, rng)
+        pattern = mutate(text, MutationProfile(0.08), rng=rng).sequence
+        tasks.append((text + random_dna(20, rng), pattern))
+    return tasks
+
+
+class TestBatchExecution:
+    def test_all_tasks_complete(self, rng):
+        system = StackedMemorySystem()
+        tasks = _tasks(rng, 40)
+        batch = system.run_batch(tasks)
+        assert len(batch.results) == 40
+        for (text, pattern), result in zip(tasks, batch.results):
+            assert result.alignment.cigar.is_valid_for(text, pattern)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            StackedMemorySystem().run_batch([])
+
+    def test_vault_parallelism_improves_makespan(self, rng):
+        tasks = _tasks(rng, 32)
+        one_vault = StackedMemorySystem(GenAsmConfig(vaults=1)).run_batch(tasks)
+        many_vaults = StackedMemorySystem(GenAsmConfig(vaults=32)).run_batch(tasks)
+        # 32 equal tasks over 32 vaults: near-linear scaling (Section 10.5).
+        assert many_vaults.makespan_seconds < one_vault.makespan_seconds / 16
+
+    def test_utilization_high_for_uniform_tasks(self, rng):
+        system = StackedMemorySystem(GenAsmConfig(vaults=4))
+        batch = system.run_batch(_tasks(rng, 64))
+        assert batch.vault_utilization > 0.8
+
+    def test_bandwidth_within_stack_limits(self, rng):
+        batch = StackedMemorySystem().run_batch(_tasks(rng, 32))
+        assert batch.within_stack_bandwidth
+
+    def test_throughput_consistent_with_makespan(self, rng):
+        batch = StackedMemorySystem().run_batch(_tasks(rng, 16))
+        assert batch.throughput_per_second == pytest.approx(
+            16 / batch.makespan_seconds
+        )

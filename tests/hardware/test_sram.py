@@ -1,0 +1,80 @@
+"""Unit tests for the SRAM models."""
+
+import pytest
+
+from repro.hardware.sram import (
+    Sram,
+    SramCapacityError,
+    SramPortError,
+    dc_sram_demand_bytes,
+    make_dc_sram,
+    make_tb_sram,
+)
+
+
+class TestCapacity:
+    def test_allocate_within_capacity(self):
+        sram = Sram("test", capacity_bytes=100)
+        sram.allocate(60)
+        sram.allocate(40)
+        assert sram.occupied_bytes == 100
+
+    def test_overflow_raises(self):
+        sram = Sram("test", capacity_bytes=100)
+        sram.allocate(80)
+        with pytest.raises(SramCapacityError):
+            sram.allocate(30)
+
+    def test_release(self):
+        sram = Sram("test", capacity_bytes=100)
+        sram.allocate(50)
+        sram.release(20)
+        assert sram.occupied_bytes == 30
+        with pytest.raises(ValueError):
+            sram.release(100)
+
+
+class TestPorts:
+    def test_single_port_enforced(self):
+        sram = Sram("test", capacity_bytes=64, read_ports=1)
+        sram.read(8)
+        with pytest.raises(SramPortError):
+            sram.read(8)
+
+    def test_end_cycle_resets_ports(self):
+        sram = Sram("test", capacity_bytes=64)
+        sram.read(8)
+        sram.end_cycle()
+        sram.read(8)  # new cycle, OK
+
+    def test_shared_rw_port_conflict(self):
+        sram = make_tb_sram(0)
+        sram.read(24)
+        sram.write(24)
+        with pytest.raises(SramPortError):
+            sram.end_cycle()
+
+    def test_traffic_counters(self):
+        sram = Sram("test", capacity_bytes=64, read_ports=4, write_ports=4)
+        sram.read(8)
+        sram.write(16)
+        assert sram.total_bytes_read == 8
+        assert sram.total_bytes_written == 16
+
+
+class TestPaperSizing:
+    def test_dc_sram_is_8kb(self):
+        assert make_dc_sram().capacity_bytes == 8 * 1024
+
+    def test_tb_sram_is_1_5kb(self):
+        assert make_tb_sram(3).capacity_bytes == 1536
+
+    def test_long_read_demand_fits_dc_sram(self):
+        # Section 7: 10 Kbp read at 15% error (11.5 Kbp region) needs ~8 KB.
+        demand = dc_sram_demand_bytes(10_000, 11_500)
+        assert demand <= 8 * 1024
+
+    def test_window_output_fits_tb_sram(self):
+        # 24 B/cycle x 64 cycles/window = 1536 B per PE per window.
+        per_pe_window_bytes = 24 * 64
+        assert per_pe_window_bytes <= make_tb_sram(0).capacity_bytes

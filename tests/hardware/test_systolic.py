@@ -1,0 +1,53 @@
+"""Unit tests for the cycle-level systolic schedule (Figure 5)."""
+
+import pytest
+
+from repro.hardware.systolic import expected_cycles, schedule_window
+
+
+class TestSchedule:
+    def test_figure5_cycle_count(self):
+        schedule = schedule_window(text_length=4, rows=8, processing_elements=4)
+        assert schedule.total_cycles == 11
+
+    def test_figure5_cell_placement(self):
+        schedule = schedule_window(text_length=4, rows=8, processing_elements=4)
+        by_key = {(c.text_index, c.row): c for c in schedule.cells}
+        # Figure 5's table: T0-R0 in cycle 1 on PE 0 (thread 1).
+        assert by_key[(0, 0)].cycle == 1 and by_key[(0, 0)].pe == 0
+        # T3-R0 in cycle 4; T0-R3 in cycle 4 on PE 3 (thread 4).
+        assert by_key[(3, 0)].cycle == 4
+        assert by_key[(0, 3)].cycle == 4 and by_key[(0, 3)].pe == 3
+        # T0-R4 (cyclic reuse of PE 0) in cycle 5.
+        assert by_key[(0, 4)].cycle == 5 and by_key[(0, 4)].pe == 0
+        # T3-R7 (last cell) in cycle 11.
+        assert by_key[(3, 7)].cycle == 11
+
+    def test_matches_analytical_model(self, rng):
+        for _ in range(40):
+            n = rng.randint(1, 30)
+            rows = rng.randint(1, 30)
+            pes = rng.randint(1, 10)
+            schedule = schedule_window(n, rows, pes)
+            assert schedule.total_cycles == expected_cycles(n, rows, pes)
+
+    def test_all_cells_scheduled_once(self):
+        schedule = schedule_window(7, 5, 3)
+        keys = {(c.text_index, c.row) for c in schedule.cells}
+        assert len(keys) == len(schedule.cells) == 35
+
+    def test_tb_sram_traffic_192_bits_per_cell(self):
+        schedule = schedule_window(8, 4, 4)
+        assert schedule.tb_sram_write_bits == 8 * 4 * 192
+
+    def test_dc_sram_traffic_only_on_cyclic_passes(self):
+        single_pass = schedule_window(8, 4, 4)
+        assert single_pass.dc_sram_reads == 0
+        multi_pass = schedule_window(8, 8, 4)
+        assert multi_pass.dc_sram_reads > 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            schedule_window(0, 1, 1)
+        with pytest.raises(ValueError):
+            schedule_window(1, 0, 1)

@@ -1,0 +1,47 @@
+"""Unit tests for the k-mer index."""
+
+import pytest
+
+from repro.mapping.index import KmerIndex
+from repro.sequences.genome import Genome, synthesize_genome
+
+
+class TestBuild:
+    def test_every_kmer_indexed(self):
+        genome = Genome("g", "ACGTACGT")
+        index = KmerIndex.build(genome, k=4)
+        assert index.lookup("ACGT") == [0, 4]
+        assert index.lookup("CGTA") == [1]
+
+    def test_lookup_absent_seed(self):
+        genome = Genome("g", "AAAAAAA")
+        index = KmerIndex.build(genome, k=3)
+        assert index.lookup("CCC") == []
+
+    def test_lookup_wrong_length_rejected(self):
+        index = KmerIndex.build(Genome("g", "ACGTACGT"), k=4)
+        with pytest.raises(ValueError):
+            index.lookup("ACG")
+
+    def test_frequency_masking(self):
+        genome = Genome("g", "A" * 100 + "CGT")
+        index = KmerIndex.build(genome, k=3, max_occurrences=10)
+        assert index.lookup("AAA") == []  # masked as a repeat
+        assert index.masked_seeds >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KmerIndex.build(Genome("g", "ACGT"), k=0)
+        with pytest.raises(ValueError):
+            KmerIndex.build(Genome("g", "AC"), k=4)
+
+    def test_contains_and_len(self):
+        index = KmerIndex.build(Genome("g", "ACGTAC"), k=3)
+        assert "ACG" in index
+        assert "TTT" not in index
+        assert len(index) == 4  # ACG CGT GTA TAC
+
+    def test_synthetic_genome_scale(self):
+        genome = synthesize_genome(20_000, seed=0)
+        index = KmerIndex.build(genome, k=15)
+        assert len(index) > 15_000  # mostly unique 15-mers

@@ -1,0 +1,94 @@
+"""Unit tests for the end-to-end read mapper."""
+
+import pytest
+
+from repro.core.prefilter import GenAsmFilter
+from repro.mapping.index import KmerIndex
+from repro.mapping.pipeline import ReadMapper, make_genasm_mapper
+from repro.sequences.genome import synthesize_genome
+from repro.sequences.read_simulator import illumina_profile, simulate_reads
+
+
+@pytest.fixture(scope="module")
+def mapper_setup():
+    genome = synthesize_genome(30_000, seed=10)
+    mapper = make_genasm_mapper(genome, seed_length=13, error_rate=0.10)
+    reads = simulate_reads(
+        genome, count=20, read_length=100, profile=illumina_profile(0.05), seed=11
+    )
+    return genome, mapper, reads
+
+
+class TestMapping:
+    def test_most_reads_map_to_origin(self, mapper_setup):
+        genome, mapper, reads = mapper_setup
+        correct = 0
+        for read in reads:
+            result = mapper.map_read(read.name, read.sequence)
+            if result.record.is_mapped and abs(
+                (result.record.position - 1) - read.true_start
+            ) <= 15:
+                correct += 1
+        assert correct >= len(reads) * 0.9
+
+    def test_reverse_strand_reads_map(self):
+        genome = synthesize_genome(20_000, seed=12)
+        mapper = make_genasm_mapper(genome, seed_length=13, error_rate=0.10)
+        fragment = genome.region(5_000, 120)
+        read = genome.alphabet.reverse_complement(fragment)
+        result = mapper.map_read("rev", read)
+        assert result.record.is_mapped
+        assert result.reverse
+        assert abs((result.record.position - 1) - 5_000) <= 15
+
+    def test_unmappable_read_reported_unmapped(self, mapper_setup, rng):
+        from tests.conftest import random_dna
+
+        _, mapper, _ = mapper_setup
+        result = mapper.map_read("junk", random_dna(60, rng))
+        # Either unmapped or (rarely) a spurious low-quality hit.
+        if not result.record.is_mapped:
+            assert result.alignment is None
+
+    def test_short_read_below_seed_length_unmapped(self, mapper_setup):
+        _, mapper, _ = mapper_setup
+        result = mapper.map_read("tiny", "ACGT")
+        assert not result.record.is_mapped
+
+    def test_stats_accumulate(self):
+        genome = synthesize_genome(15_000, seed=13)
+        mapper = make_genasm_mapper(genome, seed_length=13)
+        reads = simulate_reads(
+            genome, count=5, read_length=100, profile=illumina_profile(), seed=14
+        )
+        for read in reads:
+            mapper.map_read(read.name, read.sequence)
+        assert mapper.stats.reads == 5
+        assert mapper.stats.alignments_run >= mapper.stats.mapped
+
+    def test_prefilter_reduces_alignments(self):
+        genome = synthesize_genome(
+            40_000, seed=15, repeat_fraction=0.35, repeat_unit_length=300
+        )
+        index = KmerIndex.build(genome, k=11)
+        reads = simulate_reads(
+            genome, count=15, read_length=100, profile=illumina_profile(), seed=16
+        )
+        unfiltered = ReadMapper(genome=genome, index=index, error_rate=0.10)
+        filtered = ReadMapper(
+            genome=genome,
+            index=index,
+            error_rate=0.10,
+            prefilter=GenAsmFilter(threshold=15),
+        )
+        for read in reads:
+            unfiltered.map_read(read.name, read.sequence)
+            filtered.map_read(read.name, read.sequence)
+        assert filtered.stats.alignments_run <= unfiltered.stats.alignments_run
+        assert filtered.stats.mapped >= unfiltered.stats.mapped * 0.9
+
+    def test_error_rate_validation(self):
+        genome = synthesize_genome(1_000, seed=17)
+        index = KmerIndex.build(genome, k=11)
+        with pytest.raises(ValueError):
+            ReadMapper(genome=genome, index=index, error_rate=1.5)

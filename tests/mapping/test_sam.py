@@ -1,0 +1,69 @@
+"""Unit tests for SAM output."""
+
+import io
+
+from repro.core.cigar import Cigar
+from repro.mapping.sam import (
+    FLAG_REVERSE,
+    FLAG_UNMAPPED,
+    SamRecord,
+    unmapped_record,
+    write_sam,
+)
+
+
+class TestRecords:
+    def test_mapped_record_line(self):
+        record = SamRecord(
+            query_name="r1",
+            flag=0,
+            reference_name="chr1",
+            position=42,
+            mapping_quality=60,
+            cigar=Cigar("MMSM"),
+            sequence="ACGT",
+        )
+        fields = record.to_line().split("\t")
+        assert fields[0] == "r1"
+        assert fields[2] == "chr1"
+        assert fields[3] == "42"
+        assert fields[5] == "2=1X1="
+        assert record.is_mapped
+
+    def test_unmapped_record(self):
+        record = unmapped_record("r2", "ACGT")
+        assert not record.is_mapped
+        assert record.flag & FLAG_UNMAPPED
+        fields = record.to_line().split("\t")
+        assert fields[2] == "*"
+        assert fields[5] == "*"
+
+    def test_reverse_flag(self):
+        record = SamRecord("r", FLAG_REVERSE, "c", 1, 0, Cigar("M"), "A")
+        assert record.flag & FLAG_REVERSE
+        assert record.is_mapped
+
+
+class TestWriter:
+    def test_header_and_records(self):
+        out = io.StringIO()
+        records = [
+            SamRecord("r1", 0, "chr1", 1, 60, Cigar("MM"), "AC"),
+            unmapped_record("r2", "GG"),
+        ]
+        write_sam(records, out, reference_name="chr1", reference_length=1000)
+        lines = out.getvalue().strip().split("\n")
+        assert lines[0].startswith("@HD")
+        assert "SN:chr1" in lines[1]
+        assert "LN:1000" in lines[1]
+        assert len(lines) == 5  # 3 header + 2 records
+
+    def test_file_output(self, tmp_path):
+        path = tmp_path / "out.sam"
+        write_sam(
+            [unmapped_record("r", "A")],
+            path,
+            reference_name="x",
+            reference_length=10,
+        )
+        assert path.read_text().count("\n") == 4

@@ -1,0 +1,67 @@
+"""Unit tests for alphabets and the 2-bit encoding."""
+
+import pytest
+
+from repro.sequences.alphabet import AMINO_ACIDS, DNA, RNA, Alphabet, AlphabetError
+
+
+class TestDna:
+    def test_paper_encoding_order(self):
+        # Section 9: A=00, C=01, G=10, T=11.
+        assert [DNA.index(c) for c in "ACGT"] == [0, 1, 2, 3]
+
+    def test_bits_per_symbol(self):
+        assert DNA.bits_per_symbol == 2
+        assert AMINO_ACIDS.bits_per_symbol == 5
+
+    def test_encode_decode_round_trip(self):
+        packed = DNA.encode("GATTACA")
+        assert DNA.decode(packed, 7) == "GATTACA"
+
+    def test_encoded_bytes_matches_paper_ratio(self):
+        # 2-bit packing: 4 bases per byte (GRCh38: ~715 MB for ~2.9 Gbp).
+        assert DNA.encoded_bytes(4) == 1
+        assert DNA.encoded_bytes(2_900_000_000) == 725_000_000
+
+    def test_wildcard_handling(self):
+        assert "N" in DNA
+        assert DNA.index("N") == 4  # sentinel outside the packed range
+        with pytest.raises(AlphabetError):
+            DNA.encode("AN")
+
+    def test_validate(self):
+        DNA.validate("ACGTN")
+        with pytest.raises(AlphabetError):
+            DNA.validate("ACGU")
+
+    def test_complement(self):
+        assert DNA.complement("ACGTN") == "TGCAN"
+        assert DNA.reverse_complement("AACG") == "CGTT"
+
+    def test_rna_complement(self):
+        assert RNA.reverse_complement("ACGU") == "ACGU"[::-1].translate(
+            str.maketrans("ACGU", "UGCA")
+        )
+
+
+class TestGenericAlphabet:
+    def test_protein_has_20_symbols(self):
+        assert len(AMINO_ACIDS) == 20
+
+    def test_protein_complement_is_identity(self):
+        assert AMINO_ACIDS.complement("ARND") == "ARND"
+
+    def test_duplicate_symbols_rejected(self):
+        with pytest.raises(ValueError):
+            Alphabet("bad", "AAB")
+
+    def test_wildcard_cannot_be_regular_symbol(self):
+        with pytest.raises(ValueError):
+            Alphabet("bad", "ACGT", wildcard="A")
+
+    def test_custom_text_alphabet(self):
+        # Section 11: generic text search just widens the alphabet.
+        ascii_like = Alphabet("ascii", "abcdefgh")
+        assert ascii_like.bits_per_symbol == 3
+        packed = ascii_like.encode("head")
+        assert ascii_like.decode(packed, 4) == "head"

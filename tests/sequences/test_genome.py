@@ -1,0 +1,61 @@
+"""Unit tests for synthetic genome generation."""
+
+import pytest
+
+from repro.sequences.genome import Genome, synthesize_genome
+
+
+class TestGenome:
+    def test_region_clamps(self):
+        genome = Genome("g", "ACGTACGT")
+        assert genome.region(0, 4) == "ACGT"
+        assert genome.region(6, 10) == "GT"
+        assert genome.region(-5, 3) == "ACG"
+
+    def test_region_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            Genome("g", "ACGT").region(0, -1)
+
+    def test_packed_size(self):
+        assert Genome("g", "ACGTACGT").packed_size_bytes() == 2
+
+    def test_invalid_symbols_rejected(self):
+        with pytest.raises(Exception):
+            Genome("g", "ACGU")
+
+
+class TestSynthesize:
+    def test_deterministic_with_seed(self):
+        a = synthesize_genome(5_000, seed=42)
+        b = synthesize_genome(5_000, seed=42)
+        assert a.sequence == b.sequence
+
+    def test_length(self):
+        assert len(synthesize_genome(1_234, seed=0)) == 1_234
+
+    def test_gc_content_tracks_parameter(self):
+        genome = synthesize_genome(60_000, seed=1, gc_content=0.6)
+        gc = sum(1 for c in genome.sequence if c in "GC") / len(genome)
+        assert 0.55 < gc < 0.65
+
+    def test_repeats_create_duplicate_kmers(self):
+        genome = synthesize_genome(
+            20_000, seed=3, repeat_fraction=0.2, repeat_unit_length=500
+        )
+        seen: dict[str, int] = {}
+        duplicates = 0
+        k = 30
+        for i in range(0, len(genome) - k, k):
+            kmer = genome.sequence[i : i + k]
+            if kmer in seen:
+                duplicates += 1
+            seen[kmer] = i
+        assert duplicates > 0  # repeats present
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            synthesize_genome(0)
+        with pytest.raises(ValueError):
+            synthesize_genome(100, gc_content=1.5)
+        with pytest.raises(ValueError):
+            synthesize_genome(100, repeat_fraction=1.0)

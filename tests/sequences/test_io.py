@@ -1,0 +1,67 @@
+"""Unit tests for FASTA/FASTQ I/O."""
+
+import io
+
+import pytest
+
+from repro.sequences.io import (
+    FastaRecord,
+    FastqRecord,
+    read_fasta,
+    read_fastq,
+    write_fasta,
+    write_fastq,
+)
+
+
+class TestFasta:
+    def test_round_trip(self, tmp_path):
+        records = [
+            FastaRecord("chr1", "ACGT" * 30, "synthetic"),
+            FastaRecord("chr2", "TTTT"),
+        ]
+        path = tmp_path / "ref.fa"
+        write_fasta(records, path)
+        back = read_fasta(path)
+        assert back == records
+
+    def test_multiline_sequences(self):
+        handle = io.StringIO(">a desc here\nACGT\nACGT\n>b\nTT\n")
+        records = read_fasta(handle)
+        assert records[0] == FastaRecord("a", "ACGTACGT", "desc here")
+        assert records[1] == FastaRecord("b", "TT")
+
+    def test_line_wrapping(self):
+        out = io.StringIO()
+        write_fasta([FastaRecord("x", "A" * 150)], out, line_width=70)
+        lines = out.getvalue().strip().split("\n")
+        assert lines[0] == ">x"
+        assert [len(line) for line in lines[1:]] == [70, 70, 10]
+
+    def test_data_before_header_rejected(self):
+        with pytest.raises(ValueError):
+            read_fasta(io.StringIO("ACGT\n>late\nAC\n"))
+
+    def test_invalid_line_width(self):
+        with pytest.raises(ValueError):
+            write_fasta([], io.StringIO(), line_width=0)
+
+
+class TestFastq:
+    def test_round_trip(self, tmp_path):
+        records = [FastqRecord("r1", "ACGT", "IIII"), FastqRecord("r2", "GG", "##")]
+        path = tmp_path / "reads.fq"
+        write_fastq(records, path)
+        assert read_fastq(path) == records
+
+    def test_quality_length_checked(self):
+        with pytest.raises(ValueError):
+            FastqRecord("r", "ACGT", "II")
+
+    def test_malformed_header_rejected(self):
+        with pytest.raises(ValueError):
+            read_fastq(io.StringIO("r1\nACGT\n+\nIIII\n"))
+
+    def test_malformed_separator_rejected(self):
+        with pytest.raises(ValueError):
+            read_fastq(io.StringIO("@r1\nACGT\nIIII\nIIII\n"))

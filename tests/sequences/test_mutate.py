@@ -1,0 +1,89 @@
+"""Unit tests for the mutation engine."""
+
+import random
+
+import pytest
+
+from repro.baselines.needleman_wunsch import edit_distance_dp
+from repro.sequences.mutate import (
+    EditKind,
+    MutationProfile,
+    mutate,
+    mutate_to_similarity,
+)
+from tests.conftest import random_dna
+
+
+class TestProfiles:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            MutationProfile(0.1, 0.5, 0.5, 0.5)
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError):
+            MutationProfile(1.5)
+        with pytest.raises(ValueError):
+            MutationProfile(-0.1)
+
+
+class TestMutate:
+    def test_zero_rate_is_identity(self, rng):
+        seq = random_dna(200, rng)
+        result = mutate(seq, MutationProfile(0.0), rng=rng)
+        assert result.sequence == seq
+        assert result.edit_count == 0
+
+    def test_substitutions_always_change_base(self, rng):
+        seq = random_dna(500, rng)
+        profile = MutationProfile(0.2, 1.0, 0.0, 0.0)
+        result = mutate(seq, profile, rng=rng)
+        assert len(result.sequence) == len(seq)
+        for edit in result.edits:
+            assert edit.kind is EditKind.SUBSTITUTION
+            assert edit.original != edit.replacement
+
+    def test_insertions_grow_sequence(self, rng):
+        seq = random_dna(300, rng)
+        profile = MutationProfile(0.2, 0.0, 1.0, 0.0)
+        result = mutate(seq, profile, rng=rng)
+        assert len(result.sequence) == len(seq) + result.edit_count
+
+    def test_deletions_shrink_sequence(self, rng):
+        seq = random_dna(300, rng)
+        profile = MutationProfile(0.2, 0.0, 0.0, 1.0)
+        result = mutate(seq, profile, rng=rng)
+        assert len(result.sequence) == len(seq) - result.edit_count
+
+    def test_edit_count_bounds_true_distance(self, rng):
+        """Injected edits upper-bound the true edit distance (edits can
+        cancel, never compound)."""
+        for _ in range(20):
+            seq = random_dna(rng.randint(30, 120), rng)
+            result = mutate(seq, MutationProfile(0.1), rng=rng)
+            assert edit_distance_dp(seq, result.sequence) <= result.edit_count
+
+    def test_observed_rate_tracks_profile(self, rng):
+        seq = random_dna(20_000, rng)
+        result = mutate(seq, MutationProfile(0.10), rng=rng)
+        observed = result.edit_count / len(seq)
+        assert 0.08 < observed < 0.12
+
+
+class TestMutateToSimilarity:
+    def test_similarity_validation(self):
+        with pytest.raises(ValueError):
+            mutate_to_similarity("ACGT", 0.0)
+        with pytest.raises(ValueError):
+            mutate_to_similarity("ACGT", 1.5)
+
+    def test_target_similarity(self, rng):
+        seq = random_dna(10_000, rng)
+        result = mutate_to_similarity(seq, 0.9, rng=rng)
+        divergence = result.edit_count / len(seq)
+        assert 0.08 < divergence < 0.12
+
+    def test_reproducible_with_seeded_rng(self):
+        seq = "ACGT" * 100
+        a = mutate_to_similarity(seq, 0.8, rng=random.Random(5))
+        b = mutate_to_similarity(seq, 0.8, rng=random.Random(5))
+        assert a.sequence == b.sequence

@@ -1,0 +1,90 @@
+"""Unit tests for the PBSIM/ONT/Mason-style read simulators."""
+
+import pytest
+
+from repro.sequences.genome import synthesize_genome
+from repro.sequences.read_simulator import (
+    illumina_profile,
+    ont_r9_profile,
+    pacbio_clr_profile,
+    simulate_pair,
+    simulate_reads,
+)
+
+
+class TestProfiles:
+    def test_pacbio_insertion_dominated(self):
+        profile = pacbio_clr_profile(0.15)
+        assert profile.insertion_fraction > profile.deletion_fraction
+        assert profile.insertion_fraction > profile.substitution_fraction
+        assert profile.error_rate == 0.15
+
+    def test_ont_deletion_leaning(self):
+        profile = ont_r9_profile()
+        assert profile.deletion_fraction >= profile.insertion_fraction
+
+    def test_illumina_substitution_dominated(self):
+        profile = illumina_profile()
+        assert profile.substitution_fraction > 0.9
+        assert profile.error_rate == 0.05
+
+
+class TestSimulateReads:
+    def test_ground_truth_recorded(self):
+        genome = synthesize_genome(10_000, seed=0)
+        reads = simulate_reads(
+            genome, count=20, read_length=150, profile=illumina_profile(), seed=1
+        )
+        assert len(reads) == 20
+        for read in reads:
+            assert 0 <= read.true_start <= len(genome) - 150
+            assert read.true_length == 150
+            assert read.edit_count >= 0
+
+    def test_forward_reads_resemble_source(self):
+        genome = synthesize_genome(10_000, seed=0)
+        reads = simulate_reads(
+            genome,
+            count=5,
+            read_length=100,
+            profile=illumina_profile(0.0),
+            seed=2,
+            both_strands=False,
+        )
+        for read in reads:
+            assert read.sequence == genome.region(read.true_start, 100)
+            assert not read.reverse
+
+    def test_reverse_strand_reads_appear(self):
+        genome = synthesize_genome(10_000, seed=0)
+        reads = simulate_reads(
+            genome, count=60, read_length=80, profile=illumina_profile(), seed=3
+        )
+        assert any(read.reverse for read in reads)
+        assert any(not read.reverse for read in reads)
+
+    def test_read_longer_than_genome_rejected(self):
+        genome = synthesize_genome(100, seed=0)
+        with pytest.raises(ValueError):
+            simulate_reads(
+                genome, count=1, read_length=200, profile=illumina_profile()
+            )
+
+    def test_deterministic_with_seed(self):
+        genome = synthesize_genome(5_000, seed=0)
+        a = simulate_reads(genome, count=5, read_length=100, profile=illumina_profile(), seed=9)
+        b = simulate_reads(genome, count=5, read_length=100, profile=illumina_profile(), seed=9)
+        assert [r.sequence for r in a] == [r.sequence for r in b]
+
+
+class TestSimulatePair:
+    def test_similarity_controls_edits(self):
+        _, _, low = simulate_pair(2_000, 0.99, seed=1)
+        _, _, high = simulate_pair(2_000, 0.70, seed=1)
+        assert low < high
+
+    def test_reported_edit_count_matches_injection(self):
+        reference, query, edits = simulate_pair(500, 0.9, seed=2)
+        from repro.baselines.needleman_wunsch import edit_distance_dp
+
+        assert edit_distance_dp(reference, query) <= edits

@@ -1,0 +1,50 @@
+"""Unit tests for read-to-read overlap finding (Section 11)."""
+
+import pytest
+
+from repro.sequences.genome import synthesize_genome
+from repro.sequences.mutate import MutationProfile, mutate
+from repro.usecases.overlap import find_overlaps
+from tests.conftest import random_dna
+
+
+class TestOverlapFinding:
+    def test_exact_dovetail_overlap_found(self, rng):
+        genome = synthesize_genome(2_000, seed=201, repeat_fraction=0.0)
+        a = genome.region(100, 400)
+        b = genome.region(300, 400)  # 200 bp overlap with a
+        overlaps = find_overlaps([a, b], min_overlap=100)
+        assert overlaps
+        best = overlaps[0]
+        assert {best.a_index, best.b_index} == {0, 1}
+        assert best.length >= 150
+        assert best.identity > 0.95
+
+    def test_noisy_reads_still_overlap(self, rng):
+        genome = synthesize_genome(2_000, seed=202, repeat_fraction=0.0)
+        a = mutate(genome.region(0, 500), MutationProfile(0.05), rng=rng).sequence
+        b = mutate(genome.region(250, 500), MutationProfile(0.05), rng=rng).sequence
+        overlaps = find_overlaps([a, b], min_overlap=100, max_error_rate=0.25)
+        assert overlaps
+        assert overlaps[0].identity > 0.7
+
+    def test_unrelated_reads_have_no_overlap(self, rng):
+        reads = [random_dna(300, rng) for _ in range(3)]
+        assert find_overlaps(reads, min_overlap=50) == []
+
+    def test_offset_recorded(self):
+        genome = synthesize_genome(1_500, seed=203, repeat_fraction=0.0)
+        a = genome.region(0, 600)
+        b = genome.region(450, 400)
+        overlaps = find_overlaps([a, b], min_overlap=100)
+        assert overlaps
+        forward = [o for o in overlaps if o.a_index == 0]
+        assert forward and abs(forward[0].a_start - 450) <= 15
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            find_overlaps([], k=0)
+        with pytest.raises(ValueError):
+            find_overlaps([], min_overlap=0)
+        with pytest.raises(ValueError):
+            find_overlaps([], max_error_rate=1.0)

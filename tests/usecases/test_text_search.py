@@ -1,0 +1,66 @@
+"""Unit tests for generic text search (Section 11)."""
+
+import pytest
+
+from repro.sequences.alphabet import AMINO_ACIDS, RNA
+from repro.usecases.text_search import alphabet_from_text, search_text
+
+
+class TestGenericTextSearch:
+    def test_exact_english_text(self):
+        text = "the quick brown fox jumps over the lazy dog"
+        matches = search_text(text, "quick", 0)
+        assert len(matches) == 1
+        assert matches[0].start == 4
+        assert matches[0].distance == 0
+
+    def test_fuzzy_match_one_typo(self):
+        text = "approximate string matching accelerates genomics"
+        matches = search_text(text, "strng", 1)  # missing 'i'
+        assert matches
+        assert matches[0].distance == 1
+
+    def test_multiple_occurrences(self):
+        text = "abcabcabc"
+        matches = search_text(text, "abc", 0)
+        assert [m.start for m in matches] == [0, 3, 6]
+
+    def test_traceback_transcripts(self):
+        text = "hello wurld"
+        matches = search_text(text, "world", 1, with_traceback=True)
+        assert matches
+        cigar = matches[0].cigar
+        assert cigar is not None
+        assert cigar.edit_distance <= 1
+
+    def test_rna_alphabet(self):
+        matches = search_text("AUGGCUAUG", "AUG", 0, alphabet=RNA)
+        assert [m.start for m in matches] == [0, 6]
+
+    def test_protein_alphabet(self):
+        matches = search_text("MKVLAARN", "VLA", 0, alphabet=AMINO_ACIDS)
+        assert matches and matches[0].start == 2
+
+    def test_max_matches_cap(self):
+        matches = search_text("aaaaaaaaaa", "aa", 0, max_matches=2)
+        assert len(matches) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            search_text("abc", "", 0)
+        with pytest.raises(ValueError):
+            search_text("abc", "a", -1)
+        with pytest.raises(ValueError):
+            alphabet_from_text("")
+
+
+class TestDerivedAlphabet:
+    def test_covers_all_characters(self):
+        alphabet = alphabet_from_text("hello", "world")
+        for ch in "helowrd":
+            assert ch in alphabet
+
+    def test_search_with_spaces_and_punctuation(self):
+        text = "to be, or not to be: that is the question"
+        matches = search_text(text, "not to", 1)
+        assert matches

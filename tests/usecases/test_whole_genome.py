@@ -1,0 +1,47 @@
+"""Unit tests for whole genome alignment (Section 11)."""
+
+import pytest
+
+from repro.sequences.genome import synthesize_genome
+from repro.sequences.mutate import MutationProfile, mutate
+from repro.usecases.whole_genome import align_genomes
+
+
+class TestWholeGenomeAlignment:
+    def test_identical_genomes(self):
+        genome = synthesize_genome(3_000, seed=220)
+        result = align_genomes(genome, genome)
+        assert result.identity == 1.0
+        assert result.edit_distance == 0
+        assert result.reference_span == len(genome)
+
+    def test_diverged_genomes_identity_tracks_divergence(self, rng):
+        genome = synthesize_genome(4_000, seed=221)
+        mutated = mutate(genome.sequence, MutationProfile(0.05), rng=rng).sequence
+        result = align_genomes(genome.sequence, mutated)
+        assert 0.90 < result.identity < 0.99
+        assert result.substitutions + result.insertions + result.deletions == (
+            result.edit_distance
+        )
+
+    def test_full_spans_consumed(self, rng):
+        genome = synthesize_genome(2_000, seed=222)
+        mutated = mutate(genome.sequence, MutationProfile(0.08), rng=rng).sequence
+        result = align_genomes(genome.sequence, mutated)
+        assert result.reference_span == len(genome)
+        assert result.query_span == len(mutated)
+        assert result.cigar.is_valid_for(genome.sequence, mutated)
+
+    def test_custom_window_parameters(self, rng):
+        genome = synthesize_genome(1_000, seed=223)
+        mutated = mutate(genome.sequence, MutationProfile(0.05), rng=rng).sequence
+        default = align_genomes(genome.sequence, mutated)
+        small = align_genomes(genome.sequence, mutated, window_size=32, overlap=8)
+        assert abs(default.edit_distance - small.edit_distance) <= max(
+            3, default.edit_distance // 5
+        )
+
+    def test_empty_rejected(self):
+        genome = synthesize_genome(100, seed=224)
+        with pytest.raises(ValueError):
+            align_genomes(genome, "")
