@@ -1,0 +1,231 @@
+"""Throughput benchmark: pure-Python vs NumPy-batched alignment engines.
+
+Measures pairs/second for the three batched hot paths —
+
+* ``prefilter``   — :meth:`AlignmentEngine.scan_batch` with the filter's
+  first-match early exit (the pre-alignment filtering workload);
+* ``edit_distance`` — :meth:`AlignmentEngine.edit_distance_batch`, the full
+  minimum-distance scan (the Figure 14 use-case workload);
+* ``align`` — :meth:`GenAsmAligner.align_batch`, windowed DC + TB with
+  batched bitvector generation (the read-alignment workload);
+
+across read lengths, error rates, and batch sizes, for every available
+backend. Emits a machine-readable ``BENCH_batch_engine.json`` at the repo
+root so the performance trajectory is tracked across PRs, plus the usual
+table under ``benchmarks/results/``.
+
+Run:  PYTHONPATH=src python benchmarks/bench_batch_engine.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import time
+from pathlib import Path
+
+from _common import emit_table
+
+from repro import __version__
+from repro.core.aligner import GenAsmAligner
+from repro.engine import available_engines, get_engine
+from repro.sequences.mutate import MutationProfile, mutate
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_batch_engine.json"
+
+#: Error-budget padding, mirroring the mapping pipeline's region sizing.
+def _threshold(read_length: int, error_rate: float) -> int:
+    return max(8, int(read_length * error_rate))
+
+
+def build_pairs(
+    count: int, read_length: int, error_rate: float, seed: int
+) -> list[tuple[str, str]]:
+    """(reference region, read) pairs shaped like pipeline candidates.
+
+    Each region is ``m + k`` reference characters; the read is the region
+    prefix with errors injected at ``error_rate``, so scans terminate the
+    way they do on real accepted candidates.
+    """
+    rng = random.Random(seed)
+    pad = _threshold(read_length, error_rate)
+    pairs = []
+    for _ in range(count):
+        region = "".join(
+            rng.choice("ACGT") for _ in range(read_length + pad)
+        )
+        read = mutate(
+            region[:read_length], MutationProfile(error_rate=error_rate), rng=rng
+        ).sequence
+        pairs.append((region, read))
+    return pairs
+
+
+def time_task(task, *, repeats: int) -> float:
+    """Best-of-``repeats`` wall time for ``task()`` (plus one warmup)."""
+    task()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        task()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_config(
+    backend: str,
+    pairs: list[tuple[str, str]],
+    threshold: int,
+    *,
+    repeats: int,
+) -> dict[str, float]:
+    engine = get_engine(backend)
+    aligner = GenAsmAligner(engine=engine)
+    timings = {
+        "prefilter": time_task(
+            lambda: engine.scan_batch(pairs, threshold, first_match_only=True),
+            repeats=repeats,
+        ),
+        "edit_distance": time_task(
+            lambda: engine.edit_distance_batch(pairs, threshold),
+            repeats=repeats,
+        ),
+        "align": time_task(
+            lambda: aligner.align_batch(pairs), repeats=repeats
+        ),
+    }
+    return timings
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload for CI: one configuration, one repeat",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timed repetitions per task"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help="where to write the JSON artifact",
+    )
+    args = parser.parse_args()
+    if args.repeats < 1:
+        parser.error("--repeats must be at least 1")
+
+    if args.smoke:
+        read_lengths = [64]
+        error_rates = [0.10]
+        batch_sizes = [8]
+        repeats = 1
+    else:
+        read_lengths = [100, 150, 250]
+        error_rates = [0.05, 0.15]
+        batch_sizes = [64, 256]
+        repeats = args.repeats
+
+    backends = available_engines()
+    results: list[dict] = []
+    for read_length in read_lengths:
+        for error_rate in error_rates:
+            threshold = _threshold(read_length, error_rate)
+            for batch_size in batch_sizes:
+                pairs = build_pairs(
+                    batch_size, read_length, error_rate, seed=0xC0FFEE
+                )
+                for backend in backends:
+                    timings = run_config(
+                        backend, pairs, threshold, repeats=repeats
+                    )
+                    for task, seconds in timings.items():
+                        results.append(
+                            {
+                                "task": task,
+                                "backend": backend,
+                                "read_length": read_length,
+                                "error_rate": error_rate,
+                                "threshold": threshold,
+                                "batch_size": batch_size,
+                                "seconds": seconds,
+                                "pairs_per_sec": batch_size / seconds,
+                            }
+                        )
+
+    # Per-configuration speedup of every backend over "pure".
+    pure_rate = {
+        (r["task"], r["read_length"], r["error_rate"], r["batch_size"]): r[
+            "pairs_per_sec"
+        ]
+        for r in results
+        if r["backend"] == "pure"
+    }
+    speedups = []
+    for r in results:
+        if r["backend"] == "pure":
+            continue
+        key = (r["task"], r["read_length"], r["error_rate"], r["batch_size"])
+        speedups.append(
+            {
+                "task": r["task"],
+                "backend": r["backend"],
+                "read_length": r["read_length"],
+                "error_rate": r["error_rate"],
+                "batch_size": r["batch_size"],
+                "speedup_vs_pure": r["pairs_per_sec"] / pure_rate[key],
+            }
+        )
+    at_scale = [s["speedup_vs_pure"] for s in speedups if s["batch_size"] >= 64]
+    summary = {
+        "backends": backends,
+        "max_speedup_vs_pure": max(
+            (s["speedup_vs_pure"] for s in speedups), default=None
+        ),
+        "max_speedup_at_batch_ge_64": max(at_scale, default=None),
+        "configs_ge_3x_at_batch_ge_64": sum(1 for s in at_scale if s >= 3.0),
+    }
+
+    payload = {
+        "benchmark": "batch_engine",
+        "version": __version__,
+        "python": platform.python_version(),
+        "smoke": args.smoke,
+        "results": results,
+        "speedups": speedups,
+        "summary": summary,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    rows = [
+        [
+            r["task"],
+            r["backend"],
+            r["read_length"],
+            f"{r['error_rate']:.2f}",
+            r["batch_size"],
+            f"{r['pairs_per_sec']:,.0f}",
+        ]
+        for r in results
+    ]
+    emit_table(
+        "bench_batch_engine",
+        ["task", "backend", "read len", "err", "batch", "pairs/s"],
+        rows,
+        title="Batched engine throughput (pure vs batched backends)",
+    )
+    print(f"\nwrote {args.output}")
+    if summary["max_speedup_at_batch_ge_64"] is not None:
+        print(
+            "max speedup vs pure at batch >= 64: "
+            f"{summary['max_speedup_at_batch_ge_64']:.1f}x "
+            f"({summary['configs_ge_3x_at_batch_ge_64']} configs >= 3x)"
+        )
+
+
+if __name__ == "__main__":
+    main()

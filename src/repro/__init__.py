@@ -29,19 +29,33 @@ from repro.core import (
     genasm_align,
     genasm_edit_distance,
 )
+from repro.engine import (
+    AlignmentEngine,
+    BatchedEngine,
+    PurePythonEngine,
+    available_engines,
+    get_engine,
+    register_engine,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Alignment",
+    "AlignmentEngine",
+    "BatchedEngine",
     "Cigar",
     "GenAsmAligner",
     "GenAsmFilter",
+    "PurePythonEngine",
     "ScoringScheme",
     "TracebackConfig",
     "__version__",
+    "available_engines",
     "bitap_edit_distance",
     "bitap_scan",
     "genasm_align",
     "genasm_edit_distance",
+    "get_engine",
+    "register_engine",
 ]

@@ -17,13 +17,16 @@ location, exactly as Section 6 prescribes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
 
-from repro.core.bitap import bitap_scan
 from repro.core.cigar import Cigar
-from repro.core.genasm_dc import run_dc_window
 from repro.core.genasm_tb import TracebackError, traceback_window
 from repro.core.scoring import ScoringScheme, TracebackConfig
+from repro.engine.registry import get_engine
 from repro.sequences.alphabet import DNA, Alphabet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.registry import AlignmentEngine
 
 #: Window size the paper uses throughout the evaluation.
 DEFAULT_WINDOW_SIZE = 64
@@ -70,6 +73,12 @@ class GenAsmAligner:
     config:
         Traceback priority order (affine-gap mimicry by default); build one
         from a scoring scheme with :meth:`TracebackConfig.from_scoring`.
+    engine:
+        Compute backend for the DC bitvector generation and Bitap scans — an
+        :class:`~repro.engine.registry.AlignmentEngine` instance, a
+        registered backend name (``"pure"``, ``"batched"``), or None for
+        the process default (see :func:`repro.engine.get_engine`). Every
+        backend is bit-identical; they differ only in throughput.
     """
 
     def __init__(
@@ -79,6 +88,7 @@ class GenAsmAligner:
         overlap: int = DEFAULT_OVERLAP,
         config: TracebackConfig | None = None,
         alphabet: Alphabet = DNA,
+        engine: "AlignmentEngine | str | None" = None,
     ) -> None:
         if window_size <= 0:
             raise ValueError("window_size must be positive")
@@ -88,6 +98,7 @@ class GenAsmAligner:
         self.overlap = overlap
         self.config = config if config is not None else TracebackConfig()
         self.alphabet = alphabet
+        self.engine = get_engine(engine)
 
     # ------------------------------------------------------------------
     # Public API
@@ -99,14 +110,82 @@ class GenAsmAligner:
         ``m + k``); the full pattern is always consumed — if the text runs
         out first, the remaining pattern characters become insertions.
         """
-        ops, text_consumed = self._windowed_ops(text, pattern)
-        cigar = Cigar(ops)
-        return Alignment(
-            cigar=cigar,
-            edit_distance=cigar.edit_distance,
-            text_start=0,
-            text_consumed=text_consumed,
-        )
+        return self.align_batch([(text, pattern)])[0]
+
+    def align_batch(
+        self, pairs: Sequence[tuple[str, str]]
+    ) -> list[Alignment]:
+        """Align many (text, pattern) pairs, batching the DC hot loop.
+
+        The window loops of all pairs advance in lockstep rounds: each round
+        collects every still-active pair's current window and hands the
+        whole set to the engine's :meth:`run_dc_windows` (one vectorized
+        pass on the batched backend), then runs the cheap per-window
+        traceback sequentially. Output is bit-identical to calling
+        :meth:`align` per pair, in input order.
+        """
+        pairs = [(text, pattern) for text, pattern in pairs]
+        consume_limit = self.window_size - self.overlap
+        cur_text = [0] * len(pairs)
+        cur_pattern = [0] * len(pairs)
+        parts: list[list[str]] = [[] for _ in pairs]
+        pending = [idx for idx, (_, pattern) in enumerate(pairs) if pattern]
+
+        while pending:
+            jobs: list[tuple[str, str]] = []
+            owners: list[int] = []
+            for idx in pending:
+                text, pattern = pairs[idx]
+                sub_text = text[cur_text[idx] : cur_text[idx] + self.window_size]
+                if not sub_text:
+                    # Text exhausted: every remaining pattern character is
+                    # an insertion relative to the reference.
+                    parts[idx].append("I" * (len(pattern) - cur_pattern[idx]))
+                    cur_pattern[idx] = len(pattern)
+                    continue
+                sub_pattern = pattern[
+                    cur_pattern[idx] : cur_pattern[idx] + self.window_size
+                ]
+                jobs.append((sub_text, sub_pattern))
+                owners.append(idx)
+            windows = (
+                self.engine.run_dc_windows(jobs, alphabet=self.alphabet)
+                if jobs
+                else []
+            )
+            pending = []
+            for idx, window in zip(owners, windows):
+                tb = traceback_window(
+                    window, consume_limit=consume_limit, config=self.config
+                )
+                if tb.pattern_consumed == 0 and tb.text_consumed == 0:
+                    raise TracebackError(
+                        "window made no progress "
+                        f"(curText={cur_text[idx]}, "
+                        f"curPattern={cur_pattern[idx]})"
+                    )
+                parts[idx].append(tb.ops)
+                cur_pattern[idx] += tb.pattern_consumed
+                cur_text[idx] += tb.text_consumed
+                if cur_text[idx] > len(pairs[idx][0]):
+                    raise TracebackError(
+                        "window consumed past the end of the text"
+                    )
+                if cur_pattern[idx] < len(pairs[idx][1]):
+                    pending.append(idx)
+
+        alignments: list[Alignment] = []
+        for idx in range(len(pairs)):
+            cigar = Cigar("".join(parts[idx]))
+            alignments.append(
+                Alignment(
+                    cigar=cigar,
+                    edit_distance=cigar.edit_distance,
+                    text_start=0,
+                    text_consumed=cur_text[idx],
+                )
+            )
+        return alignments
 
     def align_located(
         self, text: str, pattern: str, k: int
@@ -118,7 +197,9 @@ class GenAsmAligner:
         the pattern against the ``m + k``-long region starting there.
         Returns None when no location matches within ``k`` edits.
         """
-        matches = bitap_scan(text, pattern, k, alphabet=self.alphabet)
+        matches = self.engine.scan_batch(
+            [(text, pattern)], k, alphabet=self.alphabet
+        )[0]
         if not matches:
             return None
         best = min(matches, key=lambda match: (match.distance, match.start))
@@ -131,44 +212,6 @@ class GenAsmAligner:
             text_consumed=aligned.text_consumed,
         )
 
-    # ------------------------------------------------------------------
-    # Algorithm 2 outer loop
-    # ------------------------------------------------------------------
-    def _windowed_ops(self, text: str, pattern: str) -> tuple[str, int]:
-        """Run the window loop; return (expanded ops, text consumed)."""
-        w = self.window_size
-        consume_limit = w - self.overlap
-        cur_text = 0
-        cur_pattern = 0
-        m = len(pattern)
-        n = len(text)
-        parts: list[str] = []
-
-        while cur_pattern < m:
-            sub_pattern = pattern[cur_pattern : cur_pattern + w]
-            sub_text = text[cur_text : cur_text + w]
-            if not sub_text:
-                # Text exhausted: every remaining pattern character is an
-                # insertion relative to the reference.
-                parts.append("I" * (m - cur_pattern))
-                cur_pattern = m
-                break
-            window = run_dc_window(sub_text, sub_pattern, alphabet=self.alphabet)
-            tb = traceback_window(
-                window, consume_limit=consume_limit, config=self.config
-            )
-            if tb.pattern_consumed == 0 and tb.text_consumed == 0:
-                raise TracebackError(
-                    "window made no progress "
-                    f"(curText={cur_text}, curPattern={cur_pattern})"
-                )
-            parts.append(tb.ops)
-            cur_pattern += tb.pattern_consumed
-            cur_text += tb.text_consumed
-            if cur_text > n:
-                raise TracebackError("window consumed past the end of the text")
-        return "".join(parts), cur_text
-
 
 def genasm_align(
     text: str,
@@ -178,6 +221,7 @@ def genasm_align(
     overlap: int = DEFAULT_OVERLAP,
     scoring: ScoringScheme | None = None,
     alphabet: Alphabet = DNA,
+    engine: "AlignmentEngine | str | None" = None,
 ) -> Alignment:
     """One-shot convenience wrapper around :class:`GenAsmAligner`.
 
@@ -190,5 +234,6 @@ def genasm_align(
         overlap=overlap,
         config=config,
         alphabet=alphabet,
+        engine=engine,
     )
     return aligner.align(text, pattern)

@@ -138,12 +138,15 @@ def bitap_scan_multiword(
     *,
     word_size: int = 64,
     alphabet: Alphabet = DNA,
+    first_match_only: bool = False,
 ) -> list[BitapMatch]:
     """Word-accurate Bitap using the multi-word carry-chaining of Section 5.
 
-    Semantically identical to :func:`bitap_scan`; exists so tests can verify
-    the multi-word mechanism (and so the hardware model's operation counts
-    rest on code that demonstrably computes the right thing).
+    Semantically identical to :func:`bitap_scan`, including the
+    ``first_match_only`` early exit the pre-alignment filter relies on;
+    exists so tests can verify the multi-word mechanism (and so the hardware
+    model's operation counts rest on code that demonstrably computes the
+    right thing).
     """
     if k < 0:
         raise ValueError("edit distance threshold k must be non-negative")
@@ -172,4 +175,6 @@ def bitap_scan_multiword(
             if r[d].msb == 0:
                 matches.append(BitapMatch(start=i, distance=d))
                 break
+        if matches and first_match_only:
+            break
     return matches

@@ -1,0 +1,40 @@
+"""Pluggable alignment compute backends (the batched multi-backend engine).
+
+The registry (:mod:`repro.engine.registry`) maps backend names to
+:class:`AlignmentEngine` implementations:
+
+* ``"pure"`` — :class:`PurePythonEngine`, the scalar reference kernels;
+* ``"batched"`` — :class:`BatchedEngine`, NumPy uint64 arrays running the
+  Bitap / GenASM-DC recurrence across a whole batch per operation.
+
+Pick a backend per call site (``GenAsmAligner(engine="batched")``), per
+process (``REPRO_ENGINE=pure``), or let :func:`get_engine` choose the best
+available one. Future backends (process-pool sharding, CuPy/GPU) plug in via
+:func:`register_engine` without touching the call sites.
+"""
+
+from repro.engine.batched import BatchedEngine
+from repro.engine.pure import PurePythonEngine
+from repro.engine.registry import (
+    ENGINE_ENV_VAR,
+    AlignmentEngine,
+    UnknownEngineError,
+    available_engines,
+    default_engine_name,
+    get_engine,
+    register_engine,
+    registered_engines,
+)
+
+__all__ = [
+    "ENGINE_ENV_VAR",
+    "AlignmentEngine",
+    "BatchedEngine",
+    "PurePythonEngine",
+    "UnknownEngineError",
+    "available_engines",
+    "default_engine_name",
+    "get_engine",
+    "register_engine",
+    "registered_engines",
+]

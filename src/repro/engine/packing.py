@@ -1,0 +1,194 @@
+"""uint64 packing for the NumPy-batched backend.
+
+The batched engine represents every per-pair bitvector as a row of ``W``
+64-bit words (word 0 = least significant), so a batch of ``B`` pairs is a
+``(B, W)`` ``uint64`` array and one Bitap recurrence step is a handful of
+array-wide shifts/ORs/ANDs. This module holds the conversions between that
+layout and the arbitrary-precision Python integers the scalar kernels use:
+
+* :func:`pack_patterns` — per-symbol pattern bitmasks, the per-pair
+  ``all_ones`` masks, and the per-pair MSB probes, all as word arrays;
+* :func:`encode_texts` — text characters as small integer codes indexing the
+  bitmask table (one shared out-of-alphabet/wildcard fallback row);
+* :func:`shift_left_words` — the multi-word left shift with carry chaining
+  across word boundaries (Section 5's long-read modification);
+* :func:`words_to_int_matrix` — back to Python ints for GenASM-TB.
+
+NumPy is optional at import time; :func:`numpy_available` gates the backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+try:  # pragma: no cover - exercised implicitly by backend availability
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+from repro.core.bitap import pattern_bitmasks
+from repro.sequences.alphabet import Alphabet
+
+#: Word width of the packed layout (matches the hardware model's SRAM rows).
+WORD_BITS = 64
+_WORD_MASK = (1 << WORD_BITS) - 1
+
+
+def numpy_available() -> bool:
+    """True when NumPy imported successfully."""
+    return np is not None
+
+
+def words_for(bits: int) -> int:
+    """Words needed to hold ``bits`` bits (at least one)."""
+    return max(1, (bits + WORD_BITS - 1) // WORD_BITS)
+
+
+def int_to_words(value: int, word_count: int) -> list[int]:
+    """Split a non-negative int into ``word_count`` LSW-first words."""
+    return [(value >> (WORD_BITS * w)) & _WORD_MASK for w in range(word_count)]
+
+
+@dataclass(frozen=True)
+class PackedPatterns:
+    """Batch-packed pattern state shared by every scan over the batch.
+
+    Attributes
+    ----------
+    bitmasks:
+        ``(B, S + 1, W)`` uint64 — row ``s < S`` is symbol ``s``'s pattern
+        bitmask; row ``S`` is the pair's all-ones fallback used for wildcard
+        and out-of-alphabet text characters.
+    all_ones:
+        ``(B, W)`` uint64 — ``(1 << m_b) - 1`` per pair, applied after every
+        shift so state never leaks past each pattern's top bit.
+    msb:
+        ``(B, W)`` uint64 — the single bit ``1 << (m_b - 1)`` per pair, the
+        match probe at each text iteration.
+    lengths:
+        ``(B,)`` int64 pattern lengths.
+    word_count:
+        ``W``, sized for the longest pattern in the batch.
+    """
+
+    bitmasks: "np.ndarray"
+    all_ones: "np.ndarray"
+    msb: "np.ndarray"
+    lengths: "np.ndarray"
+    word_count: int
+
+
+def pack_patterns(
+    patterns: Sequence[str], alphabet: Alphabet
+) -> PackedPatterns:
+    """Build the packed bitmask tables for a batch of patterns.
+
+    Delegates mask construction to :func:`pattern_bitmasks` so validation
+    (empty patterns, foreign symbols) and wildcard semantics are exactly the
+    scalar kernel's.
+    """
+    symbols = alphabet.symbols
+    word_count = words_for(max(len(pattern) for pattern in patterns))
+    batch = len(patterns)
+    bitmasks = np.empty((batch, len(symbols) + 1, word_count), dtype=np.uint64)
+    all_ones = np.empty((batch, word_count), dtype=np.uint64)
+    msb = np.empty((batch, word_count), dtype=np.uint64)
+    lengths = np.empty(batch, dtype=np.int64)
+    for b, pattern in enumerate(patterns):
+        masks = pattern_bitmasks(pattern, alphabet)
+        m = len(pattern)
+        lengths[b] = m
+        all_ones[b] = int_to_words((1 << m) - 1, word_count)
+        msb[b] = int_to_words(1 << (m - 1), word_count)
+        for s, symbol in enumerate(symbols):
+            bitmasks[b, s] = int_to_words(masks[symbol], word_count)
+        bitmasks[b, len(symbols)] = all_ones[b]
+    return PackedPatterns(
+        bitmasks=bitmasks,
+        all_ones=all_ones,
+        msb=msb,
+        lengths=lengths,
+        word_count=word_count,
+    )
+
+
+def encode_texts(
+    texts: Sequence[str], alphabet: Alphabet
+) -> tuple["np.ndarray", "np.ndarray"]:
+    """Encode texts as ``(B, n_max)`` symbol codes plus per-text lengths.
+
+    Characters outside the alphabet (including the wildcard) map to the
+    fallback code ``len(alphabet.symbols)``, mirroring the scalar kernel's
+    ``masks.get(ch, all_ones)``. Shorter texts are padded with the fallback
+    code; padding never contributes because iterations beyond a text's
+    length are masked out of the recurrence.
+    """
+    fallback = len(alphabet.symbols)
+    lengths = np.array([len(text) for text in texts], dtype=np.int64)
+    n_max = int(lengths.max()) if len(texts) else 0
+    codes = np.full((len(texts), n_max), fallback, dtype=np.int64)
+    char_lut = {symbol: s for s, symbol in enumerate(alphabet.symbols)}
+    byte_lut = np.full(256, fallback, dtype=np.int64)
+    for symbol, s in char_lut.items():
+        if ord(symbol) < 256:
+            byte_lut[ord(symbol)] = s
+    for b, text in enumerate(texts):
+        if not text:
+            continue
+        try:
+            raw = np.frombuffer(text.encode("latin-1"), dtype=np.uint8)
+        except UnicodeEncodeError:
+            codes[b, : len(text)] = [char_lut.get(ch, fallback) for ch in text]
+        else:
+            codes[b, : len(text)] = byte_lut[raw]
+    return codes, lengths
+
+
+def shift_left_words(words: "np.ndarray") -> "np.ndarray":
+    """Shift every packed bitvector left by one, carrying across words."""
+    out = words << np.uint64(1)
+    if words.shape[-1] > 1:
+        out[..., 1:] |= words[..., :-1] >> np.uint64(WORD_BITS - 1)
+    return out
+
+
+def shift_left_words_by(words: "np.ndarray", shift: int) -> "np.ndarray":
+    """Shift packed bitvectors left by ``shift`` bits, carrying across words.
+
+    Bits pushed past the top word are dropped; callers re-apply their
+    per-pair ``all_ones`` mask afterwards. Handles shifts of any size,
+    including multiples of the word width and shifts past the whole vector.
+    """
+    word_count = words.shape[-1]
+    word_shift, bit_shift = divmod(shift, WORD_BITS)
+    if word_shift == 0 and bit_shift:
+        out = words << np.uint64(bit_shift)
+        if word_count > 1:
+            out[..., 1:] |= words[..., :-1] >> np.uint64(WORD_BITS - bit_shift)
+        return out
+    out = np.zeros_like(words)
+    if word_shift >= word_count:
+        return out
+    src = words[..., : word_count - word_shift]
+    if bit_shift == 0:
+        out[..., word_shift:] = src
+    else:
+        out[..., word_shift:] = src << np.uint64(bit_shift)
+        if src.shape[-1] > 1:
+            out[..., word_shift + 1 :] |= src[..., :-1] >> np.uint64(
+                WORD_BITS - bit_shift
+            )
+    return out
+
+
+def words_to_int_matrix(arr: "np.ndarray") -> list:
+    """Collapse the trailing word axis into Python ints; return nested lists.
+
+    ``arr`` has shape ``(..., W)``; the result is ``arr.tolist()`` with each
+    innermost word row combined into one arbitrary-precision integer.
+    """
+    acc = arr[..., -1].astype(object)
+    for w in range(arr.shape[-1] - 2, -1, -1):
+        acc = (acc << WORD_BITS) | arr[..., w].astype(object)
+    return acc.tolist()

@@ -1,0 +1,164 @@
+"""Backend registry and the common :class:`AlignmentEngine` interface.
+
+Every compute backend — pure Python today, NumPy-batched in this package,
+process-pool or GPU backends later — implements the same small surface:
+
+* :meth:`AlignmentEngine.scan_batch` — Bitap distance scans over many
+  (text, pattern) pairs (the pre-alignment filter primitive);
+* :meth:`AlignmentEngine.run_dc_windows` — GenASM-DC bitvector generation
+  for many windows at once (the aligner's hot inner step);
+* :meth:`AlignmentEngine.edit_distance_batch` — derived from the scan.
+
+Backends register themselves by class (``name`` attribute) and declare
+availability, so optional dependencies degrade gracefully: when NumPy is
+missing the registry silently falls back to the pure-Python backend.
+Callers pick a backend per call site (``engine="batched"``), per process
+(the ``REPRO_ENGINE`` environment variable), or not at all (the best
+available backend wins).
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from typing import ClassVar, Sequence
+
+from repro.core.bitap import BitapMatch
+from repro.core.genasm_dc import WindowBitvectors
+from repro.sequences.alphabet import DNA, Alphabet
+
+#: Environment variable naming the process-wide default backend.
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+#: Preference order when no backend is named anywhere.
+_DEFAULT_PREFERENCE = ("batched", "pure")
+
+
+class UnknownEngineError(KeyError):
+    """Raised when a requested backend is not registered or unavailable."""
+
+
+class AlignmentEngine(ABC):
+    """Common interface every alignment compute backend implements.
+
+    All methods are *batch-first*: they take sequences of jobs and return
+    per-job results in the same order. Backends must be bit-identical to the
+    pure-Python reference kernels (:func:`repro.core.bitap.bitap_scan` and
+    :func:`repro.core.genasm_dc.run_dc_window`) — parity is enforced by
+    randomized tests, not trusted.
+    """
+
+    #: Registry key; subclasses must override.
+    name: ClassVar[str] = "abstract"
+
+    @classmethod
+    def is_available(cls) -> bool:
+        """Whether this backend can run in the current environment."""
+        return True
+
+    @abstractmethod
+    def scan_batch(
+        self,
+        pairs: Sequence[tuple[str, str]],
+        k: int,
+        *,
+        alphabet: Alphabet = DNA,
+        first_match_only: bool = False,
+    ) -> list[list[BitapMatch]]:
+        """Run a Bitap scan for every (text, pattern) pair in ``pairs``."""
+
+    @abstractmethod
+    def run_dc_windows(
+        self,
+        jobs: Sequence[tuple[str, str]],
+        *,
+        alphabet: Alphabet = DNA,
+        initial_budget: int = 8,
+    ) -> list[WindowBitvectors]:
+        """Run GenASM-DC for every (sub_text, sub_pattern) window job."""
+
+    def edit_distance_batch(
+        self,
+        pairs: Sequence[tuple[str, str]],
+        k: int,
+        *,
+        alphabet: Alphabet = DNA,
+    ) -> list[int | None]:
+        """Minimum semi-global edit distance per pair (None above ``k``)."""
+        scans = self.scan_batch(pairs, k, alphabet=alphabet)
+        return [
+            min((match.distance for match in matches), default=None)
+            for matches in scans
+        ]
+
+
+_REGISTRY: dict[str, type[AlignmentEngine]] = {}
+_INSTANCES: dict[str, AlignmentEngine] = {}
+
+
+def register_engine(
+    engine_cls: type[AlignmentEngine], *, overwrite: bool = False
+) -> type[AlignmentEngine]:
+    """Register a backend class under its ``name`` (usable as a decorator)."""
+    name = engine_cls.name
+    if not name or name == AlignmentEngine.name:
+        raise ValueError(f"{engine_cls.__name__} must define a concrete name")
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(f"engine {name!r} is already registered")
+    _REGISTRY[name] = engine_cls
+    _INSTANCES.pop(name, None)
+    return engine_cls
+
+
+def registered_engines() -> list[str]:
+    """All registered backend names, available or not."""
+    return sorted(_REGISTRY)
+
+
+def available_engines() -> list[str]:
+    """Backend names whose dependencies are satisfied right now."""
+    return [name for name in sorted(_REGISTRY) if _REGISTRY[name].is_available()]
+
+
+def default_engine_name() -> str:
+    """Resolve the default backend: env override, then best available."""
+    env = os.environ.get(ENGINE_ENV_VAR)
+    if env:
+        return env
+    for name in _DEFAULT_PREFERENCE:
+        cls = _REGISTRY.get(name)
+        if cls is not None and cls.is_available():
+            return name
+    for name in available_engines():
+        return name
+    raise UnknownEngineError("no alignment engine is available")
+
+
+def get_engine(
+    spec: AlignmentEngine | str | None = None,
+) -> AlignmentEngine:
+    """Resolve ``spec`` to a live backend instance.
+
+    ``spec`` may be an engine instance (returned as-is), a registered name,
+    or None — meaning the ``REPRO_ENGINE`` environment variable if set, else
+    the best available backend. Instances are cached per name, so repeated
+    lookups share state-free singletons.
+    """
+    if isinstance(spec, AlignmentEngine):
+        return spec
+    name = spec if spec is not None else default_engine_name()
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        raise UnknownEngineError(
+            f"unknown engine {name!r}; registered engines: {registered_engines()}"
+        )
+    if not cls.is_available():
+        raise UnknownEngineError(
+            f"engine {name!r} is registered but unavailable "
+            "(missing optional dependency?)"
+        )
+    instance = _INSTANCES.get(name)
+    if instance is None:
+        instance = cls()
+        _INSTANCES[name] = instance
+    return instance

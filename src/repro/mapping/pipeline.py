@@ -12,7 +12,7 @@ complement, and the better-scoring alignment wins, as in real mappers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from typing import TYPE_CHECKING, Callable, Protocol, Sequence
 
 from repro.core.aligner import Alignment, GenAsmAligner
 from repro.core.prefilter import GenAsmFilter
@@ -22,15 +22,26 @@ from repro.mapping.sam import FLAG_REVERSE, SamRecord, unmapped_record
 from repro.mapping.seeding import candidate_locations
 from repro.sequences.genome import Genome
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.registry import AlignmentEngine
+
 
 class PairFilter(Protocol):
-    """Anything with an ``accepts(reference, read) -> bool`` method."""
+    """Anything with an ``accepts(reference, read) -> bool`` method.
+
+    Filters may additionally expose ``accepts_batch(pairs) -> list[bool]``
+    (as :class:`GenAsmFilter` does); the mapper detects and prefers it so a
+    read's candidates are filtered in one batched scan.
+    """
 
     def accepts(self, reference: str, read: str) -> bool: ...
 
 
 #: An aligner callable: (reference region, read) -> Alignment.
 AlignerFn = Callable[[str, str], Alignment]
+
+#: A batch aligner callable: [(region, read), ...] -> [Alignment, ...].
+BatchAlignerFn = Callable[[Sequence[tuple[str, str]]], "list[Alignment]"]
 
 
 @dataclass
@@ -76,8 +87,15 @@ class ReadMapper:
         Optional pre-alignment filter applied to every candidate region.
     aligner:
         Defaults to the paper's GenASM configuration.
+    batch_aligner:
+        Optional batch entry point matching ``aligner``; filled in
+        automatically when ``aligner`` defaults to GenASM, so a read's
+        surviving candidates are aligned as one batch.
     scoring:
         Scheme used to pick the best candidate and report scores.
+    engine:
+        Compute backend handed to the default GenASM aligner (ignored when
+        a custom ``aligner`` is supplied).
     """
 
     genome: Genome
@@ -85,25 +103,35 @@ class ReadMapper:
     error_rate: float = 0.15
     prefilter: PairFilter | None = None
     aligner: AlignerFn | None = None
+    batch_aligner: BatchAlignerFn | None = None
     scoring: ScoringScheme = field(default_factory=ScoringScheme.bwa_mem)
     max_candidates: int = 8
     stats: PipelineStats = field(default_factory=PipelineStats)
+    engine: "AlignmentEngine | str | None" = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.error_rate < 1.0:
             raise ValueError("error_rate must be within [0, 1)")
         if self.aligner is None:
-            genasm = GenAsmAligner()
+            genasm = GenAsmAligner(engine=self.engine)
             self.aligner = genasm.align
+            if self.batch_aligner is None:
+                self.batch_aligner = genasm.align_batch
 
     # ------------------------------------------------------------------
     def map_read(self, name: str, read: str) -> MappingResult:
-        """Run steps 1-3 for one read and return the best alignment."""
+        """Run steps 1-3 for one read and return the best alignment.
+
+        Candidate regions from both strands are collected first, then
+        filtered and aligned as single batches — the per-read unit of work
+        the batched backend vectorizes over.
+        """
         self.stats.reads += 1
         if len(read) < self.index.k:
             return MappingResult(unmapped_record(name, read), None, None, False)
 
-        best: tuple[int, Alignment, int, bool] | None = None  # score, aln, pos, rev
+        # (reverse, oriented read, candidate position, reference region)
+        candidates: list[tuple[bool, str, int, str]] = []
         for reverse in (False, True):
             oriented = (
                 self.genome.alphabet.reverse_complement(read) if reverse else read
@@ -112,17 +140,32 @@ class ReadMapper:
                 oriented, self.index, max_candidates=self.max_candidates
             ):
                 region = self._region(candidate.position, len(oriented))
-                self.stats.candidates += 1
-                if self.prefilter is not None and not self.prefilter.accepts(
-                    region, oriented
-                ):
-                    self.stats.filtered_out += 1
-                    continue
-                self.stats.alignments_run += 1
-                alignment = self.aligner(region, oriented)
-                score = alignment.score(self.scoring)
-                if best is None or score > best[0]:
-                    best = (score, alignment, candidate.position, reverse)
+                candidates.append((reverse, oriented, candidate.position, region))
+        self.stats.candidates += len(candidates)
+
+        if self.prefilter is not None and candidates:
+            verdicts = self._filter_batch(
+                [(region, oriented) for _, oriented, _, region in candidates]
+            )
+            survivors = [
+                candidate
+                for candidate, accepted in zip(candidates, verdicts)
+                if accepted
+            ]
+            self.stats.filtered_out += len(candidates) - len(survivors)
+        else:
+            survivors = candidates
+
+        self.stats.alignments_run += len(survivors)
+        alignments = self._align_batch(
+            [(region, oriented) for _, oriented, _, region in survivors]
+        )
+
+        best: tuple[int, Alignment, int, bool] | None = None  # score, aln, pos, rev
+        for (reverse, _, position, _), alignment in zip(survivors, alignments):
+            score = alignment.score(self.scoring)
+            if best is None or score > best[0]:
+                best = (score, alignment, position, reverse)
 
         if best is None:
             return MappingResult(unmapped_record(name, read), None, None, False)
@@ -145,6 +188,19 @@ class ReadMapper:
         return [self.map_read(name, sequence) for name, sequence in reads]
 
     # ------------------------------------------------------------------
+    def _filter_batch(self, pairs: list[tuple[str, str]]) -> list[bool]:
+        """Filter candidate pairs, batching when the filter supports it."""
+        accepts_batch = getattr(self.prefilter, "accepts_batch", None)
+        if accepts_batch is not None:
+            return accepts_batch(pairs)
+        return [self.prefilter.accepts(region, read) for region, read in pairs]
+
+    def _align_batch(self, pairs: list[tuple[str, str]]) -> list[Alignment]:
+        """Align surviving pairs, batching when a batch aligner exists."""
+        if self.batch_aligner is not None and len(pairs) > 1:
+            return self.batch_aligner(pairs)
+        return [self.aligner(region, read) for region, read in pairs]
+
     def _region(self, position: int, read_length: int) -> str:
         """Reference region of length ``m + k`` at a candidate location."""
         k = max(8, int(read_length * self.error_rate))
@@ -157,16 +213,18 @@ def make_genasm_mapper(
     seed_length: int = 15,
     error_rate: float = 0.15,
     use_prefilter: bool = True,
+    engine: "AlignmentEngine | str | None" = None,
 ) -> ReadMapper:
     """Convenience constructor: index the genome, attach GenASM + filter."""
     index = KmerIndex.build(genome, k=seed_length)
     prefilter = None
     if use_prefilter:
         threshold = max(4, int(200 * error_rate))
-        prefilter = GenAsmFilter(threshold)
+        prefilter = GenAsmFilter(threshold, engine=engine)
     return ReadMapper(
         genome=genome,
         index=index,
         error_rate=error_rate,
         prefilter=prefilter,
+        engine=engine,
     )

@@ -1,0 +1,220 @@
+"""Property tests: the batched backend is bit-identical to the pure one.
+
+These tests are the contract every backend must honor — distances, match
+lists, stored DC bitvectors, CIGARs, and filter decisions must all match
+the pure-Python reference exactly, across wildcard symbols, ``k = 0``,
+ragged batch shapes, and multi-word (> 64 bp) patterns.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+pytest.importorskip("numpy")
+
+from repro.core.aligner import GenAsmAligner
+from repro.core.bitap import bitap_scan
+from repro.core.genasm_dc import run_dc_window
+from repro.core.prefilter import GenAsmFilter
+from repro.engine import BatchedEngine, PurePythonEngine
+
+# min_batch=1 forces the NumPy path even for singleton batches, so the
+# vectorized kernel itself is what gets exercised.
+PURE = PurePythonEngine()
+BATCHED = BatchedEngine(min_batch=1)
+
+dna_text = st.text(alphabet="ACGTN", min_size=0, max_size=48)
+dna_pattern = st.text(alphabet="ACGTN", min_size=1, max_size=72)
+batches = st.lists(
+    st.tuples(dna_text, dna_pattern), min_size=1, max_size=10
+)
+
+
+def assert_windows_equal(expected, actual):
+    assert expected.text == actual.text
+    assert expected.pattern == actual.pattern
+    assert expected.k == actual.k
+    assert expected.edit_distance == actual.edit_distance
+    assert expected.match == actual.match
+    assert expected.insertion == actual.insertion
+    assert expected.deletion == actual.deletion
+
+
+class TestScanParity:
+    @settings(max_examples=120, deadline=None)
+    @given(pairs=batches, k=st.integers(min_value=0, max_value=6))
+    def test_full_scan_matches_pure(self, pairs, k):
+        assert BATCHED.scan_batch(pairs, k) == PURE.scan_batch(pairs, k)
+
+    @settings(max_examples=80, deadline=None)
+    @given(pairs=batches, k=st.integers(min_value=0, max_value=6))
+    def test_first_match_only_matches_pure(self, pairs, k):
+        batched = BATCHED.scan_batch(pairs, k, first_match_only=True)
+        pure = PURE.scan_batch(pairs, k, first_match_only=True)
+        assert batched == pure
+
+    @settings(max_examples=80, deadline=None)
+    @given(pairs=batches, k=st.integers(min_value=0, max_value=8))
+    def test_edit_distance_matches_pure(self, pairs, k):
+        batched = BATCHED.edit_distance_batch(pairs, k)
+        pure = PURE.edit_distance_batch(pairs, k)
+        assert batched == pure
+
+    def test_scan_matches_scalar_kernel_directly(self):
+        rng = random.Random(0xBEEF)
+        pairs = [
+            (
+                "".join(rng.choice("ACGTN") for _ in range(rng.randint(0, 60))),
+                "".join(rng.choice("ACGT") for _ in range(rng.randint(1, 80))),
+            )
+            for _ in range(32)
+        ]
+        k = 4
+        batched = BATCHED.scan_batch(pairs, k)
+        for (text, pattern), matches in zip(pairs, batched):
+            assert matches == bitap_scan(text, pattern, k)
+
+    def test_k_zero_exact_matches(self):
+        pairs = [("AAACGTAAA", "ACGT"), ("TTTT", "ACGT"), ("ACGTACGT", "ACGT")]
+        assert BATCHED.scan_batch(pairs, 0) == PURE.scan_batch(pairs, 0)
+
+    def test_multiword_patterns(self):
+        """Patterns past 64 bp exercise the cross-word carry chain."""
+        rng = random.Random(0xFACADE)
+        pairs = [
+            (
+                "".join(rng.choice("ACGT") for _ in range(rng.randint(80, 220))),
+                "".join(rng.choice("ACGT") for _ in range(rng.randint(65, 200))),
+            )
+            for _ in range(12)
+        ]
+        for k in (0, 3, 17):
+            assert BATCHED.scan_batch(pairs, k) == PURE.scan_batch(pairs, k)
+
+    def test_large_k_crosses_strategy_cutoff(self):
+        """Batches big enough to switch the kernel to the sequential chain."""
+        rng = random.Random(0xD00D)
+        pairs = [
+            (
+                "".join(rng.choice("ACGT") for _ in range(280)),
+                "".join(rng.choice("ACGT") for _ in range(250)),
+            )
+            for _ in range(48)
+        ]
+        k = 37
+        assert BATCHED.scan_batch(pairs, k) == PURE.scan_batch(pairs, k)
+
+    def test_wildcard_heavy_pairs(self):
+        pairs = [("NNNN", "NN"), ("ANGT", "ANGT"), ("NNNNNNN", "ACGT")]
+        for k in (0, 1, 2):
+            assert BATCHED.scan_batch(pairs, k) == PURE.scan_batch(pairs, k)
+
+    def test_empty_batch(self):
+        assert BATCHED.scan_batch([], 3) == []
+
+    def test_empty_texts(self):
+        pairs = [("", "ACGT"), ("ACGT", "ACGT"), ("", "GG")]
+        assert BATCHED.scan_batch(pairs, 2) == PURE.scan_batch(pairs, 2)
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            BATCHED.scan_batch([("ACGT", ""), ("ACGT", "A")], 1)
+
+
+class TestDcWindowParity:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        jobs=st.lists(
+            st.tuples(
+                st.text(alphabet="ACGTN", min_size=1, max_size=64),
+                st.text(alphabet="ACGTN", min_size=1, max_size=64),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_windows_match_pure(self, jobs):
+        for expected, actual in zip(
+            PURE.run_dc_windows(jobs), BATCHED.run_dc_windows(jobs)
+        ):
+            assert_windows_equal(expected, actual)
+
+    def test_budget_doubling_schedule_replayed(self):
+        """Dissimilar windows force budget retries; k must match pure's."""
+        jobs = [
+            ("A" * 40, "T" * 40),  # needs the full budget ladder
+            ("ACGT" * 10, "ACGT" * 10),  # solves at the initial budget
+            ("AC", "TG"),  # short pattern clamps the initial budget
+        ]
+        for expected, actual in zip(
+            PURE.run_dc_windows(jobs), BATCHED.run_dc_windows(jobs)
+        ):
+            assert_windows_equal(expected, actual)
+
+    def test_matches_scalar_kernel_directly(self):
+        jobs = [("ACGTTGCA", "ACGTGCA"), ("GGGG", "GGG"), ("TTTTT", "TATAT")]
+        for (text, pattern), window in zip(jobs, BATCHED.run_dc_windows(jobs)):
+            assert_windows_equal(run_dc_window(text, pattern), window)
+
+    def test_empty_text_raises_like_pure(self):
+        from repro.core.genasm_dc import WindowUnalignableError
+
+        with pytest.raises(WindowUnalignableError):
+            BATCHED.run_dc_windows([("ACGT", "ACGT"), ("", "ACGT")])
+
+
+class TestAlignerParity:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.text(alphabet="ACGT", min_size=0, max_size=90),
+                st.text(alphabet="ACGT", min_size=1, max_size=80),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_align_batch_cigars_match_pure(self, pairs):
+        pure_aligner = GenAsmAligner(engine=PURE)
+        batched_aligner = GenAsmAligner(engine=BATCHED)
+        expected = [pure_aligner.align(t, p) for t, p in pairs]
+        actual = batched_aligner.align_batch(pairs)
+        for exp, act in zip(expected, actual):
+            assert str(exp.cigar) == str(act.cigar)
+            assert exp.edit_distance == act.edit_distance
+            assert exp.text_consumed == act.text_consumed
+
+
+class TestFilterParity:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        pairs=st.lists(
+            st.tuples(dna_text, st.text(alphabet="ACGTN", max_size=40)),
+            min_size=1,
+            max_size=12,
+        ),
+        threshold=st.integers(min_value=0, max_value=8),
+    )
+    def test_decisions_match_pure(self, pairs, threshold):
+        pure_filter = GenAsmFilter(threshold, engine=PURE)
+        batched_filter = GenAsmFilter(threshold, engine=BATCHED)
+        assert batched_filter.decide_batch(pairs) == pure_filter.decide_batch(
+            pairs
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        pairs=st.lists(
+            st.tuples(dna_text, st.text(alphabet="ACGTN", max_size=40)),
+            min_size=1,
+            max_size=12,
+        ),
+        threshold=st.integers(min_value=0, max_value=8),
+    )
+    def test_accepts_batch_agrees_with_decide_batch(self, pairs, threshold):
+        batched_filter = GenAsmFilter(threshold, engine=BATCHED)
+        decisions = batched_filter.decide_batch(pairs)
+        verdicts = batched_filter.accepts_batch(pairs)
+        assert verdicts == [decision.accepted for decision in decisions]

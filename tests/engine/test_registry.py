@@ -1,0 +1,105 @@
+"""Unit tests for the backend registry and engine resolution."""
+
+import pytest
+
+from repro.engine import (
+    ENGINE_ENV_VAR,
+    AlignmentEngine,
+    BatchedEngine,
+    PurePythonEngine,
+    UnknownEngineError,
+    available_engines,
+    default_engine_name,
+    get_engine,
+    register_engine,
+    registered_engines,
+)
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        names = registered_engines()
+        assert "pure" in names
+        assert "batched" in names
+
+    def test_pure_always_available(self):
+        assert "pure" in available_engines()
+
+    def test_get_engine_by_name(self):
+        assert isinstance(get_engine("pure"), PurePythonEngine)
+
+    def test_get_engine_caches_instances(self):
+        assert get_engine("pure") is get_engine("pure")
+
+    def test_instance_passes_through(self):
+        engine = PurePythonEngine()
+        assert get_engine(engine) is engine
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownEngineError):
+            get_engine("definitely-not-a-backend")
+
+    def test_default_prefers_batched_when_available(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV_VAR, raising=False)
+        expected = "batched" if BatchedEngine.is_available() else "pure"
+        assert default_engine_name() == expected
+
+    def test_env_var_overrides_default(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "pure")
+        assert default_engine_name() == "pure"
+        assert isinstance(get_engine(), PurePythonEngine)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_engine(PurePythonEngine)
+
+    def test_custom_backend_registration(self):
+        class NullEngine(PurePythonEngine):
+            name = "null-test-backend"
+
+        try:
+            register_engine(NullEngine)
+            assert "null-test-backend" in registered_engines()
+            assert isinstance(get_engine("null-test-backend"), NullEngine)
+        finally:
+            from repro.engine import registry
+
+            registry._REGISTRY.pop("null-test-backend", None)
+            registry._INSTANCES.pop("null-test-backend", None)
+
+    def test_abstract_name_rejected(self):
+        class Anonymous(PurePythonEngine):
+            name = AlignmentEngine.name
+
+        with pytest.raises(ValueError):
+            register_engine(Anonymous)
+
+    def test_unavailable_backend_rejected(self):
+        class Ghost(PurePythonEngine):
+            name = "ghost-test-backend"
+
+            @classmethod
+            def is_available(cls):
+                return False
+
+        try:
+            register_engine(Ghost)
+            assert "ghost-test-backend" not in available_engines()
+            with pytest.raises(UnknownEngineError):
+                get_engine("ghost-test-backend")
+        finally:
+            from repro.engine import registry
+
+            registry._REGISTRY.pop("ghost-test-backend", None)
+
+
+class TestBatchedConstruction:
+    def test_min_batch_validated(self):
+        pytest.importorskip("numpy")
+        with pytest.raises(ValueError):
+            BatchedEngine(min_batch=0)
+
+    def test_negative_k_rejected(self):
+        pytest.importorskip("numpy")
+        with pytest.raises(ValueError):
+            BatchedEngine().scan_batch([("ACGT", "ACGT")] * 4, -1)
