@@ -8,12 +8,42 @@ stable artifacts.
 
 from __future__ import annotations
 
+import json
+import os
+import platform
 from pathlib import Path
 from typing import Sequence
 
 from repro.eval.reporting import format_table
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Repo root — where the cross-PR machine-readable artifacts live.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def machine_info() -> dict:
+    """Provenance fields stamped into every machine-readable artifact."""
+    from repro import __version__
+
+    return {
+        "version": __version__,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def emit_json(path: Path, benchmark: str, payload: dict) -> dict:
+    """Write one ``BENCH_*.json`` artifact with standard provenance keys.
+
+    The artifact layout is shared by every bench that is tracked across
+    PRs: a ``benchmark`` tag, the :func:`machine_info` fields, then the
+    bench-specific payload. Returns the full document.
+    """
+    document = {"benchmark": benchmark, **machine_info(), **payload}
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    return document
 
 
 def emit_table(

@@ -20,20 +20,17 @@ Run:  PYTHONPATH=src python benchmarks/bench_batch_engine.py [--smoke]
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import random
 import time
 from pathlib import Path
 
-from _common import emit_table
+from _common import REPO_ROOT, emit_json, emit_table
 
-from repro import __version__
 from repro.core.aligner import GenAsmAligner
 from repro.engine import available_engines, get_engine
 from repro.sequences.mutate import MutationProfile, mutate
 
-DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_batch_engine.json"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_batch_engine.json"
 
 #: Error-budget padding, mirroring the mapping pipeline's region sizing.
 def _threshold(read_length: int, error_rate: float) -> int:
@@ -190,16 +187,16 @@ def main() -> None:
         "configs_ge_3x_at_batch_ge_64": sum(1 for s in at_scale if s >= 3.0),
     }
 
-    payload = {
-        "benchmark": "batch_engine",
-        "version": __version__,
-        "python": platform.python_version(),
-        "smoke": args.smoke,
-        "results": results,
-        "speedups": speedups,
-        "summary": summary,
-    }
-    args.output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    emit_json(
+        args.output,
+        "batch_engine",
+        {
+            "smoke": args.smoke,
+            "results": results,
+            "speedups": speedups,
+            "summary": summary,
+        },
+    )
 
     rows = [
         [

@@ -13,6 +13,8 @@ Bitap-compatible traceback. This package reproduces the paper end to end:
   vault-level parallelism, and the analytical performance/area/power models;
 * :mod:`repro.mapping` — a full read-mapping pipeline (index, seed, filter,
   align) hosting GenASM as its alignment step;
+* :mod:`repro.serving` — the asyncio alignment server that batches many
+  concurrent requests into few large engine calls;
 * :mod:`repro.eval` — datasets, metrics, and one experiment driver per
   table/figure in the paper's evaluation.
 """
@@ -32,28 +34,38 @@ from repro.core import (
 from repro.engine import (
     AlignmentEngine,
     BatchedEngine,
+    EngineInfo,
     PurePythonEngine,
+    ShardedEngine,
     available_engines,
+    engine_info,
     get_engine,
     register_engine,
 )
+from repro.serving import AlignmentServer, ServerClosedError, ServingStats
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Alignment",
     "AlignmentEngine",
+    "AlignmentServer",
     "BatchedEngine",
     "Cigar",
+    "EngineInfo",
     "GenAsmAligner",
     "GenAsmFilter",
     "PurePythonEngine",
     "ScoringScheme",
+    "ServerClosedError",
+    "ServingStats",
+    "ShardedEngine",
     "TracebackConfig",
     "__version__",
     "available_engines",
     "bitap_edit_distance",
     "bitap_scan",
+    "engine_info",
     "genasm_align",
     "genasm_edit_distance",
     "get_engine",

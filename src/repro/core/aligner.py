@@ -121,10 +121,22 @@ class GenAsmAligner:
         collects every still-active pair's current window and hands the
         whole set to the engine's :meth:`run_dc_windows` (one vectorized
         pass on the batched backend), then runs the cheap per-window
-        traceback sequentially. Output is bit-identical to calling
-        :meth:`align` per pair, in input order.
+        traceback sequentially. Backends that fan out whole alignments
+        (the sharded backend exposes an ``align_batch`` of its own, with the
+        pair — not the window round — as the IPC unit) are delegated to
+        instead. Output is bit-identical to calling :meth:`align` per pair,
+        in input order.
         """
         pairs = [(text, pattern) for text, pattern in pairs]
+        engine_align = getattr(self.engine, "align_batch", None)
+        if engine_align is not None:
+            return engine_align(
+                pairs,
+                alphabet=self.alphabet,
+                window_size=self.window_size,
+                overlap=self.overlap,
+                config=self.config,
+            )
         consume_limit = self.window_size - self.overlap
         cur_text = [0] * len(pairs)
         cur_pattern = [0] * len(pairs)

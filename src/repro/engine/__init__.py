@@ -5,12 +5,17 @@ The registry (:mod:`repro.engine.registry`) maps backend names to
 
 * ``"pure"`` — :class:`PurePythonEngine`, the scalar reference kernels;
 * ``"batched"`` — :class:`BatchedEngine`, NumPy uint64 arrays running the
-  Bitap / GenASM-DC recurrence across a whole batch per operation.
+  Bitap / GenASM-DC recurrence across a whole batch per operation;
+* ``"sharded"`` — :class:`ShardedEngine`, the batch interface chunked over a
+  ``multiprocessing`` pool of in-process workers (multi-core throughput for
+  large batches / long reads).
 
 Pick a backend per call site (``GenAsmAligner(engine="batched")``), per
 process (``REPRO_ENGINE=pure``), or let :func:`get_engine` choose the best
-available one. Future backends (process-pool sharding, CuPy/GPU) plug in via
-:func:`register_engine` without touching the call sites.
+available one. :func:`engine_info` / ``available_engines(detailed=True)``
+surface capability metadata (worker count, availability reason) per backend.
+Future backends (CuPy/GPU) plug in via :func:`register_engine` without
+touching the call sites.
 """
 
 from repro.engine.batched import BatchedEngine
@@ -18,22 +23,28 @@ from repro.engine.pure import PurePythonEngine
 from repro.engine.registry import (
     ENGINE_ENV_VAR,
     AlignmentEngine,
+    EngineInfo,
     UnknownEngineError,
     available_engines,
     default_engine_name,
+    engine_info,
     get_engine,
     register_engine,
     registered_engines,
 )
+from repro.engine.sharded import ShardedEngine
 
 __all__ = [
     "ENGINE_ENV_VAR",
     "AlignmentEngine",
     "BatchedEngine",
+    "EngineInfo",
     "PurePythonEngine",
+    "ShardedEngine",
     "UnknownEngineError",
     "available_engines",
     "default_engine_name",
+    "engine_info",
     "get_engine",
     "register_engine",
     "registered_engines",

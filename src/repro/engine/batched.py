@@ -128,6 +128,10 @@ class BatchedEngine(AlignmentEngine):
     def is_available(cls) -> bool:
         return numpy_available()
 
+    @classmethod
+    def unavailable_reason(cls) -> str | None:
+        return None if numpy_available() else "NumPy is not installed"
+
     # ------------------------------------------------------------------
     # Bitap scan
     # ------------------------------------------------------------------

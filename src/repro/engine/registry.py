@@ -20,7 +20,9 @@ available backend wins).
 from __future__ import annotations
 
 import os
+import warnings
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from typing import ClassVar, Sequence
 
 from repro.core.bitap import BitapMatch
@@ -36,6 +38,29 @@ _DEFAULT_PREFERENCE = ("batched", "pure")
 
 class UnknownEngineError(KeyError):
     """Raised when a requested backend is not registered or unavailable."""
+
+
+@dataclass(frozen=True)
+class EngineInfo:
+    """Capability metadata for one registered backend.
+
+    Attributes
+    ----------
+    name:
+        Registry key.
+    available:
+        Whether the backend can run right now.
+    reason:
+        Why the backend is unavailable (None when available).
+    workers:
+        Degree of intra-engine parallelism — 1 for in-process backends,
+        the process-pool size for the sharded backend.
+    """
+
+    name: str
+    available: bool
+    reason: str | None
+    workers: int
 
 
 class AlignmentEngine(ABC):
@@ -55,6 +80,18 @@ class AlignmentEngine(ABC):
     def is_available(cls) -> bool:
         """Whether this backend can run in the current environment."""
         return True
+
+    @classmethod
+    def unavailable_reason(cls) -> str | None:
+        """Why :meth:`is_available` is False (None when available)."""
+        if cls.is_available():
+            return None
+        return "missing optional dependency"
+
+    @classmethod
+    def default_worker_count(cls) -> int:
+        """Parallel workers a default-constructed instance would use."""
+        return 1
 
     @abstractmethod
     def scan_batch(
@@ -115,23 +152,91 @@ def registered_engines() -> list[str]:
     return sorted(_REGISTRY)
 
 
-def available_engines() -> list[str]:
-    """Backend names whose dependencies are satisfied right now."""
-    return [name for name in sorted(_REGISTRY) if _REGISTRY[name].is_available()]
+def available_engines(
+    *, detailed: bool = False
+) -> list[str] | list[EngineInfo]:
+    """Backends whose dependencies are satisfied right now.
+
+    Returns sorted names by default; with ``detailed=True``, returns one
+    :class:`EngineInfo` per available backend (worker count included) so
+    callers can pick by capability rather than by name.
+    """
+    if not detailed:
+        return [
+            name for name in sorted(_REGISTRY) if _REGISTRY[name].is_available()
+        ]
+    return [info for info in engine_info() if info.available]
 
 
-def default_engine_name() -> str:
-    """Resolve the default backend: env override, then best available."""
-    env = os.environ.get(ENGINE_ENV_VAR)
-    if env:
-        return env
+def engine_info() -> list[EngineInfo]:
+    """Capability metadata for every registered backend, available or not."""
+    infos = []
+    for name in sorted(_REGISTRY):
+        cls = _REGISTRY[name]
+        available = cls.is_available()
+        infos.append(
+            EngineInfo(
+                name=name,
+                available=available,
+                reason=None if available else cls.unavailable_reason(),
+                workers=cls.default_worker_count() if available else 0,
+            )
+        )
+    return infos
+
+
+def _best_available_name() -> str:
+    """Best backend by preference order, then any available one."""
     for name in _DEFAULT_PREFERENCE:
         cls = _REGISTRY.get(name)
         if cls is not None and cls.is_available():
             return name
-    for name in available_engines():
-        return name
-    raise UnknownEngineError("no alignment engine is available")
+    for name in sorted(_REGISTRY):
+        if _REGISTRY[name].is_available():
+            return name
+    reasons = "; ".join(
+        f"{info.name}: {info.reason or 'unavailable'}"
+        for info in engine_info()
+    )
+    raise UnknownEngineError(
+        "no alignment engine is available"
+        + (f" ({reasons})" if reasons else " (none registered)")
+    )
+
+
+def default_engine_name() -> str:
+    """Resolve the default backend: validated env override, then best available.
+
+    A ``REPRO_ENGINE`` value that names an unregistered or unavailable
+    backend is diagnosed here — at resolution time — with a
+    :class:`RuntimeWarning` naming the registered engines, and the best
+    available backend is used instead. (Explicitly passing a bogus name to
+    :func:`get_engine` still raises; only the ambient env default degrades.)
+    """
+    env = os.environ.get(ENGINE_ENV_VAR)
+    if env:
+        cls = _REGISTRY.get(env)
+        if cls is not None and cls.is_available():
+            return env
+        fallback = _best_available_name()
+        if cls is None:
+            problem = (
+                f"does not name a registered engine "
+                f"(registered: {', '.join(registered_engines())})"
+            )
+        else:
+            problem = (
+                f"is registered but unavailable "
+                f"({cls.unavailable_reason() or 'missing optional dependency'})"
+            )
+        warnings.warn(
+            f"{ENGINE_ENV_VAR}={env!r} {problem}; "
+            f"falling back to {fallback!r}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return fallback
+    return _best_available_name()
 
 
 def get_engine(
@@ -155,7 +260,7 @@ def get_engine(
     if not cls.is_available():
         raise UnknownEngineError(
             f"engine {name!r} is registered but unavailable "
-            "(missing optional dependency?)"
+            f"({cls.unavailable_reason() or 'missing optional dependency'})"
         )
     instance = _INSTANCES.get(name)
     if instance is None:

@@ -1,0 +1,364 @@
+"""Process-pool sharded backend: the batch interface across many cores.
+
+Python's per-process GIL caps the pure and NumPy-batched backends at one
+core. This backend shards the *batch* dimension instead: ``scan_batch`` and
+``run_dc_windows`` split their job lists into contiguous chunks, submit the
+chunks to a persistent ``multiprocessing`` pool whose workers each host an
+ordinary in-process engine (``"batched"`` when NumPy is importable, else
+``"pure"``), and concatenate the per-chunk results back in submission order
+— so output stays bit-identical to the reference backend, just computed on
+several cores at once.
+
+The economics mirror the GenASM batching story one level up: IPC costs
+(pickling jobs and results, pool scheduling) are paid per *chunk*, so the
+backend only wins when each chunk carries real work. That makes it the
+right tool for the long-read workloads (10 kbp patterns, large error
+budgets) where single-core NumPy stays near parity with Python big-ints,
+and the wrong tool for tiny batches — which is why batches below
+``min_batch`` jobs short-circuit to the in-process engine, paying zero IPC.
+
+The pool is created lazily on the first sharded call and lives for the
+engine instance's lifetime (the registry caches instances, so the spawn
+cost is paid once per process). ``close()`` — or using the engine as a
+context manager — tears it down early; the interpreter's multiprocessing
+finalizers clean up whatever remains at exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import threading
+from typing import Any, Callable, Sequence, TypeVar
+
+from repro.core.bitap import BitapMatch
+from repro.core.genasm_dc import WindowBitvectors
+from repro.engine.registry import AlignmentEngine, register_engine
+from repro.sequences.alphabet import DNA, Alphabet
+
+T = TypeVar("T")
+
+#: Hard cap on the default pool size; past this, chunk scheduling and
+#: result pickling dominate for every workload we serve.
+_MAX_DEFAULT_WORKERS = 8
+
+
+def _default_workers() -> int:
+    return max(1, min(os.cpu_count() or 1, _MAX_DEFAULT_WORKERS))
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Pick a start method that is safe *right now*.
+
+    Fork is cheapest (workers inherit imports), but forking a process with
+    live threads is unsound — a child can inherit a lock held by another
+    thread and deadlock, and Python 3.12+ warns about it. The serving layer
+    creates pools lazily from its flush worker thread while the event loop
+    thread runs, which is exactly that case, so fork is only used when this
+    process is still single-threaded; otherwise forkserver (or spawn)
+    starts workers from a clean process.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods and threading.active_count() == 1:
+        return multiprocessing.get_context("fork")
+    for method in ("forkserver", "spawn"):
+        if method in methods:
+            return multiprocessing.get_context(method)
+    return multiprocessing.get_context("fork")  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# Worker-side code. These must be module-level (picklable by reference);
+# each worker process hosts one in-process engine resolved once by the
+# pool initializer.
+# ----------------------------------------------------------------------
+_WORKER_ENGINE: AlignmentEngine | None = None
+
+
+def _init_worker(inner_name: str) -> None:
+    global _WORKER_ENGINE
+    from repro.engine.registry import get_engine
+
+    _WORKER_ENGINE = get_engine(inner_name)
+
+
+def _scan_chunk(
+    args: tuple[list[tuple[str, str]], int, Alphabet, bool],
+) -> list[list[BitapMatch]]:
+    pairs, k, alphabet, first_match_only = args
+    return _WORKER_ENGINE.scan_batch(
+        pairs, k, alphabet=alphabet, first_match_only=first_match_only
+    )
+
+
+def _dc_chunk(
+    args: tuple[list[tuple[str, str]], Alphabet, int],
+) -> list[WindowBitvectors]:
+    jobs, alphabet, initial_budget = args
+    return _WORKER_ENGINE.run_dc_windows(
+        jobs, alphabet=alphabet, initial_budget=initial_budget
+    )
+
+
+def _align_chunk(
+    args: tuple[list[tuple[str, str]], Alphabet, int, int, Any],
+) -> list[Any]:
+    pairs, alphabet, window_size, overlap, config = args
+    from repro.core.aligner import GenAsmAligner
+
+    aligner = GenAsmAligner(
+        window_size=window_size,
+        overlap=overlap,
+        config=config,
+        alphabet=alphabet,
+        engine=_WORKER_ENGINE,
+    )
+    return aligner.align_batch(pairs)
+
+
+@register_engine
+class ShardedEngine(AlignmentEngine):
+    """Chunked fan-out of the batch interface over a process pool.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; defaults to ``min(cpu_count, 8)``.
+    inner:
+        Name of the in-process backend each worker hosts. Defaults to the
+        best single-process backend (``"batched"`` if NumPy is available,
+        else ``"pure"``). Must not itself be ``"sharded"``.
+    min_batch:
+        Batches smaller than this run on an in-process copy of ``inner``
+        instead of crossing the IPC boundary (identical results, no pool
+        spin-up for small jobs). Defaults to ``4 * workers``.
+    chunks_per_worker:
+        How many chunks to cut each batch into per worker. Values above 1
+        smooth out load imbalance from uneven job sizes at a slightly
+        higher per-chunk IPC cost.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        *,
+        workers: int | None = None,
+        inner: str | None = None,
+        min_batch: int | None = None,
+        chunks_per_worker: int = 2,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be at least 1")
+        if chunks_per_worker < 1:
+            raise ValueError("chunks_per_worker must be at least 1")
+        if inner == self.name:
+            raise ValueError("inner engine must be an in-process backend")
+        self.workers = workers if workers is not None else _default_workers()
+        self.inner_name = inner if inner is not None else _best_inner_name()
+        self.min_batch = (
+            min_batch if min_batch is not None else 4 * self.workers
+        )
+        self.chunks_per_worker = chunks_per_worker
+        from repro.engine.registry import get_engine
+
+        self._local = get_engine(self.inner_name)
+        self._pool: multiprocessing.pool.Pool | None = None
+        self._atexit_registered = False
+
+    # ------------------------------------------------------------------
+    # Availability / capability metadata
+    # ------------------------------------------------------------------
+    @classmethod
+    def is_available(cls) -> bool:
+        try:
+            # Platforms without a working semaphore implementation (some
+            # sandboxes) raise on this import; a pool cannot start there.
+            import multiprocessing.synchronize  # noqa: F401
+        except ImportError:  # pragma: no cover - platform-specific
+            return False
+        return True
+
+    @classmethod
+    def unavailable_reason(cls) -> str | None:
+        if cls.is_available():
+            return None
+        return "multiprocessing semaphores are unsupported on this platform"
+
+    @classmethod
+    def default_worker_count(cls) -> int:
+        return _default_workers()
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> multiprocessing.pool.Pool:
+        if self._pool is None:
+            self._pool = _pool_context().Pool(
+                processes=self.workers,
+                initializer=_init_worker,
+                initargs=(self.inner_name,),
+            )
+            # Terminate before interpreter teardown; a pool collected during
+            # shutdown spews "Exception ignored in Pool.__del__" noise.
+            if not self._atexit_registered:
+                self._atexit_registered = True
+                atexit.register(self.close)
+        return self._pool
+
+    def warm_up(self) -> None:
+        """Spawn the worker pool now instead of on the first sharded call.
+
+        Call this at service startup, while the process is still
+        single-threaded: the pool then uses the cheap fork start method and
+        the spawn cost is off the request path. The serving layer warms any
+        engine exposing this method when the server is constructed.
+        """
+        self._ensure_pool()
+
+    def close(self) -> None:
+        """Tear down the worker pool (recreated lazily if used again)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        if self._atexit_registered:
+            self._atexit_registered = False
+            atexit.unregister(self.close)
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Sharded batch interface
+    # ------------------------------------------------------------------
+    def _shard(self, jobs: list[T]) -> list[list[T]]:
+        """Contiguous chunks; concatenating them restores input order."""
+        target = self.workers * self.chunks_per_worker
+        chunk_size = max(1, -(-len(jobs) // target))
+        return [
+            jobs[i : i + chunk_size] for i in range(0, len(jobs), chunk_size)
+        ]
+
+    def _run_sharded(
+        self,
+        jobs: list[T],
+        worker_fn: Callable[..., list[Any]],
+        extra: tuple,
+        local_fn: Callable[[list[T]], list[Any]],
+    ) -> list[Any]:
+        chunks = self._shard(jobs)
+        if len(chunks) == 1:
+            # One chunk would serialize through one worker anyway; skip IPC.
+            return local_fn(jobs)
+        pool = self._ensure_pool()
+        results = pool.map(worker_fn, [(chunk, *extra) for chunk in chunks])
+        return [item for chunk_result in results for item in chunk_result]
+
+    def scan_batch(
+        self,
+        pairs: Sequence[tuple[str, str]],
+        k: int,
+        *,
+        alphabet: Alphabet = DNA,
+        first_match_only: bool = False,
+    ) -> list[list[BitapMatch]]:
+        if k < 0:
+            raise ValueError("edit distance threshold k must be non-negative")
+        pairs = list(pairs)
+        if not pairs:
+            return []
+        def local(chunk: list[tuple[str, str]]) -> list[list[BitapMatch]]:
+            return self._local.scan_batch(
+                chunk, k, alphabet=alphabet, first_match_only=first_match_only
+            )
+
+        if len(pairs) < self.min_batch:
+            return local(pairs)
+        return self._run_sharded(
+            pairs, _scan_chunk, (k, alphabet, first_match_only), local
+        )
+
+    def run_dc_windows(
+        self,
+        jobs: Sequence[tuple[str, str]],
+        *,
+        alphabet: Alphabet = DNA,
+        initial_budget: int = 8,
+    ) -> list[WindowBitvectors]:
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        def local(chunk: list[tuple[str, str]]) -> list[WindowBitvectors]:
+            return self._local.run_dc_windows(
+                chunk, alphabet=alphabet, initial_budget=initial_budget
+            )
+
+        if len(jobs) < self.min_batch:
+            return local(jobs)
+        return self._run_sharded(
+            jobs, _dc_chunk, (alphabet, initial_budget), local
+        )
+
+    def align_batch(
+        self,
+        pairs: Sequence[tuple[str, str]],
+        *,
+        alphabet: Alphabet = DNA,
+        window_size: int | None = None,
+        overlap: int | None = None,
+        config: Any = None,
+    ) -> list[Any]:
+        """Shard whole windowed alignments across the pool.
+
+        For full GenASM alignments the right fan-out unit is the *pair*,
+        not the window round: each worker runs the entire windowed DC + TB
+        loop for its chunk, so one IPC round trip covers hundreds of window
+        rounds and only sequences go out / compact CIGARs come back. The
+        serving layer prefers this entry point for ``align`` traffic when
+        the engine provides it. Output order and bits match
+        :meth:`GenAsmAligner.align_batch` on any in-process backend.
+        """
+        from repro.core.aligner import (
+            DEFAULT_OVERLAP,
+            DEFAULT_WINDOW_SIZE,
+            GenAsmAligner,
+        )
+
+        window_size = (
+            DEFAULT_WINDOW_SIZE if window_size is None else window_size
+        )
+        overlap = DEFAULT_OVERLAP if overlap is None else overlap
+        pairs = list(pairs)
+        if not pairs:
+            return []
+
+        def local(chunk: list[tuple[str, str]]) -> list[Any]:
+            aligner = GenAsmAligner(
+                window_size=window_size,
+                overlap=overlap,
+                config=config,
+                alphabet=alphabet,
+                engine=self._local,
+            )
+            return aligner.align_batch(chunk)
+
+        if len(pairs) < min(self.min_batch, 2 * self.workers):
+            return local(pairs)
+        return self._run_sharded(
+            pairs,
+            _align_chunk,
+            (alphabet, window_size, overlap, config),
+            local,
+        )
+
+
+def _best_inner_name() -> str:
+    """Best single-process backend for workers to host."""
+    from repro.engine.batched import BatchedEngine
+
+    return "batched" if BatchedEngine.is_available() else "pure"

@@ -120,72 +120,133 @@ class ReadMapper:
 
     # ------------------------------------------------------------------
     def map_read(self, name: str, read: str) -> MappingResult:
-        """Run steps 1-3 for one read and return the best alignment.
+        """Run steps 1-3 for one read and return the best alignment."""
+        return self.map_reads([(name, read)])[0]
 
-        Candidate regions from both strands are collected first, then
-        filtered and aligned as single batches — the per-read unit of work
-        the batched backend vectorizes over.
+    def map_reads(self, reads: Sequence[tuple[str, str]]) -> list[MappingResult]:
+        """Map a batch of (name, sequence) reads with cross-read batching.
+
+        Candidate regions from both strands of *every* read are collected
+        first, then filtered and aligned as single cross-read batches — the
+        same amortization the serving layer performs across concurrent
+        clients, applied to one standalone call. Results are identical to
+        mapping each read alone (candidates are independent pairs), in
+        input order.
         """
-        self.stats.reads += 1
-        if len(read) < self.index.k:
-            return MappingResult(unmapped_record(name, read), None, None, False)
+        self.stats.reads += len(reads)
 
-        # (reverse, oriented read, candidate position, reference region)
-        candidates: list[tuple[bool, str, int, str]] = []
-        for reverse in (False, True):
-            oriented = (
-                self.genome.alphabet.reverse_complement(read) if reverse else read
-            )
-            for candidate in candidate_locations(
-                oriented, self.index, max_candidates=self.max_candidates
-            ):
-                region = self._region(candidate.position, len(oriented))
-                candidates.append((reverse, oriented, candidate.position, region))
-        self.stats.candidates += len(candidates)
+        # Per read: (reverse, oriented read, candidate position, region).
+        per_read: list[list[tuple[bool, str, int, str]]] = []
+        for _, read in reads:
+            if len(read) < self.index.k:
+                per_read.append([])
+                continue
+            candidates: list[tuple[bool, str, int, str]] = []
+            for reverse in (False, True):
+                oriented = (
+                    self.genome.alphabet.reverse_complement(read)
+                    if reverse
+                    else read
+                )
+                for candidate in candidate_locations(
+                    oriented, self.index, max_candidates=self.max_candidates
+                ):
+                    region = self._region(candidate.position, len(oriented))
+                    candidates.append(
+                        (reverse, oriented, candidate.position, region)
+                    )
+            self.stats.candidates += len(candidates)
+            per_read.append(candidates)
 
-        if self.prefilter is not None and candidates:
-            verdicts = self._filter_batch(
-                [(region, oriented) for _, oriented, _, region in candidates]
+        flat = [candidate for candidates in per_read for candidate in candidates]
+        if self.prefilter is not None and flat:
+            verdicts = iter(
+                self._filter_batch(
+                    [(region, oriented) for _, oriented, _, region in flat]
+                )
             )
+            per_read_survivors = [
+                [c for c in candidates if next(verdicts)]
+                for candidates in per_read
+            ]
             survivors = [
                 candidate
-                for candidate, accepted in zip(candidates, verdicts)
-                if accepted
+                for candidates in per_read_survivors
+                for candidate in candidates
             ]
-            self.stats.filtered_out += len(candidates) - len(survivors)
+            self.stats.filtered_out += len(flat) - len(survivors)
         else:
-            survivors = candidates
+            survivors = flat
+            per_read_survivors = per_read
 
         self.stats.alignments_run += len(survivors)
-        alignments = self._align_batch(
-            [(region, oriented) for _, oriented, _, region in survivors]
+        alignments = iter(
+            self._align_batch(
+                [(region, oriented) for _, oriented, _, region in survivors]
+            )
         )
 
-        best: tuple[int, Alignment, int, bool] | None = None  # score, aln, pos, rev
-        for (reverse, _, position, _), alignment in zip(survivors, alignments):
-            score = alignment.score(self.scoring)
-            if best is None or score > best[0]:
-                best = (score, alignment, position, reverse)
+        results: list[MappingResult] = []
+        for (name, read), read_survivors in zip(reads, per_read_survivors):
+            # score, alignment, position, reverse
+            best: tuple[int, Alignment, int, bool] | None = None
+            for reverse, _, position, _ in read_survivors:
+                alignment = next(alignments)
+                score = alignment.score(self.scoring)
+                if best is None or score > best[0]:
+                    best = (score, alignment, position, reverse)
+            if best is None:
+                results.append(
+                    MappingResult(unmapped_record(name, read), None, None, False)
+                )
+                continue
+            score, alignment, position, reverse = best
+            self.stats.mapped += 1
+            record = SamRecord(
+                query_name=name,
+                flag=FLAG_REVERSE if reverse else 0,
+                reference_name=self.genome.name,
+                position=position + 1,  # SAM is 1-based
+                mapping_quality=min(60, max(0, score)),
+                cigar=alignment.cigar,
+                sequence=read,
+            )
+            results.append(MappingResult(record, alignment, position, reverse))
+        return results
 
-        if best is None:
-            return MappingResult(unmapped_record(name, read), None, None, False)
+    async def map_reads_concurrent(
+        self,
+        reads: Sequence[tuple[str, str]],
+        *,
+        batch_size: int = 32,
+        flush_interval: float = 0.002,
+        max_pending: int = 256,
+    ) -> list[MappingResult]:
+        """Map reads as concurrent requests through an alignment server.
 
-        score, alignment, position, reverse = best
-        self.stats.mapped += 1
-        record = SamRecord(
-            query_name=name,
-            flag=FLAG_REVERSE if reverse else 0,
-            reference_name=self.genome.name,
-            position=position + 1,  # SAM is 1-based
-            mapping_quality=min(60, max(0, score)),
-            cigar=alignment.cigar,
-            sequence=read,
-        )
-        return MappingResult(record, alignment, position, reverse)
+        Each read becomes an independent client coroutine against a
+        temporary :class:`~repro.serving.server.AlignmentServer` bound to
+        this mapper; the server re-batches whatever arrives within one
+        flush window through :meth:`map_reads`, so engine dispatch is
+        amortized across however many reads are in flight — the same path
+        a long-lived service shares between unrelated clients. Results
+        come back in input order.
+        """
+        import asyncio
 
-    def map_reads(self, reads: list[tuple[str, str]]) -> list[MappingResult]:
-        """Map a batch of (name, sequence) reads."""
-        return [self.map_read(name, sequence) for name, sequence in reads]
+        from repro.serving.server import AlignmentServer
+
+        async with AlignmentServer(
+            mapper=self,
+            batch_size=batch_size,
+            flush_interval=flush_interval,
+            max_pending=max_pending,
+        ) as server:
+            return list(
+                await asyncio.gather(
+                    *(server.map_read(name, read) for name, read in reads)
+                )
+            )
 
     # ------------------------------------------------------------------
     def _filter_batch(self, pairs: list[tuple[str, str]]) -> list[bool]:

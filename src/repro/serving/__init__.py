@@ -1,0 +1,22 @@
+"""Async serving layer: batch-accumulating front-end over the engines.
+
+:class:`AlignmentServer` turns many small concurrent requests (``scan``,
+``edit_distance``, ``align``, ``map_read``) into the large batches the
+engine backends are built to amortize, with a size-or-deadline flush
+policy, bounded-queue backpressure, and graceful shutdown. See
+:mod:`repro.serving.server` for the design notes.
+"""
+
+from repro.serving.server import (
+    AlignmentServer,
+    ServerClosedError,
+    ServingStats,
+    serve_requests,
+)
+
+__all__ = [
+    "AlignmentServer",
+    "ServerClosedError",
+    "ServingStats",
+    "serve_requests",
+]

@@ -1,0 +1,330 @@
+"""The asyncio alignment server: many small requests, few large engine calls.
+
+The engine layer is batch-first because every backend — NumPy arrays, a
+process pool, eventually a GPU — amortizes per-call overhead across the
+batch. A service facing many concurrent clients sees the opposite shape:
+thousands of *single-pair* requests arriving independently. This module
+bridges the two: :class:`AlignmentServer` accumulates incoming requests in
+an in-memory queue and flushes them as one engine call per request group
+whenever either
+
+* the queue reaches ``batch_size`` requests (a *size* flush), or
+* ``flush_interval`` seconds elapse after the first queued request
+  (a *deadline* flush — bounds worst-case latency under light traffic).
+
+Each request resolves its own :class:`asyncio.Future`, so callers just
+``await server.scan(...)`` and never see the batching. Flushes execute on a
+single dedicated worker thread (the engine call is synchronous and
+CPU-bound), which keeps the event loop free to keep accumulating the *next*
+batch while the current one computes — with the ``"sharded"`` backend the
+worker thread spends its time waiting on the process pool, so request
+accumulation, IPC, and kernel execution genuinely overlap.
+
+Backpressure is a bounded pending limit: at most ``max_pending`` requests
+may be queued or in flight; further submissions wait (``await``) for slots
+rather than growing the queue without bound. Shutdown is graceful —
+:meth:`stop` flushes whatever is queued, waits for in-flight batches, and
+rejects later submissions with :class:`ServerClosedError`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.core.aligner import Alignment, GenAsmAligner
+from repro.core.bitap import BitapMatch
+from repro.engine.registry import get_engine
+from repro.sequences.alphabet import DNA, Alphabet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.registry import AlignmentEngine
+    from repro.mapping.pipeline import MappingResult, ReadMapper
+
+
+class ServerClosedError(RuntimeError):
+    """Raised when a request is submitted to a stopped server."""
+
+
+@dataclass
+class ServingStats:
+    """Counters describing the batching the server actually achieved."""
+
+    requests: int = 0
+    served: int = 0
+    failed: int = 0
+    flushes: int = 0
+    size_flushes: int = 0
+    deadline_flushes: int = 0
+    final_flushes: int = 0
+    engine_calls: int = 0
+    max_batch: int = 0
+
+    @property
+    def mean_batch(self) -> float:
+        """Mean requests per flush — the amortization the queue bought."""
+        if self.flushes == 0:
+            return 0.0
+        return self.served / self.flushes if self.served else 0.0
+
+
+@dataclass
+class _Request:
+    """One queued request: its kind, batching key, payload, and future."""
+
+    kind: str
+    key: tuple
+    payload: Any
+    future: "asyncio.Future[Any]" = field(repr=False, default=None)
+
+
+class AlignmentServer:
+    """Batch-accumulating asyncio front-end over one alignment engine.
+
+    Parameters
+    ----------
+    engine:
+        Compute backend (instance, registered name, or None for the process
+        default) used for ``scan`` / ``edit_distance`` / ``align`` requests.
+    mapper:
+        Optional :class:`~repro.mapping.pipeline.ReadMapper`; required for
+        :meth:`map_read` requests, which flush through its cross-read
+        batched :meth:`~repro.mapping.pipeline.ReadMapper.map_reads`.
+    batch_size:
+        Queue length that triggers an immediate flush (``B``).
+    flush_interval:
+        Seconds after the first queued request before a deadline flush
+        (``N`` ms in the paper-style notation; bounds tail latency).
+    max_pending:
+        Backpressure bound: maximum requests queued or in flight at once.
+    alphabet:
+        Alphabet handed to every engine call.
+
+    Use as an async context manager (``async with AlignmentServer(...)``)
+    or call :meth:`stop` explicitly; both drain the queue before returning.
+    """
+
+    def __init__(
+        self,
+        *,
+        engine: "AlignmentEngine | str | None" = None,
+        mapper: "ReadMapper | None" = None,
+        batch_size: int = 64,
+        flush_interval: float = 0.005,
+        max_pending: int = 1024,
+        alphabet: Alphabet = DNA,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        if flush_interval < 0:
+            raise ValueError("flush_interval must be non-negative")
+        if max_pending < batch_size:
+            raise ValueError("max_pending must be at least batch_size")
+        self.mapper = mapper
+        if mapper is not None and engine is None:
+            self.engine = get_engine(mapper.engine)
+        else:
+            self.engine = get_engine(engine)
+        self.batch_size = batch_size
+        self.flush_interval = flush_interval
+        self.max_pending = max_pending
+        self.alphabet = alphabet
+        self.stats = ServingStats()
+        self._aligner = GenAsmAligner(engine=self.engine, alphabet=alphabet)
+        self._queue: list[_Request] = []
+        self._slots = asyncio.Semaphore(max_pending)
+        self._timer: asyncio.TimerHandle | None = None
+        self._inflight: set[asyncio.Task] = set()
+        self._closed = False
+        # One worker thread: flushes serialize behind each other while the
+        # event loop keeps accepting and accumulating the next batch.
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="alignment-server"
+        )
+        # Engines with startup cost (the sharded backend's process pool)
+        # pay it here, before the first request is in flight.
+        warm_up = getattr(self.engine, "warm_up", None)
+        if warm_up is not None:
+            warm_up()
+
+    # ------------------------------------------------------------------
+    # Request entry points
+    # ------------------------------------------------------------------
+    async def scan(
+        self,
+        text: str,
+        pattern: str,
+        k: int,
+        *,
+        first_match_only: bool = False,
+    ) -> list[BitapMatch]:
+        """Bitap-scan one (text, pattern) pair within ``k`` edits."""
+        return await self._submit(
+            "scan", (k, first_match_only), (text, pattern)
+        )
+
+    async def edit_distance(
+        self, text: str, pattern: str, k: int
+    ) -> int | None:
+        """Minimum semi-global edit distance (None above ``k``)."""
+        return await self._submit("edit_distance", (k,), (text, pattern))
+
+    async def align(self, text: str, pattern: str) -> Alignment:
+        """Full GenASM alignment of one pair (CIGAR + edit distance)."""
+        return await self._submit("align", (), (text, pattern))
+
+    async def map_read(self, name: str, read: str) -> "MappingResult":
+        """Map one read through the attached :class:`ReadMapper`."""
+        if self.mapper is None:
+            raise RuntimeError(
+                "map_read requires a server constructed with mapper=..."
+            )
+        return await self._submit("map", (), (name, read))
+
+    @property
+    def pending(self) -> int:
+        """Requests currently queued (not yet flushed)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Queueing and flush policy
+    # ------------------------------------------------------------------
+    async def _submit(self, kind: str, key: tuple, payload: Any) -> Any:
+        if self._closed:
+            raise ServerClosedError("server is stopped")
+        await self._slots.acquire()
+        try:
+            if self._closed:
+                raise ServerClosedError("server is stopped")
+            loop = asyncio.get_running_loop()
+            request = _Request(kind=kind, key=key, payload=payload)
+            request.future = loop.create_future()
+            self._queue.append(request)
+            self.stats.requests += 1
+            if len(self._queue) >= self.batch_size:
+                self._flush("size")
+            elif self._timer is None:
+                self._timer = loop.call_later(
+                    self.flush_interval, self._flush, "deadline"
+                )
+            return await request.future
+        finally:
+            self._slots.release()
+
+    def _flush(self, reason: str) -> None:
+        """Take the queue as one batch and dispatch it off-loop."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._queue:
+            return
+        batch, self._queue = self._queue, []
+        self.stats.flushes += 1
+        self.stats.max_batch = max(self.stats.max_batch, len(batch))
+        if reason == "size":
+            self.stats.size_flushes += 1
+        elif reason == "deadline":
+            self.stats.deadline_flushes += 1
+        else:
+            self.stats.final_flushes += 1
+        task = asyncio.get_running_loop().create_task(self._dispatch(batch))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _dispatch(self, batch: list[_Request]) -> None:
+        """Run one engine call per (kind, key) group; resolve futures."""
+        groups: dict[tuple, list[_Request]] = {}
+        for request in batch:
+            groups.setdefault((request.kind, *request.key), []).append(request)
+        loop = asyncio.get_running_loop()
+        for group in groups.values():
+            payloads = [request.payload for request in group]
+            kind = group[0].kind
+            key = group[0].key
+            try:
+                self.stats.engine_calls += 1
+                results = await loop.run_in_executor(
+                    self._executor, self._run_group, kind, key, payloads
+                )
+            except Exception as exc:  # noqa: BLE001 - forwarded to callers
+                for request in group:
+                    if not request.future.done():
+                        request.future.set_exception(exc)
+                self.stats.failed += len(group)
+                continue
+            for request, result in zip(group, results):
+                if not request.future.done():
+                    request.future.set_result(result)
+            self.stats.served += len(group)
+
+    def _run_group(
+        self, kind: str, key: tuple, payloads: list[Any]
+    ) -> list[Any]:
+        """Synchronous engine call for one homogeneous group (worker thread)."""
+        if kind == "scan":
+            k, first_match_only = key
+            return self.engine.scan_batch(
+                payloads,
+                k,
+                alphabet=self.alphabet,
+                first_match_only=first_match_only,
+            )
+        if kind == "edit_distance":
+            (k,) = key
+            return self.engine.edit_distance_batch(
+                payloads, k, alphabet=self.alphabet
+            )
+        if kind == "align":
+            return self._aligner.align_batch(payloads)
+        if kind == "map":
+            return self.mapper.map_reads(payloads)
+        raise ValueError(f"unknown request kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def stop(self) -> None:
+        """Drain the queue, wait for in-flight batches, reject new work."""
+        if self._closed:
+            return
+        self._closed = True
+        self._flush("final")
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+        self._executor.shutdown(wait=True)
+
+    async def __aenter__(self) -> "AlignmentServer":
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.stop()
+
+
+async def serve_requests(
+    pairs: Sequence[tuple[str, str]],
+    k: int,
+    *,
+    engine: "AlignmentEngine | str | None" = None,
+    batch_size: int = 64,
+    flush_interval: float = 0.005,
+    max_pending: int = 1024,
+) -> list[int | None]:
+    """Convenience driver: serve ``pairs`` as concurrent edit-distance
+    requests through a temporary :class:`AlignmentServer`.
+
+    Mirrors what an RPC handler would do per connection — each pair becomes
+    an independent client coroutine — and returns distances in input order.
+    """
+    async with AlignmentServer(
+        engine=engine,
+        batch_size=batch_size,
+        flush_interval=flush_interval,
+        max_pending=max_pending,
+    ) as server:
+        return list(
+            await asyncio.gather(
+                *(server.edit_distance(text, pattern, k) for text, pattern in pairs)
+            )
+        )

@@ -1,15 +1,20 @@
 """Unit tests for the backend registry and engine resolution."""
 
+import random
+import warnings
+
 import pytest
 
 from repro.engine import (
     ENGINE_ENV_VAR,
     AlignmentEngine,
     BatchedEngine,
+    EngineInfo,
     PurePythonEngine,
     UnknownEngineError,
     available_engines,
     default_engine_name,
+    engine_info,
     get_engine,
     register_engine,
     registered_engines,
@@ -91,6 +96,182 @@ class TestRegistry:
             from repro.engine import registry
 
             registry._REGISTRY.pop("ghost-test-backend", None)
+
+
+class TestEnvVarValidation:
+    """A bad REPRO_ENGINE degrades with a warning instead of a late error."""
+
+    def test_bogus_env_value_falls_back_with_warning(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "definitely-not-a-backend")
+        with pytest.warns(RuntimeWarning, match="registered"):
+            name = default_engine_name()
+        assert name in available_engines()
+
+    def test_bogus_env_value_get_engine_still_works(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "definitely-not-a-backend")
+        with pytest.warns(RuntimeWarning):
+            engine = get_engine()
+        assert isinstance(engine, AlignmentEngine)
+
+    def test_unavailable_env_value_falls_back_with_reason(self, monkeypatch):
+        class Broken(PurePythonEngine):
+            name = "broken-test-backend"
+
+            @classmethod
+            def is_available(cls):
+                return False
+
+            @classmethod
+            def unavailable_reason(cls):
+                return "synthetic test failure"
+
+        from repro.engine import registry
+
+        try:
+            register_engine(Broken)
+            monkeypatch.setenv(ENGINE_ENV_VAR, "broken-test-backend")
+            with pytest.warns(RuntimeWarning, match="synthetic test failure"):
+                name = default_engine_name()
+            assert name in available_engines()
+        finally:
+            registry._REGISTRY.pop("broken-test-backend", None)
+
+    def test_valid_env_value_no_warning(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "pure")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert default_engine_name() == "pure"
+
+    def test_explicit_bogus_name_still_raises(self, monkeypatch):
+        # Only the ambient env default degrades; explicit specs stay strict.
+        monkeypatch.delenv(ENGINE_ENV_VAR, raising=False)
+        with pytest.raises(UnknownEngineError):
+            get_engine("definitely-not-a-backend")
+
+
+class TestEngineInfo:
+    def test_info_covers_all_registered(self):
+        infos = {info.name: info for info in engine_info()}
+        assert set(infos) == set(registered_engines())
+
+    def test_available_info_has_workers_and_no_reason(self):
+        infos = {info.name: info for info in engine_info()}
+        pure = infos["pure"]
+        assert pure.available and pure.reason is None and pure.workers == 1
+
+    def test_detailed_available_engines(self):
+        detailed = available_engines(detailed=True)
+        assert all(isinstance(info, EngineInfo) for info in detailed)
+        assert [info.name for info in detailed] == available_engines()
+        assert all(info.available for info in detailed)
+
+    def test_unavailable_backend_reports_reason(self):
+        class Ghost(PurePythonEngine):
+            name = "ghost-info-backend"
+
+            @classmethod
+            def is_available(cls):
+                return False
+
+            @classmethod
+            def unavailable_reason(cls):
+                return "haunted"
+
+        from repro.engine import registry
+
+        try:
+            register_engine(Ghost)
+            infos = {info.name: info for info in engine_info()}
+            ghost = infos["ghost-info-backend"]
+            assert not ghost.available
+            assert ghost.reason == "haunted"
+            assert ghost.workers == 0
+            assert "ghost-info-backend" not in [
+                info.name for info in available_engines(detailed=True)
+            ]
+        finally:
+            registry._REGISTRY.pop("ghost-info-backend", None)
+
+
+class TestAllBackendsUnavailable:
+    """Registry behavior when nothing can run (satellite coverage)."""
+
+    @pytest.fixture
+    def empty_world(self, monkeypatch):
+        class Dead(PurePythonEngine):
+            name = "dead-test-backend"
+
+            @classmethod
+            def is_available(cls):
+                return False
+
+            @classmethod
+            def unavailable_reason(cls):
+                return "simulated outage"
+
+        from repro.engine import registry
+
+        monkeypatch.setattr(registry, "_REGISTRY", {"dead-test-backend": Dead})
+        monkeypatch.setattr(registry, "_INSTANCES", {})
+        monkeypatch.delenv(ENGINE_ENV_VAR, raising=False)
+
+    def test_default_engine_name_raises_with_reasons(self, empty_world):
+        with pytest.raises(UnknownEngineError, match="simulated outage"):
+            default_engine_name()
+
+    def test_available_engines_empty(self, empty_world):
+        assert available_engines() == []
+        assert available_engines(detailed=True) == []
+
+    def test_env_fallback_also_raises(self, empty_world, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "bogus")
+        with pytest.raises(UnknownEngineError):
+            default_engine_name()
+
+
+class TestEditDistanceBatchAcrossBackends:
+    """Direct coverage of edit_distance_batch for every registered backend."""
+
+    CASES = [
+        ("ACGTACGTACGT", "ACGTACGT"),  # clean prefix match
+        ("ACGTACGT", "TTTTTTTT"),  # hopeless pair
+        ("ACGT", "ACGTACGTACGT"),  # pattern longer than text
+        ("A" * 70 + "CGT" * 10, "A" * 68 + "CGT" * 10),  # multi-word
+    ]
+
+    @pytest.mark.parametrize("name", available_engines())
+    def test_matches_pure_reference(self, name):
+        engine = get_engine(name)
+        expected = PurePythonEngine().edit_distance_batch(self.CASES, 6)
+        assert engine.edit_distance_batch(self.CASES, 6) == expected
+
+    @pytest.mark.parametrize("name", available_engines())
+    def test_randomized_batch_matches_pure(self, name):
+        rng = random.Random(0xED17)
+        pairs = [
+            (
+                "".join(rng.choice("ACGT") for _ in range(rng.randint(5, 90))),
+                "".join(rng.choice("ACGT") for _ in range(rng.randint(1, 80))),
+            )
+            for _ in range(24)
+        ]
+        engine = get_engine(name)
+        for k in (0, 4, 11):
+            assert engine.edit_distance_batch(pairs, k) == (
+                PurePythonEngine().edit_distance_batch(pairs, k)
+            )
+
+    @pytest.mark.parametrize("name", available_engines())
+    def test_none_above_threshold(self, name):
+        engine = get_engine(name)
+        distances = engine.edit_distance_batch(
+            [("AAAAAAAA", "TTTTTTTT")] * 9, 2
+        )
+        assert distances == [None] * 9
+
+    @pytest.mark.parametrize("name", available_engines())
+    def test_empty_batch(self, name):
+        assert get_engine(name).edit_distance_batch([], 3) == []
 
 
 class TestBatchedConstruction:

@@ -92,3 +92,78 @@ class TestMapping:
         index = KmerIndex.build(genome, k=11)
         with pytest.raises(ValueError):
             ReadMapper(genome=genome, index=index, error_rate=1.5)
+
+
+class TestCrossReadBatching:
+    """map_reads batches candidates across reads; results must be identical
+    to mapping each read alone, with identical stats."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        genome = synthesize_genome(25_000, seed=21)
+        reads = simulate_reads(
+            genome,
+            count=16,
+            read_length=100,
+            profile=illumina_profile(0.05),
+            seed=22,
+        )
+        return genome, [(read.name, read.sequence) for read in reads]
+
+    def test_map_reads_equals_sequential_map_read(self, setup):
+        genome, pairs = setup
+        sequential = make_genasm_mapper(genome, seed_length=13)
+        batched = make_genasm_mapper(genome, seed_length=13)
+        expected = [sequential.map_read(n, s) for n, s in pairs]
+        actual = batched.map_reads(pairs)
+        for exp, act in zip(expected, actual):
+            assert exp.record.to_line() == act.record.to_line()
+            assert exp.candidate_position == act.candidate_position
+            assert exp.reverse == act.reverse
+        assert sequential.stats == batched.stats
+
+    def test_map_reads_without_prefilter(self, setup):
+        genome, pairs = setup
+        sequential = make_genasm_mapper(
+            genome, seed_length=13, use_prefilter=False
+        )
+        batched = make_genasm_mapper(
+            genome, seed_length=13, use_prefilter=False
+        )
+        expected = [sequential.map_read(n, s) for n, s in pairs]
+        actual = batched.map_reads(pairs)
+        for exp, act in zip(expected, actual):
+            assert exp.record.to_line() == act.record.to_line()
+        assert sequential.stats == batched.stats
+
+    def test_map_reads_mixed_short_and_normal(self, setup):
+        genome, pairs = setup
+        mixed = [pairs[0], ("tiny", "ACGT"), pairs[1]]
+        mapper = make_genasm_mapper(genome, seed_length=13)
+        results = mapper.map_reads(mixed)
+        assert len(results) == 3
+        assert not results[1].record.is_mapped
+        assert results[0].record.query_name == pairs[0][0]
+        assert results[2].record.query_name == pairs[1][0]
+
+    def test_map_reads_empty(self, setup):
+        genome, _ = setup
+        mapper = make_genasm_mapper(genome, seed_length=13)
+        assert mapper.map_reads([]) == []
+        assert mapper.stats.reads == 0
+
+    def test_map_reads_concurrent_matches_map_reads(self, setup):
+        import asyncio
+
+        genome, pairs = setup
+        direct = make_genasm_mapper(genome, seed_length=13)
+        concurrent = make_genasm_mapper(genome, seed_length=13)
+        expected = direct.map_reads(pairs)
+        actual = asyncio.run(
+            concurrent.map_reads_concurrent(
+                pairs, batch_size=4, flush_interval=0.001
+            )
+        )
+        for exp, act in zip(expected, actual):
+            assert exp.record.to_line() == act.record.to_line()
+        assert direct.stats == concurrent.stats

@@ -1,0 +1,301 @@
+"""Behavior tests for the asyncio alignment server.
+
+The server must be a transparent batching layer: every request resolves to
+exactly what a direct engine call would return, regardless of how requests
+interleave, while the flush policy (size or deadline), the backpressure
+bound, and shutdown all behave as documented. Tests drive real event loops
+via ``asyncio.run`` — no extra pytest plugins needed.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.core.aligner import GenAsmAligner
+from repro.engine import PurePythonEngine, get_engine
+from repro.mapping.pipeline import make_genasm_mapper
+from repro.sequences.genome import synthesize_genome
+from repro.sequences.read_simulator import illumina_profile, simulate_reads
+from repro.serving import AlignmentServer, ServerClosedError, serve_requests
+
+PURE = PurePythonEngine()
+
+
+def random_pairs(count, seed, text_len=(30, 90), pattern_len=(10, 80)):
+    rng = random.Random(seed)
+    return [
+        (
+            "".join(rng.choice("ACGT") for _ in range(rng.randint(*text_len))),
+            "".join(
+                rng.choice("ACGT") for _ in range(rng.randint(*pattern_len))
+            ),
+        )
+        for _ in range(count)
+    ]
+
+
+class TestRequestCorrectness:
+    def test_edit_distance_matches_engine(self):
+        pairs = random_pairs(40, seed=0xE1)
+        k = 8
+        expected = PURE.edit_distance_batch(pairs, k)
+        got = asyncio.run(
+            serve_requests(pairs, k, engine="pure", batch_size=16)
+        )
+        assert got == expected
+
+    def test_scan_and_align_match_direct_calls(self):
+        pairs = random_pairs(12, seed=0xE2)
+        k = 5
+        aligner = GenAsmAligner(engine=PURE)
+        expected_scans = PURE.scan_batch(pairs, k)
+        expected_aligns = [aligner.align(t, p) for t, p in pairs]
+
+        async def run():
+            async with AlignmentServer(engine="pure", batch_size=8) as server:
+                scans = await asyncio.gather(
+                    *(server.scan(t, p, k) for t, p in pairs)
+                )
+                aligns = await asyncio.gather(
+                    *(server.align(t, p) for t, p in pairs)
+                )
+                return scans, aligns
+
+        scans, aligns = asyncio.run(run())
+        assert list(scans) == expected_scans
+        for exp, act in zip(expected_aligns, aligns):
+            assert str(exp.cigar) == str(act.cigar)
+            assert exp.edit_distance == act.edit_distance
+
+    def test_mixed_kinds_and_keys_in_one_flush(self):
+        """Different (kind, k) groups sharing a flush each get one call."""
+        pairs = random_pairs(6, seed=0xE3)
+
+        async def run():
+            async with AlignmentServer(
+                engine="pure", batch_size=64, flush_interval=0.01
+            ) as server:
+                results = await asyncio.gather(
+                    server.edit_distance(*pairs[0], 2),
+                    server.edit_distance(*pairs[1], 7),
+                    server.scan(*pairs[2], 3),
+                    server.scan(*pairs[3], 3, first_match_only=True),
+                    server.align(*pairs[4]),
+                )
+                return results, server.stats
+
+        results, stats = asyncio.run(run())
+        assert results[0] == PURE.edit_distance_batch([pairs[0]], 2)[0]
+        assert results[1] == PURE.edit_distance_batch([pairs[1]], 7)[0]
+        assert results[2] == PURE.scan_batch([pairs[2]], 3)[0]
+        assert stats.flushes == 1
+        assert stats.engine_calls == 5  # five distinct (kind, key) groups
+
+    def test_engine_error_propagates_to_caller(self):
+        async def run():
+            async with AlignmentServer(engine="pure", batch_size=4) as server:
+                with pytest.raises(ValueError):
+                    await server.scan("ACGT", "ACGT", -1)
+                # Server stays usable after a failed batch.
+                return await server.edit_distance("ACGTACGT", "ACGT", 2)
+
+        assert asyncio.run(run()) == 0
+
+
+class TestFlushPolicy:
+    def test_size_flush_fires_at_batch_size(self):
+        pairs = random_pairs(32, seed=0xF1)
+
+        async def run():
+            # A flush interval long enough that only size flushes happen.
+            async with AlignmentServer(
+                engine="pure", batch_size=8, flush_interval=30.0
+            ) as server:
+                await asyncio.gather(
+                    *(server.edit_distance(t, p, 4) for t, p in pairs)
+                )
+                return server.stats
+
+        stats = asyncio.run(run())
+        assert stats.requests == 32
+        assert stats.size_flushes >= 1
+        assert stats.max_batch >= 8
+
+    def test_deadline_flush_fires_below_batch_size(self):
+        pairs = random_pairs(3, seed=0xF2)
+
+        async def run():
+            async with AlignmentServer(
+                engine="pure", batch_size=64, flush_interval=0.005
+            ) as server:
+                results = await asyncio.gather(
+                    *(server.edit_distance(t, p, 4) for t, p in pairs)
+                )
+                return results, server.stats
+
+        results, stats = asyncio.run(run())
+        assert len(results) == 3
+        assert stats.deadline_flushes >= 1
+        assert stats.size_flushes == 0
+
+
+class TestConcurrencyAndBackpressure:
+    def test_sustains_64_concurrent_clients(self):
+        pairs = random_pairs(256, seed=0xF3)
+        k = 6
+        expected = PURE.edit_distance_batch(pairs, k)
+
+        async def client(server, own):
+            out = []
+            for text, pattern in own:
+                out.append(await server.edit_distance(text, pattern, k))
+            return out
+
+        async def run():
+            async with AlignmentServer(
+                engine="pure",
+                batch_size=32,
+                flush_interval=0.002,
+                max_pending=128,
+            ) as server:
+                shards = [pairs[c::64] for c in range(64)]
+                got = await asyncio.gather(
+                    *(client(server, shard) for shard in shards)
+                )
+                return got, server.stats
+
+        got, stats = asyncio.run(run())
+        flat = {}
+        for c, shard_results in enumerate(got):
+            for i, value in enumerate(shard_results):
+                flat[c + 64 * i] = value
+        assert [flat[i] for i in range(len(pairs))] == expected
+        assert stats.served == len(pairs)
+        # Re-batching must actually happen under concurrency.
+        assert stats.mean_batch > 1.0
+
+    def test_pending_queue_is_bounded(self):
+        """The queue never exceeds max_pending even with a flood of clients."""
+        pairs = random_pairs(120, seed=0xF4)
+        observed = []
+
+        async def run():
+            server = AlignmentServer(
+                engine="pure",
+                batch_size=8,
+                flush_interval=0.001,
+                max_pending=16,
+            )
+
+            async def spy_client(text, pattern):
+                observed.append(server.pending)
+                return await server.edit_distance(text, pattern, 4)
+
+            async with server:
+                await asyncio.gather(*(spy_client(t, p) for t, p in pairs))
+            return server
+
+        server = asyncio.run(run())
+        assert max(observed) <= 16
+        assert server.stats.served == len(pairs)
+
+    def test_max_pending_must_cover_batch_size(self):
+        with pytest.raises(ValueError):
+            AlignmentServer(engine="pure", batch_size=64, max_pending=8)
+
+
+class TestShutdown:
+    def test_stop_drains_queued_requests(self):
+        async def run():
+            server = AlignmentServer(
+                engine="pure", batch_size=64, flush_interval=60.0
+            )
+            task = asyncio.create_task(
+                server.edit_distance("ACGTACGT", "ACGT", 2)
+            )
+            await asyncio.sleep(0)  # let the request enqueue
+            assert server.pending == 1
+            await server.stop()
+            return await task, server.stats
+
+        result, stats = asyncio.run(run())
+        assert result == 0
+        assert stats.final_flushes == 1
+
+    def test_submit_after_stop_rejected(self):
+        async def run():
+            server = AlignmentServer(engine="pure")
+            await server.stop()
+            with pytest.raises(ServerClosedError):
+                await server.edit_distance("ACGT", "ACGT", 1)
+
+        asyncio.run(run())
+
+    def test_stop_is_idempotent(self):
+        async def run():
+            async with AlignmentServer(engine="pure") as server:
+                await server.edit_distance("ACGT", "ACGT", 1)
+            await server.stop()  # second stop (after __aexit__) is a no-op
+
+        asyncio.run(run())
+
+
+class TestMapServing:
+    @pytest.fixture(scope="class")
+    def genome(self):
+        return synthesize_genome(6_000, seed=5, name="servref")
+
+    @pytest.fixture(scope="class")
+    def reads(self, genome):
+        return simulate_reads(
+            genome,
+            count=10,
+            read_length=80,
+            profile=illumina_profile(0.04),
+            seed=17,
+        )
+
+    def test_map_read_requires_mapper(self):
+        async def run():
+            async with AlignmentServer(engine="pure") as server:
+                with pytest.raises(RuntimeError):
+                    await server.map_read("r", "ACGT")
+
+        asyncio.run(run())
+
+    def test_served_mapping_matches_direct(self, genome, reads):
+        pairs = [(r.name, r.sequence) for r in reads]
+        direct = make_genasm_mapper(genome)
+        expected = [direct.map_read(n, s) for n, s in pairs]
+
+        served_mapper = make_genasm_mapper(genome)
+        results = asyncio.run(
+            served_mapper.map_reads_concurrent(
+                pairs, batch_size=4, flush_interval=0.001
+            )
+        )
+        for exp, act in zip(expected, results):
+            assert exp.record.to_line() == act.record.to_line()
+            assert exp.candidate_position == act.candidate_position
+            assert exp.reverse == act.reverse
+        assert direct.stats == served_mapper.stats
+
+    def test_server_uses_mapper_engine_by_default(self, genome):
+        mapper = make_genasm_mapper(genome, engine="pure")
+        server = AlignmentServer(mapper=mapper)
+        assert isinstance(server.engine, PurePythonEngine)
+
+
+class TestServerConstruction:
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            AlignmentServer(engine="pure", batch_size=0)
+
+    def test_invalid_flush_interval(self):
+        with pytest.raises(ValueError):
+            AlignmentServer(engine="pure", flush_interval=-1.0)
+
+    def test_engine_spec_resolution(self):
+        server = AlignmentServer(engine=get_engine("pure"))
+        assert isinstance(server.engine, PurePythonEngine)
