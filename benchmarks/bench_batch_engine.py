@@ -1,6 +1,6 @@
 """Throughput benchmark: pure-Python vs NumPy-batched alignment engines.
 
-Measures pairs/second for the three batched hot paths —
+Measures pairs/second for the batched hot paths —
 
 * ``prefilter``   — :meth:`AlignmentEngine.scan_batch` with the filter's
   first-match early exit (the pre-alignment filtering workload);
@@ -8,11 +8,17 @@ Measures pairs/second for the three batched hot paths —
   minimum-distance scan (the Figure 14 use-case workload);
 * ``align`` — :meth:`GenAsmAligner.align_batch`, windowed DC + TB with
   batched bitvector generation (the read-alignment workload);
+* ``traceback_dc`` / ``traceback_tb`` — the two halves of one window round
+  timed separately (:meth:`AlignmentEngine.run_dc_windows` on the pairs'
+  first windows, then :func:`traceback_window` over the produced windows),
+  so a regression in either side of the DC→TB data path is attributable;
 
 across read lengths, error rates, and batch sizes, for every available
-backend. Emits a machine-readable ``BENCH_batch_engine.json`` at the repo
-root so the performance trajectory is tracked across PRs, plus the usual
-table under ``benchmarks/results/``.
+backend — plus a dedicated long-read (10 kbp) ``align`` workload. Emits a
+machine-readable ``BENCH_batch_engine.json`` at the repo root so the
+performance trajectory is tracked across PRs (and gated by
+``benchmarks/check_regression.py`` in CI), plus the usual table under
+``benchmarks/results/``.
 
 Run:  PYTHONPATH=src python benchmarks/bench_batch_engine.py [--smoke]
 """
@@ -26,11 +32,19 @@ from pathlib import Path
 
 from _common import REPO_ROOT, emit_json, emit_table
 
-from repro.core.aligner import GenAsmAligner
+from repro.core.aligner import DEFAULT_OVERLAP, DEFAULT_WINDOW_SIZE, GenAsmAligner
+from repro.core.genasm_tb import traceback_window
 from repro.engine import available_engines, get_engine
 from repro.sequences.mutate import MutationProfile, mutate
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_batch_engine.json"
+
+#: The long-read workload: one PacBio/ONT-scale configuration, align-only
+#: (scanning a 10 kbp pattern at a useful threshold is a different
+#: benchmark; the aligner is what serves long reads in the pipeline).
+LONG_READ_LENGTH = 10_000
+LONG_READ_ERROR_RATE = 0.10
+LONG_READ_BATCH = 8
 
 #: Error-budget padding, mirroring the mapping pipeline's region sizing.
 def _threshold(read_length: int, error_rate: float) -> int:
@@ -93,7 +107,36 @@ def run_config(
             lambda: aligner.align_batch(pairs), repeats=repeats
         ),
     }
+    timings.update(run_traceback_split(engine, pairs, repeats=repeats))
     return timings
+
+
+def run_traceback_split(
+    engine, pairs: list[tuple[str, str]], *, repeats: int
+) -> dict[str, float]:
+    """Time the DC and TB halves of one window round separately.
+
+    Uses each pair's *first* window (text/pattern prefixes of ``W``
+    characters), the exact shape :meth:`GenAsmAligner.align_batch` submits
+    every round, so the split mirrors the aligner's hot loop: future PRs
+    can see whether the bitvector generation or the traceback walk
+    regressed.
+    """
+    w = DEFAULT_WINDOW_SIZE
+    consume_limit = DEFAULT_WINDOW_SIZE - DEFAULT_OVERLAP
+    jobs = [(text[:w], pattern[:w]) for text, pattern in pairs if pattern]
+    dc_seconds = time_task(
+        lambda: engine.run_dc_windows(jobs), repeats=repeats
+    )
+    windows = engine.run_dc_windows(jobs)
+    tb_seconds = time_task(
+        lambda: [
+            traceback_window(window, consume_limit=consume_limit)
+            for window in windows
+        ],
+        repeats=repeats,
+    )
+    return {"traceback_dc": dc_seconds, "traceback_tb": tb_seconds}
 
 
 def main() -> None:
@@ -153,6 +196,36 @@ def main() -> None:
                                 "pairs_per_sec": batch_size / seconds,
                             }
                         )
+
+    if not args.smoke:
+        # Long-read workload: 10 kbp align only (hundreds of window rounds
+        # per pair), one repeat past the warmup — each timing is seconds of
+        # work already.
+        long_pairs = build_pairs(
+            LONG_READ_BATCH,
+            LONG_READ_LENGTH,
+            LONG_READ_ERROR_RATE,
+            seed=0xC0FFEE,
+        )
+        for backend in backends:
+            aligner = GenAsmAligner(engine=get_engine(backend))
+            seconds = time_task(
+                lambda: aligner.align_batch(long_pairs), repeats=1
+            )
+            results.append(
+                {
+                    "task": "align",
+                    "backend": backend,
+                    "read_length": LONG_READ_LENGTH,
+                    "error_rate": LONG_READ_ERROR_RATE,
+                    "threshold": _threshold(
+                        LONG_READ_LENGTH, LONG_READ_ERROR_RATE
+                    ),
+                    "batch_size": LONG_READ_BATCH,
+                    "seconds": seconds,
+                    "pairs_per_sec": LONG_READ_BATCH / seconds,
+                }
+            )
 
     # Per-configuration speedup of every backend over "pure".
     pure_rate = {

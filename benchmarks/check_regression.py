@@ -1,0 +1,223 @@
+"""CI bench regression gate for the batched-engine hot paths.
+
+Compares a freshly measured run against the committed
+``BENCH_batch_engine.json`` baseline and exits non-zero when any matching
+configuration at batch size >= 64 lost more than ``--threshold`` (default
+40%) of its pairs/sec. The goal is catching structural regressions (an
+accidentally quadratic traceback, a de-vectorized kernel), not 5% noise —
+hence the generous threshold, which also absorbs most same-class CI
+machine variation; ``--threshold`` can be tightened on pinned hardware.
+
+Two modes:
+
+* default — re-measure a small representative subset in-process (the
+  batched backend at batch 64 on 100 bp reads, both committed error rates,
+  all five tasks; one repeat each, a few seconds total) and compare;
+* ``--fresh PATH`` — compare two existing benchmark JSON artifacts
+  (e.g. the current smoke artifact against a downloaded baseline).
+
+Run:  PYTHONPATH=src python benchmarks/check_regression.py [--baseline PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _common import REPO_ROOT  # noqa: E402
+
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_batch_engine.json"
+
+#: The subset re-measured in default mode: the batched backend's short-read
+#: hot paths at the smallest committed at-scale batch.
+GATE_BACKEND = "batched"
+GATE_READ_LENGTH = 100
+GATE_BATCH_SIZE = 64
+
+
+def config_key(row: dict) -> tuple:
+    """Identity of one measured configuration across runs."""
+    return (
+        row["task"],
+        row["backend"],
+        row["read_length"],
+        row["error_rate"],
+        row["batch_size"],
+    )
+
+
+def find_regressions(
+    baseline_rows: list[dict],
+    fresh_rows: list[dict],
+    *,
+    threshold: float,
+    min_batch: int = 64,
+) -> tuple[list[dict], int]:
+    """Configs whose fresh pairs/sec dropped more than ``threshold``.
+
+    Only configurations present in *both* runs with ``batch_size >=
+    min_batch`` participate; returns ``(regressions, compared_count)`` so
+    callers can fail loudly when nothing overlapped (a silent pass on zero
+    comparisons would defeat the gate).
+    """
+    baseline = {
+        config_key(row): row["pairs_per_sec"]
+        for row in baseline_rows
+        if row["batch_size"] >= min_batch
+    }
+    regressions = []
+    compared = 0
+    for row in fresh_rows:
+        if row["batch_size"] < min_batch:
+            continue
+        key = config_key(row)
+        base_rate = baseline.get(key)
+        if base_rate is None or base_rate <= 0:
+            continue
+        compared += 1
+        ratio = row["pairs_per_sec"] / base_rate
+        if ratio < 1.0 - threshold:
+            regressions.append(
+                {
+                    "task": row["task"],
+                    "backend": row["backend"],
+                    "read_length": row["read_length"],
+                    "error_rate": row["error_rate"],
+                    "batch_size": row["batch_size"],
+                    "baseline_pairs_per_sec": base_rate,
+                    "fresh_pairs_per_sec": row["pairs_per_sec"],
+                    "ratio": ratio,
+                }
+            )
+    return regressions, compared
+
+
+def measure_gate_subset(baseline_rows: list[dict]) -> list[dict]:
+    """Re-measure the gate subset of the committed baseline in-process."""
+    from bench_batch_engine import _threshold, build_pairs, run_config
+
+    error_rates = sorted(
+        {
+            row["error_rate"]
+            for row in baseline_rows
+            if row["backend"] == GATE_BACKEND
+            and row["read_length"] == GATE_READ_LENGTH
+            and row["batch_size"] == GATE_BATCH_SIZE
+        }
+    )
+    fresh: list[dict] = []
+    for error_rate in error_rates:
+        pairs = build_pairs(
+            GATE_BATCH_SIZE, GATE_READ_LENGTH, error_rate, seed=0xC0FFEE
+        )
+        timings = run_config(
+            GATE_BACKEND,
+            pairs,
+            _threshold(GATE_READ_LENGTH, error_rate),
+            repeats=1,
+        )
+        for task, seconds in timings.items():
+            fresh.append(
+                {
+                    "task": task,
+                    "backend": GATE_BACKEND,
+                    "read_length": GATE_READ_LENGTH,
+                    "error_rate": error_rate,
+                    "batch_size": GATE_BATCH_SIZE,
+                    "seconds": seconds,
+                    "pairs_per_sec": GATE_BATCH_SIZE / seconds,
+                }
+            )
+    return fresh
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="committed benchmark JSON to compare against",
+    )
+    parser.add_argument(
+        "--fresh",
+        type=Path,
+        default=None,
+        help="existing benchmark JSON to check instead of re-measuring",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.40,
+        help="fractional pairs/sec drop that fails the gate (default 0.40)",
+    )
+    parser.add_argument(
+        "--min-batch",
+        type=int,
+        default=64,
+        help="only configurations at this batch size or larger are gated",
+    )
+    args = parser.parse_args()
+    if not 0 < args.threshold < 1:
+        parser.error("--threshold must be a fraction in (0, 1)")
+
+    baseline_doc = json.loads(args.baseline.read_text())
+    baseline_rows = baseline_doc.get("results", [])
+    if not baseline_rows:
+        print(f"FAIL: baseline {args.baseline} has no results")
+        return 2
+
+    if args.fresh is not None:
+        fresh_rows = json.loads(args.fresh.read_text()).get("results", [])
+    else:
+        fresh_rows = measure_gate_subset(baseline_rows)
+
+    regressions, compared = find_regressions(
+        baseline_rows,
+        fresh_rows,
+        threshold=args.threshold,
+        min_batch=args.min_batch,
+    )
+    if compared == 0:
+        print(
+            "FAIL: no overlapping configurations at batch >= "
+            f"{args.min_batch} between baseline and fresh run"
+        )
+        return 2
+    print(
+        f"compared {compared} configurations at batch >= {args.min_batch} "
+        f"(gate: >{args.threshold:.0%} pairs/sec drop fails)"
+    )
+    baseline_rates = {
+        config_key(r): r["pairs_per_sec"] for r in baseline_rows
+    }
+    for row in fresh_rows:
+        base = baseline_rates.get(config_key(row))
+        if base and row["batch_size"] >= args.min_batch:
+            print(
+                f"  {row['task']:<14} err={row['error_rate']:.2f} "
+                f"base {base:>9,.0f}/s fresh {row['pairs_per_sec']:>9,.0f}/s "
+                f"({row['pairs_per_sec'] / base:.2f}x)"
+            )
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} regression(s):")
+        for reg in regressions:
+            print(
+                f"  {reg['task']} {reg['backend']} "
+                f"len={reg['read_length']} err={reg['error_rate']:.2f} "
+                f"batch={reg['batch_size']}: "
+                f"{reg['baseline_pairs_per_sec']:,.0f} -> "
+                f"{reg['fresh_pairs_per_sec']:,.0f} pairs/sec "
+                f"({reg['ratio']:.2f}x)"
+            )
+        return 1
+    print("OK: no configuration regressed past the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

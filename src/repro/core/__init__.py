@@ -24,7 +24,10 @@ from repro.core.bitvector import MultiWordBitVector, words_needed
 from repro.core.cigar import Cigar, concat_all
 from repro.core.edit_distance import EditDistanceResult, genasm_edit_distance
 from repro.core.genasm_dc import (
+    WINDOW_REPRESENTATIONS,
+    SeneWindowBitvectors,
     WindowBitvectors,
+    WindowData,
     WindowUnalignableError,
     run_dc_window,
 )
@@ -53,7 +56,10 @@ __all__ = [
     "TracebackCase",
     "TracebackConfig",
     "TracebackError",
+    "WINDOW_REPRESENTATIONS",
+    "SeneWindowBitvectors",
     "WindowBitvectors",
+    "WindowData",
     "WindowTraceback",
     "WindowUnalignableError",
     "bitap_edit_distance",

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
 from repro.core.cigar import Cigar
+from repro.core.genasm_dc import WINDOW_REPRESENTATIONS
 from repro.core.genasm_tb import TracebackError, traceback_window
 from repro.core.scoring import ScoringScheme, TracebackConfig
 from repro.engine.registry import get_engine
@@ -79,6 +80,12 @@ class GenAsmAligner:
         registered backend name (``"pure"``, ``"batched"``), or None for
         the process default (see :func:`repro.engine.get_engine`). Every
         backend is bit-identical; they differ only in throughput.
+    window_representation:
+        Window storage discipline handed to the engine's
+        :meth:`run_dc_windows` — ``"sene"`` (default) keeps only the
+        ``R[d]`` history and derives traceback edges on the fly (the fast
+        path); ``"edges"`` keeps the legacy explicit match / insertion /
+        deletion stores. Alignments are bit-identical either way.
     """
 
     def __init__(
@@ -89,16 +96,23 @@ class GenAsmAligner:
         config: TracebackConfig | None = None,
         alphabet: Alphabet = DNA,
         engine: "AlignmentEngine | str | None" = None,
+        window_representation: str = "sene",
     ) -> None:
         if window_size <= 0:
             raise ValueError("window_size must be positive")
         if not 0 <= overlap < window_size:
             raise ValueError("overlap must satisfy 0 <= O < W")
+        if window_representation not in WINDOW_REPRESENTATIONS:
+            raise ValueError(
+                f"unknown window representation {window_representation!r}; "
+                f"expected one of {WINDOW_REPRESENTATIONS}"
+            )
         self.window_size = window_size
         self.overlap = overlap
         self.config = config if config is not None else TracebackConfig()
         self.alphabet = alphabet
         self.engine = get_engine(engine)
+        self.window_representation = window_representation
 
     # ------------------------------------------------------------------
     # Public API
@@ -136,6 +150,7 @@ class GenAsmAligner:
                 window_size=self.window_size,
                 overlap=self.overlap,
                 config=self.config,
+                window_representation=self.window_representation,
             )
         consume_limit = self.window_size - self.overlap
         cur_text = [0] * len(pairs)
@@ -161,7 +176,11 @@ class GenAsmAligner:
                 jobs.append((sub_text, sub_pattern))
                 owners.append(idx)
             windows = (
-                self.engine.run_dc_windows(jobs, alphabet=self.alphabet)
+                self.engine.run_dc_windows(
+                    jobs,
+                    alphabet=self.alphabet,
+                    representation=self.window_representation,
+                )
                 if jobs
                 else []
             )
@@ -234,6 +253,7 @@ def genasm_align(
     scoring: ScoringScheme | None = None,
     alphabet: Alphabet = DNA,
     engine: "AlignmentEngine | str | None" = None,
+    window_representation: str = "sene",
 ) -> Alignment:
     """One-shot convenience wrapper around :class:`GenAsmAligner`.
 
@@ -247,5 +267,6 @@ def genasm_align(
         config=config,
         alphabet=alphabet,
         engine=engine,
+        window_representation=window_representation,
     )
     return aligner.align(text, pattern)

@@ -1,11 +1,29 @@
 """GenASM-DC: the modified Bitap kernel (Section 5).
 
-GenASM-DC differs from baseline Bitap in what it *keeps*: besides the status
-bitvectors ``R[d]``, it stores the per-iteration intermediate bitvectors that
-GenASM-TB later walks — match, insertion, and deletion. The substitution
-bitvector is never stored because it is recoverable as ``deletion << 1``
-(Section 6, the optimization that cuts the TB-SRAM footprint from
-``W·4·W·W`` to ``W·3·W·W`` bits).
+GenASM-DC differs from baseline Bitap in what it *keeps*: besides computing
+the status bitvectors ``R[d]``, it preserves per-iteration state that
+GenASM-TB later walks. Two storage disciplines are supported, selected with
+the ``representation`` argument:
+
+``"sene"`` (default) — *store entries, not edges*, after Scrooge
+    (Lindegger et al., "Algorithmic Improvement and GPU Acceleration of the
+    GenASM Algorithm"): only the ``R[d]`` history itself is stored — one
+    bitvector per ``(iteration, distance)`` cell — and the traceback
+    re-derives the match / substitution / insertion / deletion edges on the
+    fly from adjacent ``R`` entries. This cuts the TB storage from
+    ``W·3·W·W`` bits to ``(W+1)·(W+1)·W`` (~3x) and removes two of the
+    three per-iteration stores from the DC loop.
+
+``"edges"`` — the MICRO 2020 paper's hardware layout: the match, insertion,
+    and deletion intermediate bitvectors are stored explicitly, and
+    substitution is recovered as ``deletion << 1`` (Section 6, the
+    optimization that already cut the TB-SRAM footprint from ``W·4·W·W`` to
+    ``W·3·W·W`` bits). The hardware model keeps using this mode because it
+    is what the paper's TB-SRAM sizing describes.
+
+Both representations expose the same edge-query surface
+(:meth:`edge_vectors` plus the per-bit accessors), so GenASM-TB is agnostic
+to which one it walks and every backend stays bit-identical.
 
 Within the divide-and-conquer scheme, DC runs on one *window* at a time: a
 sub-text and sub-pattern of at most ``W`` characters each (Algorithm 2 lines
@@ -21,10 +39,14 @@ retries with a doubling error budget instead of always computing all
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Protocol
 
 from repro.core.bitap import pattern_bitmasks
 from repro.sequences.alphabet import DNA, Alphabet
+
+#: Valid values for the ``representation`` argument of the DC entry points.
+WINDOW_REPRESENTATIONS = ("sene", "edges")
 
 
 class WindowUnalignableError(RuntimeError):
@@ -36,9 +58,17 @@ class WindowUnalignableError(RuntimeError):
     """
 
 
+def _validate_representation(representation: str) -> None:
+    if representation not in WINDOW_REPRESENTATIONS:
+        raise ValueError(
+            f"unknown window representation {representation!r}; "
+            f"expected one of {WINDOW_REPRESENTATIONS}"
+        )
+
+
 @dataclass
 class WindowBitvectors:
-    """Everything GenASM-DC hands to GenASM-TB for one window.
+    """The ``"edges"`` representation: explicit M/I/D stores per iteration.
 
     Attributes
     ----------
@@ -103,10 +133,189 @@ class WindowBitvectors:
             return 0
         return self.deletion_bit(text_index, distance, pattern_index - 1)
 
+    def edge_vectors(
+        self, text_index: int, distance: int
+    ) -> tuple[int, int, int, int]:
+        """Whole ``(match, substitution, insertion, deletion)`` bitvectors.
+
+        GenASM-TB's inner loop reads full vectors once per ``(i, d)`` cell
+        and tests individual bits inline, instead of paying a method call
+        per bit. At ``distance == 0`` the three error vectors read as
+        all-ones ("no") like the per-bit accessors.
+        """
+        all_ones = (1 << len(self.pattern)) - 1
+        match = self.match[text_index][distance]
+        if distance == 0:
+            return match, all_ones, all_ones, all_ones
+        deletion = self.deletion[text_index][distance]
+        return (
+            match,
+            (deletion << 1) & all_ones,
+            self.insertion[text_index][distance],
+            deletion,
+        )
+
     def stored_bits(self) -> int:
         """Bits of TB-SRAM this window occupies (3 vectors per (i, d))."""
         m = self.pattern_length
         return self.text_length * 3 * self.k * m
+
+
+class SeneEdgeDerivation:
+    """Mixin: derive M/S/I/D edges on the fly from the ``R[d]`` history.
+
+    Hosts need ``text``, ``pattern``, ``k``, and two accessors:
+    ``_r_row(i)`` returning the ``k + 1`` ``R`` values *after* text
+    iteration ``i`` (``i == text_length`` being the initial all-ones state)
+    and ``_ensure_masks()`` returning the pattern's per-symbol bitmask
+    table.
+
+    The derivation inverts one recurrence step. With ``old = R`` after
+    iteration ``i + 1`` and ``new = R`` after iteration ``i``:
+
+    * ``match[i][d]       = (old[d] << 1) | PM(text[i])``
+    * ``deletion[i][d]    = old[d - 1]``
+    * ``substitution[i][d] = old[d - 1] << 1``
+    * ``insertion[i][d]   = new[d - 1] << 1``
+
+    so every edge GenASM-TB checks is two history reads and a shift away —
+    nothing beyond ``R`` itself ever needs storing.
+    """
+
+    def edge_vectors(
+        self, text_index: int, distance: int
+    ) -> tuple[int, int, int, int]:
+        """Whole ``(match, substitution, insertion, deletion)`` bitvectors."""
+        all_ones = (1 << len(self.pattern)) - 1
+        row_after = self._r_row(text_index + 1)
+        match = ((row_after[distance] << 1) | self._text_mask(text_index)) & all_ones
+        if distance == 0:
+            return match, all_ones, all_ones, all_ones
+        deletion = row_after[distance - 1]
+        insertion = (self._r_row(text_index)[distance - 1] << 1) & all_ones
+        return match, (deletion << 1) & all_ones, insertion, deletion
+
+    def _text_mask(self, text_index: int) -> int:
+        all_ones = (1 << len(self.pattern)) - 1
+        return self._ensure_masks().get(self.text[text_index], all_ones)
+
+    def text_masks(self, limit: int | None = None) -> list[int]:
+        """Pattern bitmask per text character (the ``PM`` lookup, batched).
+
+        GenASM-TB materializes this once per window so its inner loop can
+        derive match vectors with plain list indexing. ``limit`` is a
+        lower bound on how many leading entries the caller needs (a
+        traceback bounded by ``consume_limit`` never looks past it);
+        implementations may return more.
+        """
+        masks = self._ensure_masks()
+        all_ones = (1 << len(self.pattern)) - 1
+        text = self.text if limit is None else self.text[:limit]
+        return [masks.get(ch, all_ones) for ch in text]
+
+    # Per-bit accessors mirror WindowBitvectors' surface (used by tests and
+    # the hardware model); the hot path goes through edge_vectors instead.
+    def match_bit(self, text_index: int, distance: int, pattern_index: int) -> int:
+        return (self.edge_vectors(text_index, distance)[0] >> pattern_index) & 1
+
+    def substitution_bit(
+        self, text_index: int, distance: int, pattern_index: int
+    ) -> int:
+        return (self.edge_vectors(text_index, distance)[1] >> pattern_index) & 1
+
+    def insertion_bit(self, text_index: int, distance: int, pattern_index: int) -> int:
+        return (self.edge_vectors(text_index, distance)[2] >> pattern_index) & 1
+
+    def deletion_bit(self, text_index: int, distance: int, pattern_index: int) -> int:
+        return (self.edge_vectors(text_index, distance)[3] >> pattern_index) & 1
+
+    @property
+    def pattern_length(self) -> int:
+        return len(self.pattern)
+
+    @property
+    def text_length(self) -> int:
+        return len(self.text)
+
+    def stored_bits(self) -> int:
+        """Bits of TB storage under SENE: one vector per (i, d) cell.
+
+        ``(n + 1) * (k + 1)`` stored ``R`` rows of ``m`` bits — the ~3x
+        reduction over the ``n * 3 * k * m`` edge stores that motivates the
+        representation.
+        """
+        return (self.text_length + 1) * (self.k + 1) * self.pattern_length
+
+
+@dataclass
+class SeneWindowBitvectors(SeneEdgeDerivation):
+    """The ``"sene"`` representation: only the ``R[d]`` history is kept.
+
+    Attributes
+    ----------
+    text, pattern:
+        The window's sub-text and sub-pattern.
+    k:
+        Number of error rows computed.
+    r:
+        ``r[i][d]`` is ``R[d]`` *after* text iteration ``i`` (iterations run
+        from ``n - 1`` down to 0); ``r[n]`` is the initial all-ones state.
+        ``len(r) == text_length + 1``.
+    edit_distance:
+        Minimum ``d`` with a 0 MSB at text iteration 0.
+    """
+
+    text: str
+    pattern: str
+    k: int
+    r: list[list[int]]
+    edit_distance: int
+    alphabet: Alphabet = field(default=DNA, repr=False, compare=False)
+    _masks: dict[str, int] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def _r_row(self, text_index: int) -> list[int]:
+        return self.r[text_index]
+
+    def _ensure_masks(self) -> dict[str, int]:
+        if self._masks is None:
+            self._masks = pattern_bitmasks(self.pattern, self.alphabet)
+        return self._masks
+
+    def r_rows(self, limit: int | None = None) -> list[list[int]]:
+        """The ``R`` history as Python ints (hot TB + parity hook).
+
+        ``limit`` is a lower bound on the leading rows needed; the scalar
+        history is already materialized, so it is always returned whole.
+        """
+        return self.r
+
+
+class WindowData(Protocol):
+    """Any window object GenASM-TB can trace.
+
+    Implementations: :class:`WindowBitvectors` (edge stores),
+    :class:`SeneWindowBitvectors` (scalar SENE), and the batched engine's
+    :class:`~repro.engine.packing.PackedWindowBitvectors` (packed SENE).
+    """
+
+    text: str
+    pattern: str
+    k: int
+    edit_distance: int
+
+    @property
+    def pattern_length(self) -> int: ...
+
+    @property
+    def text_length(self) -> int: ...
+
+    def edge_vectors(
+        self, text_index: int, distance: int
+    ) -> tuple[int, int, int, int]: ...
+
+    def stored_bits(self) -> int: ...
 
 
 def run_dc_window(
@@ -115,14 +324,21 @@ def run_dc_window(
     *,
     alphabet: Alphabet = DNA,
     initial_budget: int = 8,
-) -> WindowBitvectors:
-    """Run GenASM-DC on one window, storing the traceback bitvectors.
+    representation: str = "sene",
+) -> WindowData:
+    """Run GenASM-DC on one window, keeping the traceback state.
 
     The error budget starts at ``initial_budget`` and doubles until the
     window aligns (``R[d]`` MSB 0 at text iteration 0) or the budget reaches
     the pattern length, which is always sufficient: every pattern character
     can be consumed by a substitution or insertion.
+
+    ``representation`` picks the storage discipline (module docstring):
+    ``"sene"`` returns a :class:`SeneWindowBitvectors` holding only the
+    ``R`` history; ``"edges"`` returns the classic
+    :class:`WindowBitvectors` with explicit match/insertion/deletion stores.
     """
+    _validate_representation(representation)
     if not pattern:
         raise ValueError("window pattern must be non-empty")
     if not text:
@@ -131,7 +347,7 @@ def run_dc_window(
     m = len(pattern)
     budget = min(max(1, initial_budget), m)
     while True:
-        result = _dc_fixed_k(text, pattern, budget, alphabet)
+        result = _dc_fixed_k(text, pattern, budget, alphabet, representation)
         if result is not None:
             return result
         if budget >= m:
@@ -147,37 +363,60 @@ def _dc_fixed_k(
     pattern: str,
     k: int,
     alphabet: Alphabet,
-) -> WindowBitvectors | None:
+    representation: str,
+) -> WindowData | None:
     """One DC pass with a fixed error budget; None if the window misses."""
     m = len(pattern)
     n = len(text)
     masks = pattern_bitmasks(pattern, alphabet)
     all_ones = (1 << m) - 1
     msb_mask = 1 << (m - 1)
+    sene = representation == "sene"
 
-    match_store: list[list[int]] = [[all_ones] * (k + 1) for _ in range(n)]
-    insertion_store: list[list[int]] = [[all_ones] * (k + 1) for _ in range(n)]
-    deletion_store: list[list[int]] = [[all_ones] * (k + 1) for _ in range(n)]
+    if sene:
+        history: list[list[int] | None] = [None] * (n + 1)
+        match_store = insertion_store = deletion_store = None
+    else:
+        history = None
+        match_store = [[all_ones] * (k + 1) for _ in range(n)]
+        insertion_store = [[all_ones] * (k + 1) for _ in range(n)]
+        deletion_store = [[all_ones] * (k + 1) for _ in range(n)]
 
     r = [all_ones] * (k + 1)
+    if sene:
+        history[n] = r
     for i in range(n - 1, -1, -1):
         cur_pm = masks.get(text[i], all_ones)
         old_r = r
         r = [0] * (k + 1)
         r[0] = ((old_r[0] << 1) | cur_pm) & all_ones
-        match_store[i][0] = r[0]
+        if not sene:
+            match_store[i][0] = r[0]
         for d in range(1, k + 1):
             deletion = old_r[d - 1]
             substitution = (old_r[d - 1] << 1) & all_ones
             insertion = (r[d - 1] << 1) & all_ones
             match = ((old_r[d] << 1) | cur_pm) & all_ones
             r[d] = deletion & substitution & insertion & match
-            match_store[i][d] = match
-            insertion_store[i][d] = insertion
-            deletion_store[i][d] = deletion
+            if not sene:
+                match_store[i][d] = match
+                insertion_store[i][d] = insertion
+                deletion_store[i][d] = deletion
+        if sene:
+            history[i] = r
 
     for d in range(k + 1):
         if not r[d] & msb_mask:
+            if sene:
+                return SeneWindowBitvectors(
+                    text=text,
+                    pattern=pattern,
+                    k=k,
+                    r=history,  # type: ignore[arg-type]
+                    edit_distance=d,
+                    alphabet=alphabet,
+                    _masks=masks,
+                )
             return WindowBitvectors(
                 text=text,
                 pattern=pattern,

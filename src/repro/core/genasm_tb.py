@@ -16,6 +16,17 @@ operations that produced them:
 The priority among cases is configurable (:class:`TracebackConfig`); the
 paper's default checks gap *extensions* first to mimic the affine gap model.
 
+The inner loop is representation-agnostic and allocation-light: the case
+priority order is precompiled once per config into a tuple of integer
+opcodes (cached), the window's state is pulled into plain Python lists once
+up front (the SENE ``R`` history plus per-text pattern masks, or the legacy
+explicit edge stores), whole ``(M, S, I, D)`` bitvectors for the current
+``(text iteration, error count)`` cell are derived inline with a couple of
+shifts, and every case check is a single AND against the current
+pattern-position bit. No per-bit (or even per-step) dataclass method calls
+survive on the hot path; the windows' ``edge_vectors`` accessor remains the
+cold-path / parity surface.
+
 The chain-of-0s invariant (a 0 in ``R[d]`` guarantees a 0 in at least one
 intermediate bitvector, whose reversal lands on another 0 of the appropriate
 ``R``) means a well-formed window can never dead-end; we still detect that
@@ -25,9 +36,27 @@ case and raise, because silently emitting a wrong alignment would be worse.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
-from repro.core.genasm_dc import WindowBitvectors
+from repro.core.genasm_dc import WindowData
 from repro.core.scoring import TracebackCase, TracebackConfig
+
+#: Integer opcodes the compiled priority program dispatches on.
+_MATCH = 0
+_SUBSTITUTION = 1
+_INSERTION_OPEN = 2
+_DELETION_OPEN = 3
+_INSERTION_EXTEND = 4
+_DELETION_EXTEND = 5
+
+_CASE_OPCODE = {
+    TracebackCase.MATCH: _MATCH,
+    TracebackCase.SUBSTITUTION: _SUBSTITUTION,
+    TracebackCase.INSERTION_OPEN: _INSERTION_OPEN,
+    TracebackCase.DELETION_OPEN: _DELETION_OPEN,
+    TracebackCase.INSERTION_EXTEND: _INSERTION_EXTEND,
+    TracebackCase.DELETION_EXTEND: _DELETION_EXTEND,
+}
 
 
 class TracebackError(RuntimeError):
@@ -56,8 +85,30 @@ class WindowTraceback:
     errors_used: int
 
 
+@lru_cache(maxsize=64)
+def _compile_order(
+    order: tuple[TracebackCase, ...], affine: bool
+) -> tuple[int, ...]:
+    """Lower a config's case priority into a tuple of integer opcodes.
+
+    With ``affine=False`` the gap-extension entries vanish from the program
+    entirely (the open entries later in the order cover those cells), which
+    matches the previous behaviour of skipping them per step — just decided
+    once instead of per iteration.
+    """
+    program = []
+    for case in order:
+        if not affine and case in (
+            TracebackCase.INSERTION_EXTEND,
+            TracebackCase.DELETION_EXTEND,
+        ):
+            continue
+        program.append(_CASE_OPCODE[case])
+    return tuple(program)
+
+
 def traceback_window(
-    window: WindowBitvectors,
+    window: WindowData,
     *,
     consume_limit: int,
     config: TracebackConfig | None = None,
@@ -66,6 +117,10 @@ def traceback_window(
 
     Parameters
     ----------
+    window:
+        Any window representation exposing ``edge_vectors`` — the scalar
+        SENE or edge-store windows from :mod:`repro.core.genasm_dc`, or the
+        packed uint64 windows the batched engine produces.
     consume_limit:
         ``W - O``: the traceback stops once this many characters of either
         sequence are consumed, so consecutive windows overlap by ``O``
@@ -77,10 +132,36 @@ def traceback_window(
         raise ValueError("consume_limit must be positive")
     if config is None:
         config = TracebackConfig()
+    program = _compile_order(config.order, config.affine)
 
     m = window.pattern_length
     n = window.text_length
+    all_ones = (1 << m) - 1
+
+    # Materialize the window state as plain Python lists up front, so the
+    # step loop below is nothing but int ops and list indexing. SENE-style
+    # windows (scalar or packed) hand over their R history and per-text
+    # pattern masks; the legacy representation hands over its three edge
+    # stores and the loop reads them directly instead of deriving.
+    r_rows = getattr(window, "r_rows", None)
+    if r_rows is not None:
+        sene = True
+        # Every step that advances text_index also consumes a text
+        # character, so a consume-limited trace never reads history rows
+        # past consume_limit + 1 (nor text masks past consume_limit).
+        limit = min(n, consume_limit) + 2
+        r = r_rows(limit)
+        pms = window.text_masks(limit - 1)
+        match_store = insertion_store = deletion_store = None
+    else:
+        sene = False
+        r = pms = None
+        match_store = window.match
+        insertion_store = window.insertion
+        deletion_store = window.deletion
+
     pattern_index = m - 1
+    pattern_bit = 1 << pattern_index
     text_index = 0
     cur_error = window.edit_distance
     text_consumed = 0
@@ -92,20 +173,67 @@ def traceback_window(
     while text_consumed < consume_limit and pattern_consumed < consume_limit:
         if pattern_index < 0 or text_index >= n:
             break
-        case = _pick_case(window, config, text_index, cur_error, pattern_index, prev)
-        if case is None:
+        # Edge vectors for the current (text_index, cur_error) cell; every
+        # step moves one of the two coordinates, so they are per-step.
+        if sene:
+            row_after = r[text_index + 1]
+            mvec = ((row_after[cur_error] << 1) | pms[text_index]) & all_ones
+            if cur_error:
+                dvec = row_after[cur_error - 1]
+                svec = (dvec << 1) & all_ones
+                ivec = (r[text_index][cur_error - 1] << 1) & all_ones
+            else:
+                svec = ivec = dvec = all_ones
+        else:
+            mvec = match_store[text_index][cur_error]
+            if cur_error:
+                dvec = deletion_store[text_index][cur_error]
+                svec = (dvec << 1) & all_ones
+                ivec = insertion_store[text_index][cur_error]
+            else:
+                svec = ivec = dvec = all_ones
+        picked = -1
+        for opcode in program:
+            if opcode == _MATCH:
+                if not mvec & pattern_bit:
+                    picked = _MATCH
+                    break
+            elif cur_error <= 0:
+                continue  # error cases need budget remaining
+            elif opcode == _SUBSTITUTION:
+                if not svec & pattern_bit:
+                    picked = _SUBSTITUTION
+                    break
+            elif opcode == _INSERTION_OPEN:
+                if not ivec & pattern_bit:
+                    picked = _INSERTION_OPEN
+                    break
+            elif opcode == _DELETION_OPEN:
+                if not dvec & pattern_bit:
+                    picked = _DELETION_OPEN
+                    break
+            elif opcode == _INSERTION_EXTEND:
+                if prev == "I" and not ivec & pattern_bit:
+                    picked = _INSERTION_EXTEND
+                    break
+            else:  # _DELETION_EXTEND
+                if prev == "D" and not dvec & pattern_bit:
+                    picked = _DELETION_EXTEND
+                    break
+        if picked < 0:
             raise TracebackError(
                 f"traceback dead end at textI={text_index} "
                 f"patternI={pattern_index} errors={cur_error}"
             )
-        if case is TracebackCase.MATCH:
+        if picked == _MATCH:
             ops.append("M")
             prev = "M"
             text_index += 1
             text_consumed += 1
             pattern_index -= 1
+            pattern_bit >>= 1
             pattern_consumed += 1
-        elif case is TracebackCase.SUBSTITUTION:
+        elif picked == _SUBSTITUTION:
             ops.append("S")
             prev = "S"
             cur_error -= 1
@@ -113,13 +241,15 @@ def traceback_window(
             text_index += 1
             text_consumed += 1
             pattern_index -= 1
+            pattern_bit >>= 1
             pattern_consumed += 1
-        elif case in (TracebackCase.INSERTION_OPEN, TracebackCase.INSERTION_EXTEND):
+        elif picked in (_INSERTION_OPEN, _INSERTION_EXTEND):
             ops.append("I")
             prev = "I"
             cur_error -= 1
             errors_used += 1
             pattern_index -= 1
+            pattern_bit >>= 1
             pattern_consumed += 1
         else:  # deletion open / extend
             ops.append("D")
@@ -135,41 +265,3 @@ def traceback_window(
         pattern_consumed=pattern_consumed,
         errors_used=errors_used,
     )
-
-
-def _pick_case(
-    window: WindowBitvectors,
-    config: TracebackConfig,
-    text_index: int,
-    cur_error: int,
-    pattern_index: int,
-    prev: str,
-) -> TracebackCase | None:
-    """First case in priority order whose bitvector shows a 0 here."""
-    for case in config.order:
-        if case is TracebackCase.MATCH:
-            if window.match_bit(text_index, cur_error, pattern_index) == 0:
-                return case
-            continue
-        if cur_error <= 0:
-            continue  # error cases need budget remaining
-        if case is TracebackCase.INSERTION_EXTEND:
-            if not config.affine or prev != "I":
-                continue
-            if window.insertion_bit(text_index, cur_error, pattern_index) == 0:
-                return case
-        elif case is TracebackCase.DELETION_EXTEND:
-            if not config.affine or prev != "D":
-                continue
-            if window.deletion_bit(text_index, cur_error, pattern_index) == 0:
-                return case
-        elif case is TracebackCase.SUBSTITUTION:
-            if window.substitution_bit(text_index, cur_error, pattern_index) == 0:
-                return case
-        elif case is TracebackCase.INSERTION_OPEN:
-            if window.insertion_bit(text_index, cur_error, pattern_index) == 0:
-                return case
-        elif case is TracebackCase.DELETION_OPEN:
-            if window.deletion_bit(text_index, cur_error, pattern_index) == 0:
-                return case
-    return None

@@ -19,6 +19,7 @@ touching the call sites.
 """
 
 from repro.engine.batched import BatchedEngine
+from repro.engine.packing import PackedWindowBitvectors
 from repro.engine.pure import PurePythonEngine
 from repro.engine.registry import (
     ENGINE_ENV_VAR,
@@ -39,6 +40,7 @@ __all__ = [
     "AlignmentEngine",
     "BatchedEngine",
     "EngineInfo",
+    "PackedWindowBitvectors",
     "PurePythonEngine",
     "ShardedEngine",
     "UnknownEngineError",

@@ -9,6 +9,17 @@ hardware's multi-word mode) and executes each iteration as a handful of
 array-wide NumPy operations, so the per-operation interpreter cost is paid
 once per batch instead of once per pair.
 
+For the aligner's DC windows the backend is SENE-first (store entries, not
+edges, after Scrooge): each iteration writes the new ``R`` rows straight
+into one ``(n + 1, k + 1, B, W)`` history array — no separate match /
+insertion / deletion stores, no extra shift to materialize the insertion
+vector — and each solved window is returned as a
+:class:`~repro.engine.packing.PackedWindowBitvectors` wrapping a zero-copy
+slice of that history. The old word-by-word conversion to Python big-int
+lists (``words_to_int_matrix`` over three dense stores) is gone from the
+hot path; the traceback derives edges on the fly and combines only the
+cells it visits.
+
 Two details keep the output bit-identical to the scalar kernels:
 
 * pairs whose text is shorter than the batch maximum stay *frozen* at the
@@ -35,15 +46,15 @@ except ImportError:  # pragma: no cover
     np = None  # type: ignore[assignment]
 
 from repro.core.bitap import BitapMatch
-from repro.core.genasm_dc import WindowBitvectors, WindowUnalignableError
+from repro.core.genasm_dc import WindowData, WindowUnalignableError
 from repro.engine.packing import (
     PackedPatterns,
+    PackedWindowBitvectors,
     encode_texts,
     numpy_available,
     pack_patterns,
     shift_left_words,
     shift_left_words_by,
-    words_to_int_matrix,
 )
 from repro.engine.pure import PurePythonEngine
 from repro.engine.registry import AlignmentEngine, register_engine
@@ -60,7 +71,8 @@ def _recurrence_step(
     cur_pm: "np.ndarray",
     all_ones: "np.ndarray",
     k: int,
-) -> tuple["np.ndarray", "np.ndarray | None"]:
+    out: "np.ndarray | None" = None,
+) -> "np.ndarray":
     """One text iteration of the batched recurrence for all ``k + 1`` rows.
 
     The scalar recurrence chains rows sequentially through the insertion
@@ -78,29 +90,35 @@ def _recurrence_step(
     the plain chain is faster and is used instead. Both orders produce the
     same bits.
 
-    Returns ``(new_r, match)`` — the match term for rows ``1..k`` is handed
-    back because GenASM-DC stores it for the traceback (None when ``k`` is
-    zero, where row 0's match *is* ``R[0]``).
+    ``out`` lets callers compute the new rows directly into their own
+    storage (the DC loop writes each iteration straight into its ``R``
+    history array, skipping a per-iteration copy); it must not alias
+    ``old_r``.
+
+    Masking discipline: every stored ``R`` row is kept clamped below each
+    pattern's top bit (row 0 explicitly, rows ``1..k`` through the AND with
+    the already-masked ``deletion`` term), so the intermediate shift
+    results never need their own ``& all_ones`` — garbage above the top
+    bit is annihilated by the AND chain.
     """
-    new_r = np.empty_like(old_r)
+    new_r = np.empty_like(old_r) if out is None else out
     new_r[0] = (shift_left_words(old_r[0]) | cur_pm) & all_ones
-    match = None
     if k:
         deletion = old_r[:-1]
-        substitution = shift_left_words(deletion) & all_ones
-        match = (shift_left_words(old_r[1:]) | cur_pm) & all_ones
-        new_r[1:] = deletion & substitution & match
+        substitution = shift_left_words(deletion)
+        match = shift_left_words(old_r[1:])
+        match |= cur_pm
+        substitution &= match
+        np.bitwise_and(deletion, substitution, out=new_r[1:])
         if old_r.size <= _PREFIX_SCAN_CUTOFF:
             offset = 1
             while offset <= k:
-                shifted = shift_left_words_by(new_r[:-offset], offset)
-                shifted &= all_ones
-                new_r[offset:] &= shifted
+                new_r[offset:] &= shift_left_words_by(new_r[:-offset], offset)
                 offset *= 2
         else:
             for d in range(1, k + 1):
-                new_r[d] &= shift_left_words(new_r[d - 1]) & all_ones
-    return new_r, match
+                new_r[d] &= shift_left_words(new_r[d - 1])
+    return new_r
 
 
 @register_engine
@@ -170,7 +188,11 @@ class BatchedEngine(AlignmentEngine):
         bitmasks = packed.bitmasks
         rows = np.arange(batch)
         r = np.broadcast_to(all_ones, (k + 1, batch, packed.word_count)).copy()
-        matches: list[list[BitapMatch]] = [[] for _ in range(batch)]
+        # Match emission is deferred: the loop only records (iteration,
+        # matching columns, best distances) triples and the BitapMatch
+        # objects are built in one pass afterwards, keeping per-iteration
+        # Python work off the hot loop.
+        hits: list[tuple[int, list[int], list[int]]] = []
         done = np.zeros(batch, dtype=bool)
         uniform = bool((lengths == n_max).all())
         for i in range(n_max - 1, -1, -1):
@@ -186,21 +208,34 @@ class BatchedEngine(AlignmentEngine):
                     continue
             cur_pm = bitmasks[rows, codes[:, i]]
             old_r = r
-            r, _ = _recurrence_step(old_r, cur_pm, all_ones, k)
+            r = _recurrence_step(old_r, cur_pm, all_ones, k)
             if active is not None and not active.all():
                 r = np.where(active[None, :, None], r, old_r)
+            # Cheap first: R rows are nested (R[d+1]'s zeros include
+            # R[d]'s — each factor of the d+1 recurrence is a superset-of-
+            # zeros of the d one), so if no *relevant* pair's row-k MSB
+            # cleared, no row cleared at all and the full (k+1, B)
+            # reduction plus argmax can be skipped for this iteration.
+            top_msb_set = ((r[k] & msb) != 0).any(axis=1)
+            if active is None:
+                if top_msb_set.all():
+                    continue
+            elif (top_msb_set | ~active).all():
+                continue
             msb_clear = ~((r & msb) != 0).any(axis=2)
             found = msb_clear.any(axis=0)
             if active is not None:
                 found &= active
             if found.any():
-                best_d = msb_clear.argmax(axis=0)
-                for b in np.nonzero(found)[0]:
-                    matches[int(b)].append(
-                        BitapMatch(start=i, distance=int(best_d[b]))
-                    )
+                cols = np.nonzero(found)[0]
+                best_d = msb_clear[:, cols].argmax(axis=0)
+                hits.append((i, cols.tolist(), best_d.tolist()))
                 if first_match_only:
                     done |= found
+        matches: list[list[BitapMatch]] = [[] for _ in range(batch)]
+        for i, cols, dists in hits:
+            for b, d in zip(cols, dists):
+                matches[b].append(BitapMatch(start=i, distance=d))
         return matches
 
     # ------------------------------------------------------------------
@@ -212,13 +247,20 @@ class BatchedEngine(AlignmentEngine):
         *,
         alphabet: Alphabet = DNA,
         initial_budget: int = 8,
-    ) -> list[WindowBitvectors]:
+        representation: str = "sene",
+    ) -> list[WindowData]:
         jobs = list(jobs)
         if not jobs:
             return []
-        if len(jobs) < self.min_batch:
+        if representation != "sene" or len(jobs) < self.min_batch:
+            # The legacy "edges" representation (explicit M/I/D stores) is a
+            # compatibility path, not a hot one — the scalar kernel serves
+            # it; SENE is the only layout the batched DC loop stores.
             return self._pure.run_dc_windows(
-                jobs, alphabet=alphabet, initial_budget=initial_budget
+                jobs,
+                alphabet=alphabet,
+                initial_budget=initial_budget,
+                representation=representation,
             )
         budgets: list[int] = []
         for sub_text, sub_pattern in jobs:
@@ -228,7 +270,7 @@ class BatchedEngine(AlignmentEngine):
                 raise WindowUnalignableError("window text is empty")
             budgets.append(min(max(1, initial_budget), len(sub_pattern)))
 
-        results: list[WindowBitvectors | None] = [None] * len(jobs)
+        results: list[WindowData | None] = [None] * len(jobs)
         pending = list(range(len(jobs)))
         while pending:
             by_budget: dict[int, list[int]] = {}
@@ -260,7 +302,19 @@ class BatchedEngine(AlignmentEngine):
         alphabet: Alphabet,
         results: list,
     ) -> None:
-        """One fixed-``k`` DC pass over ``members``; fills solved slots."""
+        """One fixed-``k`` SENE DC pass over ``members``; fills solved slots.
+
+        ``r_store[i]`` holds the ``R`` rows *after* text iteration ``i``
+        (the loop runs ``i`` from ``n_max - 1`` down to 0); ``r_store[n]``
+        is the all-ones initial state. Each iteration's recurrence writes
+        directly into its history slot, so the whole DC pass performs one
+        store per iteration where the previous edge-store layout performed
+        three plus an extra shift for the insertion vector. A pair whose
+        text is shorter stays frozen at all-ones until its own first
+        iteration, which also means its ``r_store[n_b]`` row *is* the
+        initial state — the zero-copy window slice works for ragged batches
+        unchanged.
+        """
         packed = pack_patterns([jobs[idx][1] for idx in members], alphabet)
         codes, lengths = encode_texts(
             [jobs[idx][0] for idx in members], alphabet
@@ -270,40 +324,35 @@ class BatchedEngine(AlignmentEngine):
         bitmasks = packed.bitmasks
         rows = np.arange(batch)
         shape = (k + 1, batch, packed.word_count)
-        r = np.broadcast_to(all_ones, shape).copy()
-        # Store layout mirrors run_dc_window: index 0 of the insertion and
-        # deletion stores is all-ones padding, only ever read as "no".
-        match_store = np.broadcast_to(all_ones, (n_max, *shape)).copy()
-        insertion_store = match_store.copy()
-        deletion_store = match_store.copy()
+        r_store = np.empty((n_max + 1, *shape), dtype=np.uint64)
+        r_store[n_max] = all_ones
+        r = r_store[n_max]
+        # Gather every iteration's per-pair pattern mask in one fancy-index
+        # pass (windows are at most W characters, so this is tiny) instead
+        # of one gather per iteration.
+        pm_all = bitmasks[rows[:, None], codes]
         uniform = bool((lengths == n_max).all())
         for i in range(n_max - 1, -1, -1):
-            cur_pm = bitmasks[rows, codes[:, i]]
+            cur_pm = pm_all[:, i]
             old_r = r
-            new_r, match = _recurrence_step(old_r, cur_pm, all_ones, k)
-            match_store[i, 0] = new_r[0]
-            if k:
-                match_store[i, 1:] = match
-                deletion_store[i, 1:] = old_r[:-1]
-                insertion_store[i, 1:] = (
-                    shift_left_words(new_r[:-1]) & all_ones
-                )
-            if uniform:
-                r = new_r
-            else:
-                active = lengths > i
-                r = np.where(active[None, :, None], new_r, old_r)
+            new_r = _recurrence_step(old_r, cur_pm, all_ones, k, out=r_store[i])
+            if not uniform:
+                inactive = lengths <= i
+                if inactive.any():
+                    new_r[:, inactive, :] = old_r[:, inactive, :]
+            r = new_r
         msb_clear = ~((r & packed.msb) != 0).any(axis=2)
         for col, idx in enumerate(members):
             if not msb_clear[:, col].any():
                 continue  # missed at this budget; caller doubles and retries
             n_b = int(lengths[col])
-            results[idx] = WindowBitvectors(
+            results[idx] = PackedWindowBitvectors(
                 text=jobs[idx][0],
                 pattern=jobs[idx][1],
                 k=k,
-                match=words_to_int_matrix(match_store[:n_b, :, col, :]),
-                insertion=words_to_int_matrix(insertion_store[:n_b, :, col, :]),
-                deletion=words_to_int_matrix(deletion_store[:n_b, :, col, :]),
+                r_words=r_store[: n_b + 1, :, col, :],
                 edit_distance=int(msb_clear[:, col].argmax()),
+                alphabet=alphabet,
+                pm_table=bitmasks[col],
+                pm_codes=codes[col, :n_b],
             )

@@ -12,7 +12,12 @@ layout and the arbitrary-precision Python integers the scalar kernels use:
   bitmask table (one shared out-of-alphabet/wildcard fallback row);
 * :func:`shift_left_words` — the multi-word left shift with carry chaining
   across word boundaries (Section 5's long-read modification);
-* :func:`words_to_int_matrix` — back to Python ints for GenASM-TB.
+* :class:`PackedWindowBitvectors` — a SENE window whose ``R`` history *is*
+  the ``(n + 1, k + 1, W)`` uint64 slice the DC loop produced (zero-copy:
+  no word-by-word conversion to Python big-ints on the hot path; GenASM-TB
+  combines only the handful of cells it actually visits, lazily);
+* :func:`words_to_int_matrix` — eager conversion back to Python ints, kept
+  for parity checks and cold paths.
 
 NumPy is optional at import time; :func:`numpy_available` gates the backend.
 """
@@ -28,7 +33,8 @@ except ImportError:  # pragma: no cover
     np = None  # type: ignore[assignment]
 
 from repro.core.bitap import pattern_bitmasks
-from repro.sequences.alphabet import Alphabet
+from repro.core.genasm_dc import SeneEdgeDerivation
+from repro.sequences.alphabet import DNA, Alphabet
 
 #: Word width of the packed layout (matches the hardware model's SRAM rows).
 WORD_BITS = 64
@@ -84,12 +90,20 @@ def pack_patterns(
 ) -> PackedPatterns:
     """Build the packed bitmask tables for a batch of patterns.
 
-    Delegates mask construction to :func:`pattern_bitmasks` so validation
-    (empty patterns, foreign symbols) and wildcard semantics are exactly the
-    scalar kernel's.
+    Single-word batches (every pattern at most 64 symbols — in particular
+    every DC window batch at the paper's ``W = 64``) take a fully
+    vectorized path that builds all per-symbol masks with a handful of
+    array-wide operations; it reproduces :func:`pattern_bitmasks` bit for
+    bit, including empty-pattern/foreign-symbol validation and wildcard
+    semantics (a wildcard in the pattern matches nothing). Longer patterns
+    delegate mask construction to :func:`pattern_bitmasks` per pattern.
     """
     symbols = alphabet.symbols
     word_count = words_for(max(len(pattern) for pattern in patterns))
+    if word_count == 1:
+        packed = _pack_patterns_single_word(patterns, alphabet)
+        if packed is not None:
+            return packed
     batch = len(patterns)
     bitmasks = np.empty((batch, len(symbols) + 1, word_count), dtype=np.uint64)
     all_ones = np.empty((batch, word_count), dtype=np.uint64)
@@ -110,6 +124,72 @@ def pack_patterns(
         msb=msb,
         lengths=lengths,
         word_count=word_count,
+    )
+
+
+def _pack_patterns_single_word(
+    patterns: Sequence[str], alphabet: Alphabet
+) -> PackedPatterns | None:
+    """Vectorized :func:`pack_patterns` for batches of <= 64-bit patterns.
+
+    Returns None when a pattern contains non-latin-1 characters or the
+    alphabet has symbols outside the byte range (the scalar path handles
+    those); raises exactly like :func:`pattern_bitmasks` on empty patterns
+    and symbols foreign to the alphabet.
+    """
+    symbols = alphabet.symbols
+    fallback = len(symbols)
+    lengths = np.array([len(pattern) for pattern in patterns], dtype=np.int64)
+    if not lengths.all():
+        raise ValueError("pattern must be non-empty")
+    batch = len(patterns)
+    m_max = int(lengths.max())
+    joined = "".join(patterns)
+    try:
+        raw = np.frombuffer(joined.encode("latin-1"), dtype=np.uint8)
+    except UnicodeEncodeError:
+        return None
+    lut = np.full(256, -1, dtype=np.int64)
+    for s, symbol in enumerate(symbols):
+        if ord(symbol) >= 256:
+            return None
+        lut[ord(symbol)] = s
+    if alphabet.wildcard is not None and ord(alphabet.wildcard) < 256:
+        lut[ord(alphabet.wildcard)] = fallback
+    flat_codes = lut[raw]
+    if flat_codes.min(initial=0) < 0:
+        bad = joined[int(np.argmax(flat_codes < 0))]
+        raise ValueError(f"pattern symbol {bad!r} not in alphabet")
+
+    # Scatter the flat codes into a (B, m_max) grid; padding uses the
+    # fallback code, which matches no symbol row and carries a zero bit
+    # value, so it cannot perturb any mask.
+    codes = np.full((batch, m_max), fallback, dtype=np.int64)
+    rows = np.repeat(np.arange(batch), lengths)
+    offsets = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    cols = np.arange(len(raw)) - np.repeat(offsets, lengths)
+    codes[rows, cols] = flat_codes
+
+    # Bit m - 1 - j for position j; `2 << (m - 1)` instead of `1 << m`
+    # keeps the m = 64 all-ones value inside uint64 (wrapping subtraction).
+    positions = np.arange(m_max, dtype=np.int64)[None, :]
+    in_range = positions < lengths[:, None]
+    bit_index = np.where(in_range, lengths[:, None] - 1 - positions, 0)
+    bit_value = np.where(
+        in_range, np.uint64(1) << bit_index.astype(np.uint64), np.uint64(0)
+    )
+    ones = (np.uint64(2) << (lengths - 1).astype(np.uint64)) - np.uint64(1)
+    bitmasks = np.empty((batch, fallback + 1, 1), dtype=np.uint64)
+    for s in range(fallback):
+        hit = np.where(codes == s, bit_value, np.uint64(0))
+        bitmasks[:, s, 0] = ones & ~np.bitwise_or.reduce(hit, axis=1)
+    bitmasks[:, fallback, 0] = ones
+    return PackedPatterns(
+        bitmasks=bitmasks,
+        all_ones=ones[:, None],
+        msb=(np.uint64(1) << (lengths - 1).astype(np.uint64))[:, None],
+        lengths=lengths,
+        word_count=1,
     )
 
 
@@ -180,6 +260,141 @@ def shift_left_words_by(words: "np.ndarray", shift: int) -> "np.ndarray":
                 WORD_BITS - bit_shift
             )
     return out
+
+
+class PackedWindowBitvectors(SeneEdgeDerivation):
+    """SENE window backed directly by the batch's packed uint64 words.
+
+    The batched DC loop already holds the whole ``R`` history as one
+    ``(n_max + 1, k + 1, B, W)`` uint64 array; a window is the
+    ``(n + 1, k + 1, W)`` slice for its pair — handed over as a NumPy view,
+    so constructing the window copies nothing. Edge derivation is inherited
+    from :class:`~repro.core.genasm_dc.SeneEdgeDerivation`; the only packed
+    specifics are (a) combining a row's ``W`` words into Python ints the
+    first time the traceback touches it (cached per row — a traceback
+    visits ``O(W)`` of the ``(n + 1)(k + 1)`` cells, so eager conversion
+    would be mostly wasted work) and (b) compact pickling for the sharded
+    backend's IPC (the word array crosses the process boundary, not big-int
+    lists; row caches and derived masks are dropped and rebuilt lazily on
+    the receiving side).
+    """
+
+    __slots__ = (
+        "text",
+        "pattern",
+        "k",
+        "edit_distance",
+        "alphabet",
+        "r_words",
+        "pm_table",
+        "pm_codes",
+        "_rows",
+        "_masks",
+    )
+
+    def __init__(
+        self,
+        *,
+        text: str,
+        pattern: str,
+        k: int,
+        r_words: "np.ndarray",
+        edit_distance: int,
+        alphabet: Alphabet = DNA,
+        pm_table: "np.ndarray | None" = None,
+        pm_codes: "np.ndarray | None" = None,
+    ) -> None:
+        self.text = text
+        self.pattern = pattern
+        self.k = k
+        self.edit_distance = edit_distance
+        self.alphabet = alphabet
+        self.r_words = r_words
+        # Optional zero-copy handles into the batch's packed pattern-mask
+        # table (pm_table: (S + 1, W) per-symbol masks, pm_codes: (n,)
+        # text symbol codes) — lets text_masks skip rebuilding the scalar
+        # bitmask dict entirely.
+        self.pm_table = pm_table
+        self.pm_codes = pm_codes
+        self._rows: list | None = None
+        self._masks: dict[str, int] | None = None
+
+    def _r_row(self, text_index: int) -> list[int]:
+        rows = self._rows
+        if rows is not None and rows[text_index] is not None:
+            return rows[text_index]
+        words = self.r_words[text_index]
+        if words.shape[-1] == 1:
+            row = words[:, 0].tolist()
+        else:
+            row = words_to_int_matrix(words)
+        if rows is None:
+            self._rows = rows = [None] * (len(self.text) + 1)
+        rows[text_index] = row
+        return row
+
+    def _ensure_masks(self) -> dict[str, int]:
+        if self._masks is None:
+            self._masks = pattern_bitmasks(self.pattern, self.alphabet)
+        return self._masks
+
+    def r_rows(self, limit: int | None = None) -> list[list[int]]:
+        """The ``R`` history as Python ints (hot TB + parity hook).
+
+        In the overwhelmingly common single-word case (windows of at most
+        64 bp) the needed history prefix converts in one ``tolist`` call;
+        multi-word windows combine row by row. ``limit`` bounds how many
+        leading rows the caller needs (a consume-limited traceback never
+        touches the rest); partial conversions are not cached.
+        """
+        total = len(self.text) + 1
+        if limit is None or limit >= total:
+            limit = total
+            cache = True
+        else:
+            cache = False
+        if self.r_words.shape[-1] == 1:
+            rows = self.r_words[:limit, :, 0].tolist()
+            if cache:
+                self._rows = rows
+            return rows
+        return [self._r_row(i) for i in range(limit)]
+
+    def text_masks(self, limit: int | None = None) -> list[int]:
+        """Per-text-character pattern masks, straight from the packed table.
+
+        When the window still carries its batch's mask-table views, this is
+        one fancy-index plus one ``tolist`` — no scalar bitmask dict is
+        ever rebuilt. Falls back to the mixin's dict path otherwise (e.g.
+        after crossing a pickle boundary).
+        """
+        if self.pm_table is None or self.pm_codes is None:
+            return super().text_masks(limit)
+        codes = self.pm_codes if limit is None else self.pm_codes[:limit]
+        words = self.pm_table[codes]
+        if words.shape[-1] == 1:
+            return words[:, 0].tolist()
+        return words_to_int_matrix(words)
+
+    def __getstate__(self) -> dict:
+        # Ship only the compact arrays (made contiguous, so the pickle
+        # holds exactly the window's own data even when they are views
+        # into batch-wide stores); caches rebuild lazily after unpickling.
+        state = {
+            "text": self.text,
+            "pattern": self.pattern,
+            "k": self.k,
+            "edit_distance": self.edit_distance,
+            "alphabet": self.alphabet,
+            "r_words": np.ascontiguousarray(self.r_words),
+        }
+        if self.pm_table is not None and self.pm_codes is not None:
+            state["pm_table"] = np.ascontiguousarray(self.pm_table)
+            state["pm_codes"] = np.ascontiguousarray(self.pm_codes)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(**state)
 
 
 def words_to_int_matrix(arr: "np.ndarray") -> list:

@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.bitap import BitapMatch, bitap_scan
-from repro.core.genasm_dc import WindowBitvectors, run_dc_window
+from repro.core.genasm_dc import WindowData, run_dc_window
 from repro.engine.registry import AlignmentEngine, register_engine
 from repro.sequences.alphabet import DNA, Alphabet
 
@@ -46,13 +46,15 @@ class PurePythonEngine(AlignmentEngine):
         *,
         alphabet: Alphabet = DNA,
         initial_budget: int = 8,
-    ) -> list[WindowBitvectors]:
+        representation: str = "sene",
+    ) -> list[WindowData]:
         return [
             run_dc_window(
                 sub_text,
                 sub_pattern,
                 alphabet=alphabet,
                 initial_budget=initial_budget,
+                representation=representation,
             )
             for sub_text, sub_pattern in jobs
         ]

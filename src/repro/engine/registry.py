@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from typing import ClassVar, Sequence
 
 from repro.core.bitap import BitapMatch
-from repro.core.genasm_dc import WindowBitvectors
+from repro.core.genasm_dc import WindowData
 from repro.sequences.alphabet import DNA, Alphabet
 
 #: Environment variable naming the process-wide default backend.
@@ -111,8 +111,17 @@ class AlignmentEngine(ABC):
         *,
         alphabet: Alphabet = DNA,
         initial_budget: int = 8,
-    ) -> list[WindowBitvectors]:
-        """Run GenASM-DC for every (sub_text, sub_pattern) window job."""
+        representation: str = "sene",
+    ) -> list[WindowData]:
+        """Run GenASM-DC for every (sub_text, sub_pattern) window job.
+
+        ``representation`` selects the window storage discipline:
+        ``"sene"`` (default) keeps only the ``R[d]`` history and derives
+        traceback edges on demand; ``"edges"`` returns the legacy explicit
+        match/insertion/deletion stores. Backends may realize ``"sene"``
+        with their own zero-copy window type, but the derived edge bits
+        must stay bit-identical to the reference kernel's.
+        """
 
     def edit_distance_batch(
         self,

@@ -33,7 +33,7 @@ import threading
 from typing import Any, Callable, Sequence, TypeVar
 
 from repro.core.bitap import BitapMatch
-from repro.core.genasm_dc import WindowBitvectors
+from repro.core.genasm_dc import WindowData
 from repro.engine.registry import AlignmentEngine, register_engine
 from repro.sequences.alphabet import DNA, Alphabet
 
@@ -93,18 +93,21 @@ def _scan_chunk(
 
 
 def _dc_chunk(
-    args: tuple[list[tuple[str, str]], Alphabet, int],
-) -> list[WindowBitvectors]:
-    jobs, alphabet, initial_budget = args
+    args: tuple[list[tuple[str, str]], Alphabet, int, str],
+) -> list[WindowData]:
+    jobs, alphabet, initial_budget, representation = args
     return _WORKER_ENGINE.run_dc_windows(
-        jobs, alphabet=alphabet, initial_budget=initial_budget
+        jobs,
+        alphabet=alphabet,
+        initial_budget=initial_budget,
+        representation=representation,
     )
 
 
 def _align_chunk(
-    args: tuple[list[tuple[str, str]], Alphabet, int, int, Any],
+    args: tuple[list[tuple[str, str]], Alphabet, int, int, Any, str],
 ) -> list[Any]:
-    pairs, alphabet, window_size, overlap, config = args
+    pairs, alphabet, window_size, overlap, config, window_representation = args
     from repro.core.aligner import GenAsmAligner
 
     aligner = GenAsmAligner(
@@ -113,6 +116,7 @@ def _align_chunk(
         config=config,
         alphabet=alphabet,
         engine=_WORKER_ENGINE,
+        window_representation=window_representation,
     )
     return aligner.align_batch(pairs)
 
@@ -289,19 +293,31 @@ class ShardedEngine(AlignmentEngine):
         *,
         alphabet: Alphabet = DNA,
         initial_budget: int = 8,
-    ) -> list[WindowBitvectors]:
+        representation: str = "sene",
+    ) -> list[WindowData]:
+        """Sharded window DC; results come home as compact SENE payloads.
+
+        With the default ``"sene"`` representation the per-chunk IPC result
+        is the packed ``(n + 1, k + 1, W)`` uint64 history array per window
+        (batched workers) or the big-int ``R`` history (pure workers) — a
+        ~3x smaller pickle than the old three edge stores, on top of the
+        big-int-to-words saving.
+        """
         jobs = list(jobs)
         if not jobs:
             return []
-        def local(chunk: list[tuple[str, str]]) -> list[WindowBitvectors]:
+        def local(chunk: list[tuple[str, str]]) -> list[WindowData]:
             return self._local.run_dc_windows(
-                chunk, alphabet=alphabet, initial_budget=initial_budget
+                chunk,
+                alphabet=alphabet,
+                initial_budget=initial_budget,
+                representation=representation,
             )
 
         if len(jobs) < self.min_batch:
             return local(jobs)
         return self._run_sharded(
-            jobs, _dc_chunk, (alphabet, initial_budget), local
+            jobs, _dc_chunk, (alphabet, initial_budget, representation), local
         )
 
     def align_batch(
@@ -312,6 +328,7 @@ class ShardedEngine(AlignmentEngine):
         window_size: int | None = None,
         overlap: int | None = None,
         config: Any = None,
+        window_representation: str = "sene",
     ) -> list[Any]:
         """Shard whole windowed alignments across the pool.
 
@@ -344,6 +361,7 @@ class ShardedEngine(AlignmentEngine):
                 config=config,
                 alphabet=alphabet,
                 engine=self._local,
+                window_representation=window_representation,
             )
             return aligner.align_batch(chunk)
 
@@ -352,7 +370,7 @@ class ShardedEngine(AlignmentEngine):
         return self._run_sharded(
             pairs,
             _align_chunk,
-            (alphabet, window_size, overlap, config),
+            (alphabet, window_size, overlap, config, window_representation),
             local,
         )
 

@@ -29,6 +29,7 @@ from repro.hardware.performance_model import (
     dc_cycles_without_windowing,
     dram_bandwidth_bytes_per_second,
     memory_footprint_bits_with_windowing,
+    memory_footprint_bits_with_windowing_sene,
     memory_footprint_bits_without_windowing,
     system_throughput,
     throughput_per_accelerator,
@@ -58,6 +59,7 @@ __all__ = [
     "dram_bandwidth_bytes_per_second",
     "genasm_area_power",
     "memory_footprint_bits_with_windowing",
+    "memory_footprint_bits_with_windowing_sene",
     "memory_footprint_bits_without_windowing",
     "schedule_window",
     "system_throughput",

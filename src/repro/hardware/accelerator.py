@@ -8,6 +8,15 @@ flow: load the reference region and query into DC-SRAM, process windows
 emits CIGAR characters), and report the alignment together with the cycles
 and SRAM traffic the hardware would have spent.
 
+By default the model stores the paper's TB-SRAM layout: three explicit edge
+bitvectors per (iteration, distance) cell, the ``W·3·W·W``-bit sizing the
+1.5 KB-per-PE design point comes from. ``sene_traceback=True`` switches the
+stored window state to the SENE discipline (store entries, not edges, after
+Scrooge / Lindegger et al.): only the ``R[d]`` history —
+``(W+1)·(W+1)·W`` bits, ~2.9x less TB-SRAM traffic — with the TB unit
+re-deriving edges from adjacent entries. Both settings produce identical
+alignments; only the SRAM traffic accounting changes.
+
 The *functional result* comes from :mod:`repro.core` (the same algorithms
 the hardware implements); the *timing* comes from the wavefront schedule, so
 this model is the meeting point the paper's co-design story revolves around.
@@ -65,9 +74,11 @@ class GenAsmAccelerator:
         *,
         tb_config: TracebackConfig | None = None,
         alphabet: Alphabet = DNA,
+        sene_traceback: bool = False,
     ) -> None:
         self.config = config
         self.alphabet = alphabet
+        self.sene_traceback = sene_traceback
         self.tb_config = tb_config if tb_config is not None else TracebackConfig()
         self.dc_sram: Sram = make_dc_sram()
         self.tb_srams: list[Sram] = [
@@ -114,7 +125,12 @@ class GenAsmAccelerator:
             if not sub_text:
                 parts.append("I" * (m - cur_pattern))
                 break
-            window = run_dc_window(sub_text, sub_pattern, alphabet=self.alphabet)
+            window = run_dc_window(
+                sub_text,
+                sub_pattern,
+                alphabet=self.alphabet,
+                representation="sene" if self.sene_traceback else "edges",
+            )
             rows = max(1, min(w, window.edit_distance))
             dc_cycles += wavefront_cycles(
                 len(sub_text), rows, self.config.processing_elements

@@ -200,10 +200,31 @@ def memory_footprint_bits_with_windowing(config: GenAsmConfig = DEFAULT_CONFIG) 
     """Bitvector storage with windowing: ``W * 3 * W * W`` bits.
 
     Three stored vectors (match, insertion, deletion) — substitution is
-    derived — for W iterations of W-row, W-bit state.
+    derived — for W iterations of W-row, W-bit state. This is the MICRO
+    2020 TB-SRAM sizing (96 KB at W = 64); the SENE storage discipline
+    (:func:`memory_footprint_bits_with_windowing_sene`) cuts it a further
+    ~3x by storing only the ``R`` history.
     """
     w = config.window_size
     return w * 3 * w * w
+
+
+def memory_footprint_bits_with_windowing_sene(
+    config: GenAsmConfig = DEFAULT_CONFIG,
+) -> int:
+    """SENE bitvector storage with windowing: ``(W+1) * (W+1) * W`` bits.
+
+    Store-entries-not-edges (Scrooge, Lindegger et al.): only the ``R[d]``
+    status rows are kept — ``W + 1`` iterations (including the initial
+    state) of ``W + 1`` distance rows, ``W`` bits each — and the traceback
+    re-derives the match/substitution/insertion/deletion edges from
+    adjacent entries. At W = 64 this is ~33 KB against the paper layout's
+    96 KB, a ~2.9x TB-SRAM reduction, and it removes two of the three
+    per-cycle TB-SRAM stores from the DC pipeline. The software kernels
+    default to this discipline (``representation="sene"``).
+    """
+    w = config.window_size
+    return (w + 1) * (w + 1) * w
 
 
 # ----------------------------------------------------------------------

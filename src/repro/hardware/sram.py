@@ -10,6 +10,13 @@ These models enforce the capacity and port constraints and count traffic, so
 the accelerator model can verify the design point actually fits — the
 "balance the compute resources with available memory capacity and bandwidth"
 claim of the introduction.
+
+Under the SENE storage discipline (store entries, not edges; see
+:mod:`repro.core.genasm_dc` and
+:func:`repro.hardware.performance_model.memory_footprint_bits_with_windowing_sene`)
+each PE writes only its ``R[d]`` row — 64 bits instead of 192 per cycle —
+cutting the per-window TB-SRAM footprint from 96 KB to ~33 KB; the
+accelerator model exposes this as ``sene_traceback=True``.
 """
 
 from __future__ import annotations

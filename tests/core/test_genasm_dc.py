@@ -3,6 +3,8 @@
 import pytest
 
 from repro.core.genasm_dc import (
+    SeneWindowBitvectors,
+    WindowBitvectors,
     WindowUnalignableError,
     run_dc_window,
 )
@@ -71,10 +73,80 @@ class TestStoredBitvectors:
         assert window.deletion_bit(0, 0, 0) == 1
         assert window.substitution_bit(0, 0, 1) == 1
 
-    def test_stored_bits_accounting(self):
+    def test_stored_bits_accounting_sene(self):
+        # SENE keeps one R vector per (iteration, distance) cell, plus the
+        # initial state row.
         window = run_dc_window("ACGTACGT", "ACGTACGT")
+        expected = (
+            (window.text_length + 1)
+            * (window.k + 1)
+            * window.pattern_length
+        )
+        assert window.stored_bits() == expected
+
+    def test_stored_bits_accounting_edges(self):
+        window = run_dc_window("ACGTACGT", "ACGTACGT", representation="edges")
         expected = window.text_length * 3 * window.k * window.pattern_length
         assert window.stored_bits() == expected
+
+    def test_sene_footprint_is_about_a_third(self):
+        sene = run_dc_window("ACGTACGT" * 8, "ACGTACGT" * 8)
+        edges = run_dc_window(
+            "ACGTACGT" * 8, "ACGTACGT" * 8, representation="edges"
+        )
+        assert sene.stored_bits() < edges.stored_bits() / 2.5
+
+
+class TestRepresentations:
+    def test_default_is_sene(self):
+        assert isinstance(run_dc_window("ACGT", "ACGT"), SeneWindowBitvectors)
+
+    def test_edges_returns_legacy_type(self):
+        window = run_dc_window("ACGT", "ACGT", representation="edges")
+        assert isinstance(window, WindowBitvectors)
+
+    def test_unknown_representation_rejected(self):
+        with pytest.raises(ValueError):
+            run_dc_window("ACGT", "ACGT", representation="bogus")
+
+    def test_sene_derives_identical_edge_bits(self, rng):
+        """Every derived M/S/I/D bit matches the explicit edge stores."""
+        for _ in range(20):
+            text = random_dna(rng.randint(1, 24), rng)
+            pattern = random_dna(rng.randint(1, 24), rng)
+            sene = run_dc_window(text, pattern)
+            edges = run_dc_window(text, pattern, representation="edges")
+            assert sene.k == edges.k
+            assert sene.edit_distance == edges.edit_distance
+            for i in range(len(text)):
+                for d in range(sene.k + 1):
+                    assert sene.edge_vectors(i, d) == edges.edge_vectors(i, d)
+
+    def test_sene_bit_accessors_match_edges(self):
+        text, pattern = "CGTGA", "CTGA"
+        sene = run_dc_window(text, pattern)
+        edges = run_dc_window(text, pattern, representation="edges")
+        for i in range(len(text)):
+            for d in range(sene.k + 1):
+                for p in range(len(pattern)):
+                    assert sene.match_bit(i, d, p) == edges.match_bit(i, d, p)
+                    assert sene.substitution_bit(i, d, p) == (
+                        edges.substitution_bit(i, d, p)
+                    )
+                    assert sene.insertion_bit(i, d, p) == (
+                        edges.insertion_bit(i, d, p)
+                    )
+                    assert sene.deletion_bit(i, d, p) == (
+                        edges.deletion_bit(i, d, p)
+                    )
+
+    def test_sene_history_shape(self):
+        window = run_dc_window("ACGTAC", "ACGTAC")
+        assert len(window.r) == window.text_length + 1
+        assert all(len(row) == window.k + 1 for row in window.r)
+        # The final history row is the initial all-ones state.
+        all_ones = (1 << window.pattern_length) - 1
+        assert window.r[window.text_length] == [all_ones] * (window.k + 1)
 
 
 class TestAgainstGroundTruth:

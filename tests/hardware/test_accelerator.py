@@ -19,6 +19,22 @@ class TestFunctionalEquivalence:
             assert str(hw.alignment.cigar) == str(sw.cigar)
             assert hw.alignment.edit_distance == sw.edit_distance
 
+    def test_sene_mode_same_alignment_less_tb_sram_traffic(self, rng):
+        """SENE storage changes only the TB-SRAM accounting, ~3x down."""
+        paper = GenAsmAccelerator()
+        sene = GenAsmAccelerator(sene_traceback=True)
+        text = random_dna(300, rng)
+        pattern = mutate(text, MutationProfile(0.1), rng=rng).sequence
+        region = text + random_dna(40, rng)
+        hw_paper = paper.align(region, pattern)
+        hw_sene = sene.align(region, pattern)
+        assert str(hw_sene.alignment.cigar) == str(hw_paper.alignment.cigar)
+        assert hw_sene.total_cycles == hw_paper.total_cycles
+        assert (
+            hw_sene.tb_sram_bytes_written
+            < hw_paper.tb_sram_bytes_written / 2
+        )
+
 
 class TestCycleAccounting:
     def test_cycles_close_to_analytical_model(self, rng):

@@ -93,6 +93,17 @@ class TestPaperAnchors:
         # W*3*W*W bits = 96 KB for W=64 (the total TB-SRAM capacity).
         assert memory_footprint_bits_with_windowing() / 8 / 1024 == 96
 
+    def test_sene_footprint_is_about_a_third(self):
+        # SENE (Scrooge): (W+1)*(W+1)*W bits ~= 33 KB for W=64, ~2.9x less.
+        from repro.hardware.performance_model import (
+            memory_footprint_bits_with_windowing_sene,
+        )
+
+        sene_bits = memory_footprint_bits_with_windowing_sene()
+        assert 32 < sene_bits / 8 / 1024 < 34
+        ratio = memory_footprint_bits_with_windowing() / sene_bits
+        assert 2.8 < ratio < 3.0
+
     def test_dram_bandwidth_in_paper_band(self):
         # Section 7: 105-142 MB/s per accelerator for long reads.
         bw = dram_bandwidth_bytes_per_second(10_000, 1_500)

@@ -1,0 +1,86 @@
+"""Unit tests for the CI bench regression gate's comparison logic."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+from check_regression import config_key, find_regressions  # noqa: E402
+
+
+def row(task="align", backend="batched", rate=1000.0, batch=64, **kw):
+    return {
+        "task": task,
+        "backend": backend,
+        "read_length": kw.get("read_length", 100),
+        "error_rate": kw.get("error_rate", 0.05),
+        "batch_size": batch,
+        "pairs_per_sec": rate,
+    }
+
+
+class TestFindRegressions:
+    def test_no_regression_when_faster(self):
+        regs, compared = find_regressions(
+            [row(rate=1000)], [row(rate=2000)], threshold=0.4
+        )
+        assert regs == []
+        assert compared == 1
+
+    def test_drop_within_threshold_passes(self):
+        regs, _ = find_regressions(
+            [row(rate=1000)], [row(rate=601)], threshold=0.4
+        )
+        assert regs == []
+
+    def test_drop_past_threshold_fails(self):
+        regs, _ = find_regressions(
+            [row(rate=1000)], [row(rate=599)], threshold=0.4
+        )
+        assert len(regs) == 1
+        assert regs[0]["ratio"] < 0.6
+        assert regs[0]["baseline_pairs_per_sec"] == 1000
+
+    def test_small_batches_ignored(self):
+        regs, compared = find_regressions(
+            [row(rate=1000, batch=8)],
+            [row(rate=10, batch=8)],
+            threshold=0.4,
+        )
+        assert regs == []
+        assert compared == 0  # caller must treat zero comparisons as FAIL
+
+    def test_only_overlapping_configs_compared(self):
+        baseline = [row(task="align", rate=1000)]
+        fresh = [
+            row(task="align", rate=900),
+            row(task="traceback_dc", rate=5),  # absent from baseline
+        ]
+        regs, compared = find_regressions(baseline, fresh, threshold=0.4)
+        assert regs == []
+        assert compared == 1
+
+    def test_mixed_results_report_only_regressed(self):
+        baseline = [
+            row(task="align", rate=1000),
+            row(task="prefilter", rate=5000),
+        ]
+        fresh = [
+            row(task="align", rate=100),
+            row(task="prefilter", rate=4999),
+        ]
+        regs, compared = find_regressions(baseline, fresh, threshold=0.4)
+        assert compared == 2
+        assert [r["task"] for r in regs] == ["align"]
+
+    def test_config_key_distinguishes_every_axis(self):
+        base = row()
+        variants = [
+            row(task="prefilter"),
+            row(backend="pure"),
+            row(read_length=150),
+            row(error_rate=0.15),
+            row(batch=256),
+        ]
+        keys = {config_key(base)} | {config_key(v) for v in variants}
+        assert len(keys) == 6
