@@ -1,0 +1,338 @@
+"""HTTP front benchmark: fixed vs adaptive flush windows under bursts.
+
+Drives the full network path — TCP connections on a loopback port, HTTP
+parsing, JSON validation, the batching :class:`AlignmentServer`, response
+framing — with an *open-loop* traffic generator: requests fire on a wall
+clock schedule instead of waiting for earlier responses, the shape real
+load balancers deliver. Two arrival patterns bound the flush-policy design
+space:
+
+* ``bursty`` — groups of requests land nearly simultaneously, then the
+  line goes quiet (lumpy upstream batching, cron-driven clients);
+* ``steady`` — the same requests spread evenly over the same total time.
+
+Each pattern runs twice per flush window: once with the fixed deadline and
+once with ``adaptive_flush=True``, where the server sizes its deadline
+from the EWMA of observed arrival gaps (clamped to min/max bounds). The
+point of the adaptive window is robustness to a *mis-sized* fixed
+deadline: during a dense burst the EWMA gap collapses and the deadline
+shrinks toward the minimum (flush as soon as the burst has arrived,
+instead of idling out the full fixed window), while sparse traffic widens
+it back out toward the bound. Emits ``BENCH_http.json`` at the repo root
+(tracked across PRs, uploaded as a CI artifact); the summary records
+adaptive-vs-fixed speedup per workload.
+
+Run:  PYTHONPATH=src python benchmarks/bench_http.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from _common import REPO_ROOT, emit_json, emit_table
+from bench_serving import percentile
+
+from repro.serving import AlignmentHTTPServer, AlignmentServer
+from repro.sequences.mutate import MutationProfile, mutate
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_http.json"
+
+
+@dataclass(frozen=True)
+class HttpWorkload:
+    """One traffic shape against one endpoint."""
+
+    name: str
+    read_length: int
+    error_rate: float
+    requests: int
+    burst_size: int  # 1 => steady arrivals
+    burst_gap_ms: float  # schedule spacing between bursts (or requests)
+
+    @property
+    def threshold(self) -> int:
+        return max(8, int(self.read_length * self.error_rate))
+
+
+def build_pairs(workload: HttpWorkload, seed: int) -> list[tuple[str, str]]:
+    rng = random.Random(seed)
+    pairs = []
+    for _ in range(workload.requests):
+        region = "".join(
+            rng.choice("ACGT")
+            for _ in range(workload.read_length + workload.threshold)
+        )
+        read = mutate(
+            region[: workload.read_length],
+            MutationProfile(error_rate=workload.error_rate),
+            rng=rng,
+        ).sequence
+        pairs.append((region, read))
+    return pairs
+
+
+async def _http_request(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    path: str,
+    payload: dict,
+) -> dict:
+    body = json.dumps(payload).encode()
+    writer.write(
+        (
+            f"POST {path} HTTP/1.1\r\nHost: bench\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        ).encode()
+        + body
+    )
+    await writer.drain()
+    status_line = await reader.readline()
+    status = int(status_line.split()[1])
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode().partition(":")
+        headers[name.strip().lower()] = value.strip()
+    raw = await reader.readexactly(int(headers.get("content-length", "0")))
+    if status != 200:
+        raise RuntimeError(f"{path} -> {status}: {raw[:120]!r}")
+    return json.loads(raw)
+
+
+async def _drive(
+    front: AlignmentHTTPServer,
+    workload: HttpWorkload,
+    pairs: list[tuple[str, str]],
+) -> tuple[float, list[float]]:
+    """Open-loop burst schedule; returns (wall seconds, latencies).
+
+    Each keep-alive connection is serviced by one worker coroutine fed
+    from its own queue, so requests on a connection stay serialized while
+    the *schedule* stays open-loop: a request's latency is measured from
+    the instant the schedule fired it, queue wait included — exactly what
+    a client behind a slow server would observe.
+    """
+    n_conns = max(workload.burst_size, 16)
+    queues: list[asyncio.Queue] = [asyncio.Queue() for _ in range(n_conns)]
+
+    async def worker(queue: asyncio.Queue) -> list[float]:
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", front.port
+        )
+        own: list[float] = []
+        while True:
+            item = await queue.get()
+            if item is None:
+                break
+            fired_at, (text, read) = item
+            await _http_request(
+                reader,
+                writer,
+                "/v1/edit_distance",
+                {"text": text, "pattern": read, "k": workload.threshold},
+            )
+            own.append(time.perf_counter() - fired_at)
+        writer.close()
+        return own
+
+    workers = [asyncio.ensure_future(worker(queue)) for queue in queues]
+    start = time.perf_counter()
+    slot = 0
+    for offset in range(0, len(pairs), workload.burst_size):
+        burst = pairs[offset : offset + workload.burst_size]
+        fired_at = time.perf_counter()
+        for pair in burst:
+            queues[slot % n_conns].put_nowait((fired_at, pair))
+            slot += 1
+        await asyncio.sleep(workload.burst_gap_ms / 1e3)
+    for queue in queues:
+        queue.put_nowait(None)
+    per_worker = await asyncio.gather(*workers)
+    elapsed = time.perf_counter() - start
+    return elapsed, [lat for lats in per_worker for lat in lats]
+
+
+def run_config(
+    workload: HttpWorkload,
+    pairs: list[tuple[str, str]],
+    *,
+    mode: str,  # "fixed" | "adaptive"
+    flush_ms: float,
+    batch_size: int,
+    engine: str | None,
+) -> dict:
+    async def main() -> dict:
+        server = AlignmentServer(
+            engine=engine,
+            batch_size=batch_size,
+            flush_interval=flush_ms / 1e3,
+            max_pending=max(batch_size, 4 * workload.burst_size),
+            adaptive_flush=(mode == "adaptive"),
+            min_flush_interval=flush_ms / 8e3,
+            max_flush_interval=4 * flush_ms / 1e3,
+        )
+        async with AlignmentHTTPServer(server) as front:
+            await front.start(port=0)
+            elapsed, latencies = await _drive(front, workload, pairs)
+            stats = server.stats
+            return {
+                "workload": workload.name,
+                "mode": mode,
+                "read_length": workload.read_length,
+                "requests": len(pairs),
+                "burst_size": workload.burst_size,
+                "burst_gap_ms": workload.burst_gap_ms,
+                "flush_ms": flush_ms,
+                "batch_size": batch_size,
+                "engine": server.engine.name,
+                "seconds": elapsed,
+                "requests_per_sec": len(pairs) / elapsed,
+                "p50_ms": percentile(latencies, 50) * 1e3,
+                "p99_ms": percentile(latencies, 99) * 1e3,
+                "flushes": stats.flushes,
+                "mean_batch": stats.mean_batch,
+                "deadline_flushes": stats.deadline_flushes,
+                "size_flushes": stats.size_flushes,
+            }
+
+    return asyncio.run(main())
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload for CI: few bursts, short reads",
+    )
+    parser.add_argument(
+        "--engine",
+        default=None,
+        help="engine backend to serve with (default: best available)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help="where to write the JSON artifact",
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        workloads = [
+            HttpWorkload("bursty", 64, 0.08, 96, burst_size=24, burst_gap_ms=20.0),
+            HttpWorkload("steady", 64, 0.08, 48, burst_size=1, burst_gap_ms=1.0),
+        ]
+        flush_windows = [6.0]
+        batch_size = 32
+        repeats = 1
+    else:
+        workloads = [
+            HttpWorkload(
+                "bursty", 150, 0.05, 1440, burst_size=48, burst_gap_ms=25.0
+            ),
+            HttpWorkload(
+                "steady", 150, 0.05, 512, burst_size=1, burst_gap_ms=1.0
+            ),
+        ]
+        flush_windows = [4.0, 8.0]
+        batch_size = 64
+        # Best-of-N damps scheduler noise on shared hosts: both modes run
+        # the same schedule, so the best run is the least-perturbed one.
+        repeats = 3
+
+    results: list[dict] = []
+    for workload in workloads:
+        pairs = build_pairs(workload, seed=0xB0B)
+        for flush_ms in flush_windows:
+            for mode in ("fixed", "adaptive"):
+                best = None
+                for _ in range(repeats):
+                    run = run_config(
+                        workload,
+                        pairs,
+                        mode=mode,
+                        flush_ms=flush_ms,
+                        batch_size=batch_size,
+                        engine=args.engine,
+                    )
+                    if best is None or (
+                        run["requests_per_sec"] > best["requests_per_sec"]
+                    ):
+                        best = run
+                results.append(best)
+
+    fixed_rate = {
+        (r["workload"], r["flush_ms"]): r["requests_per_sec"]
+        for r in results
+        if r["mode"] == "fixed"
+    }
+    speedups = [
+        {
+            "workload": r["workload"],
+            "flush_ms": r["flush_ms"],
+            "adaptive_vs_fixed": r["requests_per_sec"]
+            / fixed_rate[(r["workload"], r["flush_ms"])],
+        }
+        for r in results
+        if r["mode"] == "adaptive"
+    ]
+    bursty = [s["adaptive_vs_fixed"] for s in speedups if s["workload"] == "bursty"]
+    summary = {
+        "best_adaptive_speedup_bursty": max(bursty, default=None),
+        "worst_adaptive_speedup_bursty": min(bursty, default=None),
+        "max_requests_per_sec": max(r["requests_per_sec"] for r in results),
+    }
+
+    emit_json(
+        args.output,
+        "http",
+        {
+            "smoke": args.smoke,
+            "results": results,
+            "speedups": speedups,
+            "summary": summary,
+        },
+    )
+
+    rows = [
+        [
+            r["workload"],
+            r["mode"],
+            f"{r['flush_ms']:.0f}",
+            r["burst_size"],
+            f"{r['requests_per_sec']:,.0f}",
+            f"{r['p50_ms']:.1f}",
+            f"{r['p99_ms']:.1f}",
+            f"{r['mean_batch']:.1f}",
+            r["flushes"],
+        ]
+        for r in results
+    ]
+    emit_table(
+        "bench_http",
+        [
+            "workload", "mode", "window ms", "burst", "req/s",
+            "p50 ms", "p99 ms", "mean batch", "flushes",
+        ],
+        rows,
+        title="HTTP serving under bursty/steady load (fixed vs adaptive flush)",
+    )
+    print(f"\nwrote {args.output}")
+    for s in speedups:
+        print(
+            f"{s['workload']} @ {s['flush_ms']:.0f}ms: adaptive "
+            f"{s['adaptive_vs_fixed']:.2f}x vs fixed"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -14,7 +14,8 @@ Bitap-compatible traceback. This package reproduces the paper end to end:
 * :mod:`repro.mapping` — a full read-mapping pipeline (index, seed, filter,
   align) hosting GenASM as its alignment step;
 * :mod:`repro.serving` — the asyncio alignment server that batches many
-  concurrent requests into few large engine calls;
+  concurrent requests into few large engine calls (with adaptive flush
+  windows), plus the stdlib HTTP/JSON network front over it;
 * :mod:`repro.eval` — datasets, metrics, and one experiment driver per
   table/figure in the paper's evaluation.
 """
@@ -42,13 +43,20 @@ from repro.engine import (
     get_engine,
     register_engine,
 )
-from repro.serving import AlignmentServer, ServerClosedError, ServingStats
+from repro.serving import (
+    AlignmentHTTPServer,
+    AlignmentServer,
+    ServerClosedError,
+    ServingStats,
+    serve_http,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Alignment",
     "AlignmentEngine",
+    "AlignmentHTTPServer",
     "AlignmentServer",
     "BatchedEngine",
     "Cigar",
@@ -70,4 +78,5 @@ __all__ = [
     "genasm_edit_distance",
     "get_engine",
     "register_engine",
+    "serve_http",
 ]

@@ -140,6 +140,11 @@ class AlignmentEngine(ABC):
 
 _REGISTRY: dict[str, type[AlignmentEngine]] = {}
 _INSTANCES: dict[str, AlignmentEngine] = {}
+#: Memoized ``REPRO_ENGINE`` resolutions: env value -> backend name. The
+#: fallback RuntimeWarning for a bogus value fires once per value, not once
+#: per call — default_engine_name() sits on every engine-less construction
+#: path (aligners, filters, servers), and a per-call warning floods logs.
+_ENV_RESOLUTIONS: dict[str, str] = {}
 
 
 def register_engine(
@@ -153,6 +158,9 @@ def register_engine(
         raise ValueError(f"engine {name!r} is already registered")
     _REGISTRY[name] = engine_cls
     _INSTANCES.pop(name, None)
+    # A new registration can change what an env value resolves to (the
+    # value may now name a real backend); drop the memoized resolutions.
+    _ENV_RESOLUTIONS.clear()
     return engine_cls
 
 
@@ -221,12 +229,18 @@ def default_engine_name() -> str:
     :class:`RuntimeWarning` naming the registered engines, and the best
     available backend is used instead. (Explicitly passing a bogus name to
     :func:`get_engine` still raises; only the ambient env default degrades.)
+    The validated resolution is memoized per env value, so the warning
+    fires once rather than on every call; registering a new backend
+    invalidates the memo.
     """
     env = os.environ.get(ENGINE_ENV_VAR)
     if env:
         cls = _REGISTRY.get(env)
         if cls is not None and cls.is_available():
             return env
+        cached = _ENV_RESOLUTIONS.get(env)
+        if cached is not None and _is_usable(cached):
+            return cached
         fallback = _best_available_name()
         if cls is None:
             problem = (
@@ -244,8 +258,15 @@ def default_engine_name() -> str:
             RuntimeWarning,
             stacklevel=2,
         )
+        _ENV_RESOLUTIONS[env] = fallback
         return fallback
     return _best_available_name()
+
+
+def _is_usable(name: str) -> bool:
+    """Whether ``name`` is registered and available right now."""
+    cls = _REGISTRY.get(name)
+    return cls is not None and cls.is_available()
 
 
 def get_engine(

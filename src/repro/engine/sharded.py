@@ -74,6 +74,7 @@ def _pool_context() -> multiprocessing.context.BaseContext:
 # pool initializer.
 # ----------------------------------------------------------------------
 _WORKER_ENGINE: AlignmentEngine | None = None
+_WORKER_MAPPER: Any = None
 
 
 def _init_worker(inner_name: str) -> None:
@@ -81,6 +82,31 @@ def _init_worker(inner_name: str) -> None:
     from repro.engine.registry import get_engine
 
     _WORKER_ENGINE = get_engine(inner_name)
+
+
+def _init_map_worker(inner_name: str, spec: Any) -> None:
+    """Pool initializer for mapper sharding: pin one mapper per worker.
+
+    The reference genome and k-mer index cross the IPC boundary exactly once
+    — here, inside ``spec`` at pool start — so per-call chunks carry only
+    the reads themselves.
+    """
+    global _WORKER_MAPPER
+    _init_worker(inner_name)
+    _WORKER_MAPPER = spec.build(_WORKER_ENGINE)
+
+
+def _map_chunk(reads: list[tuple[str, str]]) -> tuple[list[Any], Any]:
+    """Run the full mapping pipeline for one chunk of reads.
+
+    Returns the chunk's results plus the stats *delta* it generated, so the
+    parent can fold worker counters into the caller's mapper.
+    """
+    from repro.mapping.pipeline import PipelineStats
+
+    _WORKER_MAPPER.stats = PipelineStats()
+    results = _WORKER_MAPPER.map_reads(reads)
+    return results, _WORKER_MAPPER.stats
 
 
 def _scan_chunk(
@@ -169,6 +195,8 @@ class ShardedEngine(AlignmentEngine):
 
         self._local = get_engine(self.inner_name)
         self._pool: multiprocessing.pool.Pool | None = None
+        self._map_pool: multiprocessing.pool.Pool | None = None
+        self._map_pool_token: str | None = None
         self._atexit_registered = False
 
     # ------------------------------------------------------------------
@@ -221,12 +249,43 @@ class ShardedEngine(AlignmentEngine):
         """
         self._ensure_pool()
 
+    def _ensure_map_pool(
+        self, spec: Any, token: str
+    ) -> multiprocessing.pool.Pool:
+        """A pool whose workers each hold a mapper built from ``spec``.
+
+        The pool is keyed by the mapper's ``token``: repeated calls for the
+        same mapper reuse the pinned workers (reads are the only per-call
+        IPC payload), while a different mapper tears the old pool down and
+        pays the genome/index pickle once for the new one.
+        """
+        if self._map_pool is not None and self._map_pool_token != token:
+            self._map_pool.terminate()
+            self._map_pool.join()
+            self._map_pool = None
+        if self._map_pool is None:
+            self._map_pool = _pool_context().Pool(
+                processes=self.workers,
+                initializer=_init_map_worker,
+                initargs=(self.inner_name, spec),
+            )
+            self._map_pool_token = token
+            if not self._atexit_registered:
+                self._atexit_registered = True
+                atexit.register(self.close)
+        return self._map_pool
+
     def close(self) -> None:
-        """Tear down the worker pool (recreated lazily if used again)."""
+        """Tear down the worker pools (recreated lazily if used again)."""
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
+        if self._map_pool is not None:
+            self._map_pool.terminate()
+            self._map_pool.join()
+            self._map_pool = None
+            self._map_pool_token = None
         if self._atexit_registered:
             self._atexit_registered = False
             atexit.unregister(self.close)
@@ -373,6 +432,58 @@ class ShardedEngine(AlignmentEngine):
             (alphabet, window_size, overlap, config, window_representation),
             local,
         )
+
+    # ------------------------------------------------------------------
+    # Mapper-level sharding
+    # ------------------------------------------------------------------
+    @property
+    def min_map_batch(self) -> float:
+        """Smallest read batch worth fanning out to the mapper pool.
+
+        With a single worker there is no parallelism to buy, only IPC and
+        a second pool to pay for — the infinite threshold steers
+        :meth:`ReadMapper.map_reads_batch` to its in-process path.
+        """
+        if self.workers < 2:
+            return float("inf")
+        return max(2, self.workers)
+
+    def shard_map(
+        self,
+        spec: Any,
+        token: str,
+        reads: Sequence[tuple[str, str]],
+    ) -> tuple[list[Any], Any]:
+        """Fan whole-read mapping across the pool.
+
+        Each chunk of ``reads`` runs the complete pipeline — seeding,
+        pre-alignment filtering, and alignment — inside one worker whose
+        :class:`~repro.mapping.pipeline.ReadMapper` was rebuilt from
+        ``spec`` at pool start (see :meth:`_ensure_map_pool`), so the
+        per-call IPC payload is just read sequences out and
+        :class:`~repro.mapping.pipeline.MappingResult` lists back. Because
+        reads are mapped independently, concatenating the per-chunk results
+        is bit-identical to an in-process
+        :meth:`~repro.mapping.pipeline.ReadMapper.map_reads` call.
+
+        Returns ``(results, stats)`` where ``stats`` is the summed
+        :class:`~repro.mapping.pipeline.PipelineStats` delta across workers.
+        """
+        from repro.mapping.pipeline import PipelineStats
+
+        reads = list(reads)
+        total = PipelineStats()
+        if not reads:
+            return [], total
+        pool = self._ensure_map_pool(spec, token)
+        chunks = self._shard(reads)
+        outputs = pool.map(_map_chunk, chunks)
+        results = [
+            result for chunk_results, _ in outputs for result in chunk_results
+        ]
+        for _, chunk_stats in outputs:
+            total.merge(chunk_stats)
+        return results, total
 
 
 def _best_inner_name() -> str:

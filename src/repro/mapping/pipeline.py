@@ -11,6 +11,7 @@ complement, and the better-scoring alignment wins, as in real mappers.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Protocol, Sequence
 
@@ -20,6 +21,7 @@ from repro.core.scoring import ScoringScheme
 from repro.mapping.index import KmerIndex
 from repro.mapping.sam import FLAG_REVERSE, SamRecord, unmapped_record
 from repro.mapping.seeding import candidate_locations
+from repro.sequences.alphabet import Alphabet
 from repro.sequences.genome import Genome
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -60,6 +62,60 @@ class PipelineStats:
         if self.candidates == 0:
             return 0.0
         return self.filtered_out / self.candidates
+
+    def merge(self, other: "PipelineStats") -> None:
+        """Fold another counter set into this one (sharded-chunk deltas)."""
+        self.reads += other.reads
+        self.candidates += other.candidates
+        self.filtered_out += other.filtered_out
+        self.alignments_run += other.alignments_run
+        self.mapped += other.mapped
+
+
+#: Tokens distinguishing mapper generations across sharded pool reuse.
+_SPEC_TOKENS = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class MapperSpec:
+    """Picklable recipe rebuilding an equivalent :class:`ReadMapper`.
+
+    Mapper-level sharding sends whole reads — seeding, filtering, and
+    alignment — to pool workers, so each worker needs its own mapper over
+    the same reference. Shipping the live mapper per call would re-pickle
+    the genome and k-mer index every time (and drag along unpicklable state
+    like a sharded engine's pool); the spec instead carries just the
+    construction ingredients and is pinned into each worker once, at pool
+    start. Only the default GenASM aligner and filter are representable —
+    mappers with custom callables fall back to in-process mapping.
+    """
+
+    genome: Genome
+    index: KmerIndex
+    error_rate: float
+    filter_threshold: int | None
+    filter_alphabet: Alphabet | None
+    scoring: ScoringScheme
+    max_candidates: int
+
+    def build(self, engine: "AlignmentEngine | str | None") -> "ReadMapper":
+        """Construct the worker-side mapper over ``engine``."""
+        prefilter = None
+        if self.filter_threshold is not None:
+            prefilter = GenAsmFilter(
+                self.filter_threshold,
+                alphabet=self.filter_alphabet,
+                engine=engine,
+            )
+        return ReadMapper(
+            genome=self.genome,
+            index=self.index,
+            error_rate=self.error_rate,
+            prefilter=prefilter,
+            scoring=self.scoring,
+            max_candidates=self.max_candidates,
+            engine=engine,
+        )
 
 
 @dataclass(frozen=True)
@@ -112,6 +168,13 @@ class ReadMapper:
     def __post_init__(self) -> None:
         if not 0.0 <= self.error_rate < 1.0:
             raise ValueError("error_rate must be within [0, 1)")
+        # Shardable only when BOTH aligner slots are the defaults a worker
+        # can rebuild; a custom batch_aligner alone would be silently
+        # replaced worker-side otherwise.
+        self._default_aligner = (
+            self.aligner is None and self.batch_aligner is None
+        )
+        self._shard_token: str | None = None
         if self.aligner is None:
             genasm = GenAsmAligner(engine=self.engine)
             self.aligner = genasm.align
@@ -212,6 +275,62 @@ class ReadMapper:
                 sequence=read,
             )
             results.append(MappingResult(record, alignment, position, reverse))
+        return results
+
+    def shard_spec(self) -> MapperSpec | None:
+        """The :class:`MapperSpec` for this mapper, or None if unshardable.
+
+        Only the default GenASM aligner configuration and a
+        :class:`GenAsmFilter` (or no filter) can be rebuilt in a worker;
+        mappers carrying custom callables return None and map in-process.
+        """
+        if not self._default_aligner:
+            return None
+        if self.prefilter is not None and type(self.prefilter) is not GenAsmFilter:
+            return None
+        return MapperSpec(
+            genome=self.genome,
+            index=self.index,
+            error_rate=self.error_rate,
+            filter_threshold=(
+                self.prefilter.threshold if self.prefilter is not None else None
+            ),
+            filter_alphabet=(
+                self.prefilter.alphabet if self.prefilter is not None else None
+            ),
+            scoring=self.scoring,
+            max_candidates=self.max_candidates,
+        )
+
+    def map_reads_batch(
+        self, reads: Sequence[tuple[str, str]]
+    ) -> list[MappingResult]:
+        """Map reads, sharding whole-read work across a process pool.
+
+        When this mapper's engine exposes ``shard_map`` (the ``"sharded"``
+        backend), the read list is chunked and each chunk runs the *entire*
+        pipeline — seeding, filtering, alignment — inside a pool worker
+        whose mapper was pinned at pool start, so mapping throughput scales
+        with workers instead of only the per-call engine work. Falls back
+        to the in-process :meth:`map_reads` for small batches, unshardable
+        mappers (custom aligner/filter callables), or in-process engines.
+        Results and :attr:`stats` deltas are identical either way, in input
+        order.
+        """
+        reads = list(reads)
+        from repro.engine.registry import get_engine
+
+        engine = get_engine(self.engine)
+        shard_map = getattr(engine, "shard_map", None)
+        if shard_map is None or len(reads) < getattr(engine, "min_map_batch", 2):
+            return self.map_reads(reads)
+        spec = self.shard_spec()
+        if spec is None:
+            return self.map_reads(reads)
+        if self._shard_token is None:
+            self._shard_token = f"mapper-{next(_SPEC_TOKENS)}"
+        results, stats = shard_map(spec, self._shard_token, reads)
+        self.stats.merge(stats)
         return results
 
     async def map_reads_concurrent(

@@ -3,10 +3,24 @@
 :class:`AlignmentServer` turns many small concurrent requests (``scan``,
 ``edit_distance``, ``align``, ``map_read``) into the large batches the
 engine backends are built to amortize, with a size-or-deadline flush
-policy, bounded-queue backpressure, and graceful shutdown. See
+policy (optionally adaptive — the deadline tracks an EWMA of the observed
+arrival rate), bounded-queue backpressure, and graceful shutdown. See
 :mod:`repro.serving.server` for the design notes.
+
+:class:`AlignmentHTTPServer` (:mod:`repro.serving.http`) puts a stdlib
+HTTP/1.1 JSON API in front of it — ``POST /v1/scan``,
+``/v1/edit_distance``, ``/v1/align``, ``/v1/map``, plus ``GET /healthz``
+and ``/v1/stats`` — with request validation, load shedding, and graceful
+draining.
 """
 
+from repro.serving.http import (
+    AlignmentHTTPServer,
+    EndpointStats,
+    HttpError,
+    open_memory_connection,
+    serve_http,
+)
 from repro.serving.server import (
     AlignmentServer,
     ServerClosedError,
@@ -15,8 +29,13 @@ from repro.serving.server import (
 )
 
 __all__ = [
+    "AlignmentHTTPServer",
     "AlignmentServer",
+    "EndpointStats",
+    "HttpError",
     "ServerClosedError",
     "ServingStats",
+    "open_memory_connection",
+    "serve_http",
     "serve_requests",
 ]

@@ -1,0 +1,581 @@
+"""HTTP/JSON network front over the :class:`AlignmentServer` (stdlib only).
+
+The serving layer turns many concurrent requests into few large engine
+calls; this module puts a wire protocol in front of it so the batching is
+shared across *processes and machines*, not just coroutines in one program.
+It is a deliberately small HTTP/1.1 server built on ``asyncio`` streams —
+no third-party framework — because the request surface is five JSON
+endpoints and the hot path is the alignment engine, not the parser.
+
+Endpoints
+---------
+* ``POST /v1/scan``          — ``{"text", "pattern", "k", "first_match_only"?}``
+  -> ``{"matches": [{"start", "distance"}, ...]}``
+* ``POST /v1/edit_distance`` — ``{"text", "pattern", "k"}``
+  -> ``{"distance": int | null}``
+* ``POST /v1/align``         — ``{"text", "pattern"}``
+  -> ``{"cigar", "edit_distance", "text_start", "text_consumed"}``
+* ``POST /v1/map``           — ``{"name", "read"}``
+  -> ``{"sam", "mapped", "position", "reverse", "cigar"}``
+* ``GET /healthz``           — liveness + load, never queued behind batches
+* ``GET /v1/stats``          — serving counters + per-endpoint HTTP counters
+
+Error mapping
+-------------
+Malformed JSON and invalid fields are 400; an oversize body is 413 before
+the body is even read; an unknown path is 404 and a known path with the
+wrong method 405; a saturated pending queue (``max_pending``) or a stopping
+server sheds load with 503 instead of queueing — the client should retry
+against another replica. Engine ``ValueError``s (bad symbols, negative
+``k``) are client errors (400); anything else is a 500 with the exception
+name, never a dropped connection.
+
+Shutdown is graceful: :meth:`AlignmentHTTPServer.stop` stops accepting,
+lets every in-flight request finish and be written back, closes idle
+keep-alive connections, then drains the underlying alignment server.
+
+Connections come from three places, all funneling into
+:meth:`AlignmentHTTPServer.handle_connection`: a real listening socket
+(:meth:`~AlignmentHTTPServer.start`), a ``socket.socketpair`` created by
+:func:`open_memory_connection` (tests and benchmarks need no free port),
+or anything else that supplies an ``asyncio`` stream pair.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable
+
+from repro.serving.server import AlignmentServer, ServerClosedError
+
+#: Largest accepted request body; JSON for even 100 kbp reads fits well
+#: under this, and anything larger is a client bug or abuse.
+DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Largest accepted request line + single header line.
+_MAX_LINE_BYTES = 16 * 1024
+
+_JSON_CONTENT_TYPE = "application/json"
+
+
+class HttpError(Exception):
+    """A request failure that maps to one HTTP status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class EndpointStats:
+    """Counters for one route: attempts, successes, failures by status."""
+
+    requests: int = 0
+    ok: int = 0
+    errors: dict[int, int] = field(default_factory=dict)
+
+    def record(self, status: int) -> None:
+        self.requests += 1
+        if status < 400:
+            self.ok += 1
+        else:
+            self.errors[status] = self.errors.get(status, 0) + 1
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "ok": self.ok,
+            "errors": {str(code): n for code, n in sorted(self.errors.items())},
+        }
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+
+@dataclass(frozen=True)
+class _ParsedRequest:
+    """One decoded HTTP request: enough for routing and JSON handling."""
+
+    method: str
+    path: str
+    headers: dict[str, str]
+    body: bytes
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+
+class AlignmentHTTPServer:
+    """JSON-over-HTTP front funneling requests into one alignment server.
+
+    Parameters
+    ----------
+    server:
+        The batching :class:`AlignmentServer` every request is submitted
+        to. When ``own_server=True`` (default), :meth:`stop` also stops it.
+    max_body_bytes:
+        Request bodies above this are rejected with 413 without being read.
+    own_server:
+        Whether :meth:`stop` drains and stops ``server`` too.
+    """
+
+    def __init__(
+        self,
+        server: AlignmentServer,
+        *,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        own_server: bool = True,
+    ) -> None:
+        if max_body_bytes < 1:
+            raise ValueError("max_body_bytes must be positive")
+        self.server = server
+        self.max_body_bytes = max_body_bytes
+        self.own_server = own_server
+        self._route_table = self._routes()
+        self.stats: dict[str, EndpointStats] = {
+            path: EndpointStats() for path in self._route_table
+        }
+        self._tcp_server: asyncio.base_events.Server | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._handler_tasks: set[asyncio.Task] = set()
+        self._busy = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._closed = False
+
+    def _routes(
+        self,
+    ) -> dict[str, tuple[str, Callable[[dict], Awaitable[dict]]]]:
+        """Route table: path -> (allowed method, handler coroutine)."""
+        return {
+            "/healthz": ("GET", self._handle_healthz),
+            "/v1/stats": ("GET", self._handle_stats),
+            "/v1/scan": ("POST", self._handle_scan),
+            "/v1/edit_distance": ("POST", self._handle_edit_distance),
+            "/v1/align": ("POST", self._handle_align),
+            "/v1/map": ("POST", self._handle_map),
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> "AlignmentHTTPServer":
+        """Listen on ``host:port`` (port 0 picks a free one; see :attr:`port`)."""
+        if self._tcp_server is not None:
+            raise RuntimeError("server is already listening")
+        self._tcp_server = await asyncio.start_server(
+            self.handle_connection, host=host, port=port
+        )
+        return self
+
+    @property
+    def port(self) -> int | None:
+        """The bound port, once :meth:`start` has been called."""
+        if self._tcp_server is None or not self._tcp_server.sockets:
+            return None
+        return self._tcp_server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Graceful shutdown: finish in-flight requests, then drain."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+        # In-flight requests run to completion and are written back; the
+        # connection loops then see _closed and exit. Idle keep-alive
+        # connections are woken by closing their transports, and every
+        # handler task is awaited so none is left for loop teardown to
+        # cancel mid-read.
+        await self._idle.wait()
+        for writer in list(self._connections):
+            writer.close()
+        if self._handler_tasks:
+            await asyncio.gather(
+                *list(self._handler_tasks), return_exceptions=True
+            )
+        if self.own_server:
+            await self.server.stop()
+
+    async def __aenter__(self) -> "AlignmentHTTPServer":
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve HTTP/1.1 requests on one stream pair until it closes."""
+        task = asyncio.current_task()
+        if task is not None:
+            self._handler_tasks.add(task)
+        self._connections.add(writer)
+        try:
+            while not self._closed:
+                try:
+                    request = await self._read_request(reader)
+                except HttpError as exc:
+                    # The framing itself is broken (bad request line,
+                    # oversize body): answer if possible, then hang up.
+                    await self._write_response(
+                        writer, exc.status, {"error": exc.message}, False
+                    )
+                    return
+                if request is None:
+                    return  # clean EOF between requests
+                self._busy += 1
+                self._idle.clear()
+                try:
+                    status, payload = await self._dispatch(request)
+                    keep_alive = request.keep_alive and not self._closed
+                    await self._write_response(
+                        writer, status, payload, keep_alive
+                    )
+                finally:
+                    self._busy -= 1
+                    if self._busy == 0:
+                        self._idle.set()
+                if not request.keep_alive:
+                    return
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return  # peer went away mid-request; nothing to answer
+        finally:
+            if task is not None:
+                self._handler_tasks.discard(task)
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> _ParsedRequest | None:
+        """Parse one request; None on clean EOF before a request starts."""
+        try:
+            request_line = await reader.readline()
+        except (ValueError, asyncio.LimitOverrunError) as exc:
+            raise HttpError(400, f"request line too long: {exc}") from exc
+        if not request_line:
+            return None
+        if len(request_line) > _MAX_LINE_BYTES:
+            raise HttpError(400, "request line too long")
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise HttpError(400, "malformed request line")
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            try:
+                line = await reader.readline()
+            except (ValueError, asyncio.LimitOverrunError) as exc:
+                raise HttpError(400, f"header line too long: {exc}") from exc
+            if not line or line in (b"\r\n", b"\n"):
+                break
+            if len(line) > _MAX_LINE_BYTES:
+                raise HttpError(400, "header line too long")
+            name, sep, value = line.decode("latin-1").partition(":")
+            if not sep:
+                raise HttpError(400, f"malformed header line {name.strip()!r}")
+            headers[name.strip().lower()] = value.strip()
+        if "transfer-encoding" in headers:
+            # Not parsing a framing we don't implement is a correctness
+            # matter: skipping a chunked body would desync every later
+            # response on this keep-alive connection.
+            raise HttpError(
+                501, "Transfer-Encoding is not supported; send Content-Length"
+            )
+        length_text = headers.get("content-length", "0")
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise HttpError(400, f"bad Content-Length {length_text!r}") from None
+        if length < 0:
+            raise HttpError(400, "bad Content-Length")
+        if length > self.max_body_bytes:
+            raise HttpError(
+                413,
+                f"request body of {length} bytes exceeds the "
+                f"{self.max_body_bytes}-byte limit",
+            )
+        body = await reader.readexactly(length) if length else b""
+        path = target.split("?", 1)[0]
+        return _ParsedRequest(
+            method=method, path=path, headers=headers, body=body
+        )
+
+    async def _dispatch(
+        self, request: _ParsedRequest
+    ) -> tuple[int, dict[str, Any]]:
+        """Route one parsed request; always returns a JSON-able response."""
+        route = self._route_table.get(request.path)
+        if route is None:
+            return 404, {"error": f"unknown path {request.path!r}"}
+        method, handler = route
+        endpoint = self.stats[request.path]
+        if request.method != method:
+            endpoint.record(405)
+            return 405, {
+                "error": f"{request.path} requires {method}, got {request.method}"
+            }
+        try:
+            payload = self._decode_body(request) if method == "POST" else {}
+            result = await handler(payload)
+            status = 200
+        except HttpError as exc:
+            status, result = exc.status, {"error": exc.message}
+        except ServerClosedError:
+            status, result = 503, {"error": "server is shutting down"}
+        except ValueError as exc:
+            # Engine-side input rejections (bad symbols, negative k, ...)
+            # are the client's fault, not an internal failure.
+            status, result = 400, {"error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - wire boundary
+            status = 500
+            result = {"error": f"{type(exc).__name__}: {exc}"}
+        endpoint.record(status)
+        return status, result
+
+    def _decode_body(self, request: _ParsedRequest) -> dict[str, Any]:
+        if not request.body:
+            raise HttpError(400, "request body must be a JSON object")
+        try:
+            payload = json.loads(request.body)
+        except json.JSONDecodeError as exc:
+            raise HttpError(400, f"invalid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        return payload
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict[str, Any],
+        keep_alive: bool,
+    ) -> None:
+        body = json.dumps(payload).encode()
+        reason = _REASONS.get(status, "Unknown")
+        headers = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {_JSON_CONTENT_TYPE}",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        if status == 503:
+            headers.append("Retry-After: 1")
+        head = ("\r\n".join(headers) + "\r\n\r\n").encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Endpoint handlers
+    # ------------------------------------------------------------------
+    def _check_capacity(self) -> None:
+        """Shed load instead of queueing when the pending bound is hit."""
+        if self.server.saturated:
+            raise HttpError(
+                503,
+                f"server at capacity ({self.server.max_pending} pending "
+                "requests); retry shortly",
+            )
+        if self._closed:
+            raise HttpError(503, "server is shutting down")
+
+    async def _handle_scan(self, payload: dict[str, Any]) -> dict[str, Any]:
+        text = _string_field(payload, "text")
+        pattern = _string_field(payload, "pattern", non_empty=True)
+        k = _int_field(payload, "k", minimum=0)
+        first_match_only = _bool_field(payload, "first_match_only", False)
+        self._check_capacity()
+        matches = await self.server.scan(
+            text, pattern, k, first_match_only=first_match_only
+        )
+        return {
+            "matches": [
+                {"start": match.start, "distance": match.distance}
+                for match in matches
+            ]
+        }
+
+    async def _handle_edit_distance(
+        self, payload: dict[str, Any]
+    ) -> dict[str, Any]:
+        text = _string_field(payload, "text")
+        pattern = _string_field(payload, "pattern", non_empty=True)
+        k = _int_field(payload, "k", minimum=0)
+        self._check_capacity()
+        distance = await self.server.edit_distance(text, pattern, k)
+        return {"distance": distance}
+
+    async def _handle_align(self, payload: dict[str, Any]) -> dict[str, Any]:
+        text = _string_field(payload, "text")
+        pattern = _string_field(payload, "pattern")
+        self._check_capacity()
+        alignment = await self.server.align(text, pattern)
+        return {
+            "cigar": alignment.cigar.to_sam(),
+            "edit_distance": alignment.edit_distance,
+            "text_start": alignment.text_start,
+            "text_consumed": alignment.text_consumed,
+        }
+
+    async def _handle_map(self, payload: dict[str, Any]) -> dict[str, Any]:
+        if self.server.mapper is None:
+            raise HttpError(
+                501, "mapping is not configured on this server (no mapper)"
+            )
+        name = _string_field(payload, "name", non_empty=True)
+        read = _string_field(payload, "read", non_empty=True)
+        self._check_capacity()
+        result = await self.server.map_read(name, read)
+        record = result.record
+        return {
+            "sam": record.to_line(),
+            "mapped": record.is_mapped,
+            "position": result.candidate_position,
+            "reverse": result.reverse,
+            "cigar": record.cigar.to_sam() if record.cigar is not None else None,
+        }
+
+    async def _handle_healthz(self, _payload: dict[str, Any]) -> dict[str, Any]:
+        # Served inline — never behind the batch queue — so load balancers
+        # get an answer even when the engine is saturated with work.
+        return {
+            "status": "draining" if self._closed else "ok",
+            "engine": self.server.engine.name,
+            "pending": self.server.pending,
+            "in_flight": self.server.in_flight,
+            "saturated": self.server.saturated,
+        }
+
+    async def _handle_stats(self, _payload: dict[str, Any]) -> dict[str, Any]:
+        serving = self.server.stats
+        return {
+            "engine": self.server.engine.name,
+            "serving": {
+                "requests": serving.requests,
+                "served": serving.served,
+                "failed": serving.failed,
+                "flushes": serving.flushes,
+                "size_flushes": serving.size_flushes,
+                "deadline_flushes": serving.deadline_flushes,
+                "engine_calls": serving.engine_calls,
+                "mean_batch": serving.mean_batch,
+                "max_batch": serving.max_batch,
+            },
+            "flush": {
+                "adaptive": self.server.adaptive_flush,
+                "current_interval_ms": self.server.current_flush_interval
+                * 1e3,
+                "batch_size": self.server.batch_size,
+            },
+            "endpoints": {
+                path: stats.to_dict() for path, stats in self.stats.items()
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# Field validation helpers
+# ----------------------------------------------------------------------
+def _string_field(
+    payload: dict[str, Any], name: str, *, non_empty: bool = False
+) -> str:
+    if name not in payload:
+        raise HttpError(400, f"missing required field {name!r}")
+    value = payload[name]
+    if not isinstance(value, str):
+        raise HttpError(400, f"field {name!r} must be a string")
+    if non_empty and not value:
+        raise HttpError(400, f"field {name!r} must be non-empty")
+    return value
+
+
+def _int_field(payload: dict[str, Any], name: str, *, minimum: int) -> int:
+    if name not in payload:
+        raise HttpError(400, f"missing required field {name!r}")
+    value = payload[name]
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise HttpError(400, f"field {name!r} must be an integer")
+    if value < minimum:
+        raise HttpError(400, f"field {name!r} must be >= {minimum}")
+    return value
+
+
+def _bool_field(payload: dict[str, Any], name: str, default: bool) -> bool:
+    value = payload.get(name, default)
+    if not isinstance(value, bool):
+        raise HttpError(400, f"field {name!r} must be a boolean")
+    return value
+
+
+async def open_memory_connection(
+    http_server: AlignmentHTTPServer,
+) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """Connect a client to ``http_server`` without a listening port.
+
+    Builds a ``socket.socketpair``, serves one end through
+    :meth:`AlignmentHTTPServer.handle_connection` on a background task, and
+    returns the client end as ordinary asyncio streams. Tests and
+    benchmarks exercise the complete wire path — parsing, routing,
+    batching, response framing — with no free TCP port required.
+    """
+    client_sock, server_sock = socket.socketpair()
+    client_sock.setblocking(False)
+    server_sock.setblocking(False)
+    client_reader, client_writer = await asyncio.open_connection(
+        sock=client_sock
+    )
+    server_reader, server_writer = await asyncio.open_connection(
+        sock=server_sock
+    )
+    asyncio.get_running_loop().create_task(
+        http_server.handle_connection(server_reader, server_writer)
+    )
+    return client_reader, client_writer
+
+
+async def serve_http(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8777,
+    server: AlignmentServer | None = None,
+    **server_kwargs: Any,
+) -> AlignmentHTTPServer:
+    """Start an HTTP front (building an :class:`AlignmentServer` if needed).
+
+    Extra keyword arguments construct the alignment server (``engine=``,
+    ``batch_size=``, ``adaptive_flush=``, ...). The returned front is
+    already listening; stop it with :meth:`AlignmentHTTPServer.stop`.
+    """
+    own = server is None
+    if server is None:
+        server = AlignmentServer(**server_kwargs)
+    elif server_kwargs:
+        raise ValueError("pass server_kwargs only when server is None")
+    front = AlignmentHTTPServer(server, own_server=own)
+    await front.start(host=host, port=port)
+    return front

@@ -12,6 +12,16 @@ whenever either
 * ``flush_interval`` seconds elapse after the first queued request
   (a *deadline* flush — bounds worst-case latency under light traffic).
 
+With ``adaptive_flush=True`` the deadline is not fixed: the server keeps an
+exponentially-weighted moving average of the gap between request arrivals
+and treats the deadline as an *idle timeout* sized from it — each arrival
+re-arms the flush timer to ``gap_factor * EWMA gap`` (clamped to
+``[min_flush_interval, max_flush_interval]``), so a burst is flushed as
+soon as the line goes quiet for a few typical gaps instead of idling out a
+fixed window, while a full ``max_flush_interval`` after the *first* queued
+request still forces a flush — the hard bound on added latency however the
+arrivals pan out.
+
 Each request resolves its own :class:`asyncio.Future`, so callers just
 ``await server.scan(...)`` and never see the batching. Flushes execute on a
 single dedicated worker thread (the engine call is synchronous and
@@ -30,6 +40,7 @@ rejects later submissions with :class:`ServerClosedError`.
 from __future__ import annotations
 
 import asyncio
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Sequence
@@ -96,9 +107,28 @@ class AlignmentServer:
         Queue length that triggers an immediate flush (``B``).
     flush_interval:
         Seconds after the first queued request before a deadline flush
-        (``N`` ms in the paper-style notation; bounds tail latency).
+        (``N`` ms in the paper-style notation; bounds tail latency). With
+        ``adaptive_flush`` this is the starting deadline before any
+        arrivals have been observed.
     max_pending:
         Backpressure bound: maximum requests queued or in flight at once.
+    adaptive_flush:
+        Treat the deadline as an idle timeout sized from an EWMA of
+        observed inter-arrival gaps: every arrival re-arms the flush timer
+        to ``gap_factor * EWMA gap`` (clamped to the min/max bounds
+        below), flushing as soon as arrivals stall rather than after a
+        fixed window.
+    min_flush_interval, max_flush_interval:
+        Clamp bounds for the adaptive deadline; default to
+        ``flush_interval / 4`` and ``flush_interval * 4``. The max bound
+        also caps the total wait since the *first* queued request, so it
+        is the worst-case added latency a request can see.
+    gap_factor:
+        How many EWMA gaps of silence end a batch. Larger values ride out
+        jittery bursts at the cost of latency on genuinely quiet lines.
+    arrival_smoothing:
+        EWMA weight of the newest inter-arrival gap (0 < alpha <= 1);
+        larger values adapt faster but track noise.
     alphabet:
         Alphabet handed to every engine call.
 
@@ -114,6 +144,11 @@ class AlignmentServer:
         batch_size: int = 64,
         flush_interval: float = 0.005,
         max_pending: int = 1024,
+        adaptive_flush: bool = False,
+        min_flush_interval: float | None = None,
+        max_flush_interval: float | None = None,
+        gap_factor: float = 4.0,
+        arrival_smoothing: float = 0.25,
         alphabet: Alphabet = DNA,
     ) -> None:
         if batch_size < 1:
@@ -122,6 +157,32 @@ class AlignmentServer:
             raise ValueError("flush_interval must be non-negative")
         if max_pending < batch_size:
             raise ValueError("max_pending must be at least batch_size")
+        if not 0.0 < arrival_smoothing <= 1.0:
+            raise ValueError("arrival_smoothing must be in (0, 1]")
+        if gap_factor <= 0:
+            raise ValueError("gap_factor must be positive")
+        self.adaptive_flush = adaptive_flush
+        self.min_flush_interval = (
+            min_flush_interval
+            if min_flush_interval is not None
+            else flush_interval / 4.0
+        )
+        self.max_flush_interval = (
+            max_flush_interval
+            if max_flush_interval is not None
+            else flush_interval * 4.0
+        )
+        if self.min_flush_interval < 0:
+            raise ValueError("min_flush_interval must be non-negative")
+        if self.max_flush_interval < self.min_flush_interval:
+            raise ValueError(
+                "max_flush_interval must be at least min_flush_interval"
+            )
+        self.gap_factor = gap_factor
+        self.arrival_smoothing = arrival_smoothing
+        self._last_arrival: float | None = None
+        self._ewma_gap: float | None = None
+        self._first_enqueued: float | None = None
         self.mapper = mapper
         if mapper is not None and engine is None:
             self.engine = get_engine(mapper.engine)
@@ -134,6 +195,7 @@ class AlignmentServer:
         self.stats = ServingStats()
         self._aligner = GenAsmAligner(engine=self.engine, alphabet=alphabet)
         self._queue: list[_Request] = []
+        self._pending_total = 0
         self._slots = asyncio.Semaphore(max_pending)
         self._timer: asyncio.TimerHandle | None = None
         self._inflight: set[asyncio.Task] = set()
@@ -188,6 +250,57 @@ class AlignmentServer:
         """Requests currently queued (not yet flushed)."""
         return len(self._queue)
 
+    @property
+    def in_flight(self) -> int:
+        """Requests holding a pending slot (queued or being computed)."""
+        return self._pending_total
+
+    @property
+    def saturated(self) -> bool:
+        """True when every ``max_pending`` slot is taken.
+
+        A new submission right now would have to wait for a slot; network
+        fronts use this to shed load (HTTP 503) instead of queueing.
+        """
+        return self._pending_total >= self.max_pending
+
+    @property
+    def current_flush_interval(self) -> float:
+        """The deadline the next flush timer will be armed with.
+
+        Equals ``flush_interval`` for fixed-deadline servers; with
+        ``adaptive_flush`` it is the EWMA-derived idle timeout
+        (``gap_factor * EWMA gap``), clamped to the configured bounds.
+        """
+        if not self.adaptive_flush:
+            return self.flush_interval
+        target = (
+            self.flush_interval
+            if self._ewma_gap is None
+            else self.gap_factor * self._ewma_gap
+        )
+        return min(
+            self.max_flush_interval, max(self.min_flush_interval, target)
+        )
+
+    def _observe_arrival(self) -> None:
+        """Fold one request arrival into the EWMA inter-arrival gap.
+
+        Gaps are clamped to ``max_flush_interval`` before folding: an idle
+        line says nothing about how fast the *next* burst will arrive, and
+        an unclamped quiet period would stretch the idle timeout for the
+        first requests of every burst that follows it.
+        """
+        now = time.monotonic()
+        if self._last_arrival is not None:
+            gap = min(now - self._last_arrival, self.max_flush_interval)
+            if self._ewma_gap is None:
+                self._ewma_gap = gap
+            else:
+                alpha = self.arrival_smoothing
+                self._ewma_gap = alpha * gap + (1.0 - alpha) * self._ewma_gap
+        self._last_arrival = now
+
     # ------------------------------------------------------------------
     # Queueing and flush policy
     # ------------------------------------------------------------------
@@ -195,22 +308,43 @@ class AlignmentServer:
         if self._closed:
             raise ServerClosedError("server is stopped")
         await self._slots.acquire()
+        self._pending_total += 1
         try:
             if self._closed:
                 raise ServerClosedError("server is stopped")
             loop = asyncio.get_running_loop()
+            if self.adaptive_flush:
+                self._observe_arrival()
             request = _Request(kind=kind, key=key, payload=payload)
             request.future = loop.create_future()
+            if not self._queue:
+                self._first_enqueued = time.monotonic()
             self._queue.append(request)
             self.stats.requests += 1
             if len(self._queue) >= self.batch_size:
                 self._flush("size")
+            elif self.adaptive_flush:
+                # Idle-timeout policy: every arrival pushes the deadline
+                # out by the adaptive window, but never past
+                # max_flush_interval after the first queued request.
+                idle = self.current_flush_interval
+                cap = (
+                    self._first_enqueued
+                    + self.max_flush_interval
+                    - time.monotonic()
+                )
+                if self._timer is not None:
+                    self._timer.cancel()
+                self._timer = loop.call_later(
+                    max(0.0, min(idle, cap)), self._flush, "deadline"
+                )
             elif self._timer is None:
                 self._timer = loop.call_later(
-                    self.flush_interval, self._flush, "deadline"
+                    self.current_flush_interval, self._flush, "deadline"
                 )
             return await request.future
         finally:
+            self._pending_total -= 1
             self._slots.release()
 
     def _flush(self, reason: str) -> None:
@@ -218,6 +352,7 @@ class AlignmentServer:
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
+        self._first_enqueued = None
         if not self._queue:
             return
         batch, self._queue = self._queue, []
@@ -279,7 +414,10 @@ class AlignmentServer:
         if kind == "align":
             return self._aligner.align_batch(payloads)
         if kind == "map":
-            return self.mapper.map_reads(payloads)
+            # map_reads_batch fans whole reads across the sharded engine's
+            # process pool when the mapper supports it; otherwise it is
+            # exactly map_reads.
+            return self.mapper.map_reads_batch(payloads)
         raise ValueError(f"unknown request kind {kind!r}")
 
     # ------------------------------------------------------------------

@@ -1,0 +1,199 @@
+"""Cross-backend conformance matrix: every engine, bit-identical.
+
+One shared corpus (``cases.py``) runs through every available backend and
+both window representations; scans, edit distances, alignments, and located
+alignments must match the pure-Python reference *exactly* — same CIGARs,
+same scores, same match positions. This is the contract that lets the
+registry treat backends as interchangeable: anything observable beyond
+throughput is a conformance bug.
+
+The sharded backend is instantiated with a small ``min_batch`` so the
+corpus genuinely crosses the process pool instead of short-circuiting to
+the in-process engine.
+"""
+
+import pytest
+
+from cases import ALIGN_CORPUS, SCAN_CORPUS
+from repro.core.aligner import GenAsmAligner
+from repro.core.genasm_dc import WINDOW_REPRESENTATIONS
+from repro.core.scoring import ScoringScheme
+from repro.engine import PurePythonEngine, available_engines, get_engine
+
+REFERENCE = PurePythonEngine()
+SCORING = ScoringScheme.bwa_mem()
+
+BACKENDS = available_engines()
+REPRESENTATIONS = sorted(WINDOW_REPRESENTATIONS)
+
+
+@pytest.fixture(scope="module", params=BACKENDS)
+def backend(request):
+    """One engine per available backend, pool-crossing for sharded."""
+    if request.param == "sharded":
+        from repro.engine.sharded import ShardedEngine
+
+        engine = ShardedEngine(workers=2, min_batch=4)
+        yield engine
+        engine.close()
+    else:
+        yield get_engine(request.param)
+
+
+def _by_k(corpus):
+    """Cases grouped by threshold, so backends get real batches per call."""
+    groups = {}
+    for case in corpus:
+        groups.setdefault(case.k, []).append(case)
+    return sorted(groups.items())
+
+
+K_GROUPS = _by_k(SCAN_CORPUS)
+
+
+def _reference_scan_map(first_match_only):
+    out = {}
+    for k, group in K_GROUPS:
+        results = REFERENCE.scan_batch(
+            [(case.text, case.pattern) for case in group],
+            k,
+            first_match_only=first_match_only,
+        )
+        out.update(
+            {case.name: res for case, res in zip(group, results)}
+        )
+    return out
+
+
+@pytest.fixture(scope="module")
+def reference_scans():
+    return _reference_scan_map(first_match_only=False)
+
+
+@pytest.fixture(scope="module")
+def reference_first_matches():
+    return _reference_scan_map(first_match_only=True)
+
+
+@pytest.fixture(scope="module")
+def reference_alignments():
+    aligner = GenAsmAligner(engine=REFERENCE, window_representation="sene")
+    pairs = [(case.text, case.pattern) for case in ALIGN_CORPUS]
+    return dict(zip((c.name for c in ALIGN_CORPUS), aligner.align_batch(pairs)))
+
+
+class TestScanConformance:
+    def test_scan_positions_and_distances_match_reference(
+        self, backend, reference_scans
+    ):
+        for k, group in K_GROUPS:
+            results = backend.scan_batch(
+                [(case.text, case.pattern) for case in group], k
+            )
+            for case, matches in zip(group, results):
+                assert matches == reference_scans[case.name], (
+                    f"{backend.name} diverged from reference on scan "
+                    f"case {case.name!r} (k={k})"
+                )
+
+    def test_first_match_only_agrees_on_acceptance(
+        self, backend, reference_first_matches
+    ):
+        for k, group in K_GROUPS:
+            results = backend.scan_batch(
+                [(case.text, case.pattern) for case in group],
+                k,
+                first_match_only=True,
+            )
+            for case, matches in zip(group, results):
+                assert matches == reference_first_matches[case.name], (
+                    f"{backend.name} first-match scan diverged "
+                    f"on {case.name!r}"
+                )
+
+    def test_edit_distances_match_reference(self, backend, reference_scans):
+        # The reference distance is the min over the full reference scan —
+        # by definition of the engine interface's edit_distance_batch.
+        for k, group in K_GROUPS:
+            got = backend.edit_distance_batch(
+                [(case.text, case.pattern) for case in group], k
+            )
+            for case, distance in zip(group, got):
+                expected = min(
+                    (m.distance for m in reference_scans[case.name]),
+                    default=None,
+                )
+                assert distance == expected, (
+                    f"{backend.name} edit distance diverged on {case.name!r}"
+                )
+
+    def test_empty_pattern_rejected_everywhere(self, backend):
+        with pytest.raises(ValueError):
+            backend.scan_batch([("ACGT", "")], 2)
+
+
+class TestAlignConformance:
+    @pytest.fixture(scope="class", params=REPRESENTATIONS)
+    def representation(self, request):
+        return request.param
+
+    def test_cigars_scores_and_consumption_match_reference(
+        self, backend, representation, reference_alignments
+    ):
+        aligner = GenAsmAligner(
+            engine=backend, window_representation=representation
+        )
+        pairs = [(case.text, case.pattern) for case in ALIGN_CORPUS]
+        alignments = aligner.align_batch(pairs)
+        for case, alignment in zip(ALIGN_CORPUS, alignments):
+            expected = reference_alignments[case.name]
+            label = (
+                f"{backend.name}/{representation} diverged from reference "
+                f"on {case.name!r}"
+            )
+            assert str(alignment.cigar) == str(expected.cigar), label
+            assert alignment.edit_distance == expected.edit_distance, label
+            assert alignment.score(SCORING) == expected.score(SCORING), label
+            assert alignment.text_consumed == expected.text_consumed, label
+
+    def test_cigars_are_valid_transcripts(self, backend, representation):
+        aligner = GenAsmAligner(
+            engine=backend, window_representation=representation
+        )
+        for case in ALIGN_CORPUS:
+            if "N" in case.text or "N" in case.pattern:
+                continue  # is_valid_for has no wildcard notion
+            alignment = aligner.align(case.text, case.pattern)
+            assert alignment.cigar.is_valid_for(case.text, case.pattern), (
+                f"{backend.name}/{representation} emitted an inconsistent "
+                f"transcript on {case.name!r}"
+            )
+
+
+class TestLocatedAlignmentConformance:
+    """align_located = scan (positions) + align (CIGAR) in one flow."""
+
+    LOCATE_CASES = [
+        case
+        for case in SCAN_CORPUS
+        if case.k <= 16 and 4 <= len(case.pattern) <= 300
+    ]
+
+    def test_located_alignments_match_reference(self, backend):
+        reference_aligner = GenAsmAligner(engine=REFERENCE)
+        aligner = GenAsmAligner(engine=backend)
+        checked = 0
+        for case in self.LOCATE_CASES:
+            expected = reference_aligner.align_located(
+                case.text, case.pattern, case.k
+            )
+            got = aligner.align_located(case.text, case.pattern, case.k)
+            if expected is None:
+                assert got is None, f"{backend.name} located {case.name!r}"
+                continue
+            checked += 1
+            assert got is not None, f"{backend.name} missed {case.name!r}"
+            assert got.text_start == expected.text_start, case.name
+            assert str(got.cigar) == str(expected.cigar), case.name
+            assert got.edit_distance == expected.edit_distance, case.name
+        assert checked >= 5  # the corpus must keep real locate coverage

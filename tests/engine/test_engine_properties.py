@@ -1,0 +1,107 @@
+"""Hypothesis properties every engine backend must satisfy.
+
+Beyond pairwise parity (covered by the conformance matrix and
+``test_engine_parity``), the engines must obey the *semantic* invariants of
+semi-global edit distance and of CIGAR transcripts — identity, substring
+containment, threshold monotonicity, and the round trip from an alignment
+back to the sequences it claims to relate.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.aligner import GenAsmAligner
+from repro.engine import available_engines, get_engine
+
+#: In-process backends; the sharded backend routes small batches to these
+#: same kernels, and its pool path is covered by the conformance suite.
+BACKENDS = [name for name in available_engines() if name != "sharded"]
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=40)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sequence=dna, k=st.integers(min_value=0, max_value=4))
+def test_identity_distance_is_zero(sequence, k):
+    for name in BACKENDS:
+        assert get_engine(name).edit_distance_batch(
+            [(sequence, sequence)], k
+        ) == [0]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    text=dna,
+    start=st.integers(min_value=0, max_value=39),
+    length=st.integers(min_value=1, max_value=40),
+    k=st.integers(min_value=0, max_value=3),
+)
+def test_substring_distance_is_zero(text, start, length, k):
+    pattern = text[start : start + length]
+    if not pattern:
+        return
+    for name in BACKENDS:
+        assert get_engine(name).edit_distance_batch(
+            [(text, pattern)], k
+        ) == [0]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    text=dna,
+    pattern=dna,
+    k_small=st.integers(min_value=0, max_value=4),
+    extra=st.integers(min_value=1, max_value=6),
+)
+def test_distance_monotone_in_threshold(text, pattern, k_small, extra):
+    """Raising k may reveal a distance, never change a revealed one."""
+    for name in BACKENDS:
+        backend = get_engine(name)
+        small = backend.edit_distance_batch([(text, pattern)], k_small)[0]
+        large = backend.edit_distance_batch(
+            [(text, pattern)], k_small + extra
+        )[0]
+        if small is not None:
+            assert large == small
+        elif large is not None:
+            assert large > k_small
+
+
+@settings(max_examples=50, deadline=None)
+@given(text=dna, pattern=dna)
+def test_cigar_reconstructs_the_alignment(text, pattern):
+    """The emitted CIGAR must replay ``pattern`` against ``text`` exactly.
+
+    ``is_valid_for`` re-walks the transcript against both sequences: every
+    M must match, every S must mismatch, and the query must be consumed in
+    full — so passing it *is* the round trip.
+    """
+    for name in BACKENDS:
+        alignment = GenAsmAligner(engine=get_engine(name)).align(
+            text, pattern
+        )
+        assert alignment.cigar.is_valid_for(text, pattern)
+        assert alignment.cigar.query_length == len(pattern)
+        assert alignment.cigar.reference_length == alignment.text_consumed
+        assert alignment.cigar.edit_distance == alignment.edit_distance
+        assert alignment.text_consumed <= len(text)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    text=dna,
+    pattern=dna,
+    k=st.integers(min_value=0, max_value=5),
+)
+def test_scan_distances_within_threshold(text, pattern, k):
+    """Every reported match respects k; the minimum equals edit_distance."""
+    for name in BACKENDS:
+        backend = get_engine(name)
+        matches = backend.scan_batch([(text, pattern)], k)[0]
+        for match in matches:
+            assert 0 <= match.distance <= k
+            assert 0 <= match.start < max(1, len(text))
+        distance = backend.edit_distance_batch([(text, pattern)], k)[0]
+        if matches:
+            assert distance == min(m.distance for m in matches)
+        else:
+            assert distance is None

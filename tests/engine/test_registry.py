@@ -101,6 +101,15 @@ class TestRegistry:
 class TestEnvVarValidation:
     """A bad REPRO_ENGINE degrades with a warning instead of a late error."""
 
+    @pytest.fixture(autouse=True)
+    def fresh_env_memo(self):
+        """Each test sees an un-memoized env resolution (warn-once memo)."""
+        from repro.engine import registry
+
+        registry._ENV_RESOLUTIONS.clear()
+        yield
+        registry._ENV_RESOLUTIONS.clear()
+
     def test_bogus_env_value_falls_back_with_warning(self, monkeypatch):
         monkeypatch.setenv(ENGINE_ENV_VAR, "definitely-not-a-backend")
         with pytest.warns(RuntimeWarning, match="registered"):
@@ -147,6 +156,37 @@ class TestEnvVarValidation:
         monkeypatch.delenv(ENGINE_ENV_VAR, raising=False)
         with pytest.raises(UnknownEngineError):
             get_engine("definitely-not-a-backend")
+
+    def test_fallback_warning_fires_once_per_env_value(self, monkeypatch):
+        """Regression: the env-fallback warning is memoized, not per-call."""
+        monkeypatch.setenv(ENGINE_ENV_VAR, "definitely-not-a-backend")
+        with pytest.warns(RuntimeWarning, match="registered"):
+            first = default_engine_name()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            # Every later resolution (and get_engine) is silent and stable.
+            assert default_engine_name() == first
+            assert isinstance(get_engine(), AlignmentEngine)
+
+    def test_memo_invalidated_by_new_registration(self, monkeypatch):
+        """Registering the named backend revalidates the env value."""
+        from repro.engine import registry
+
+        monkeypatch.setenv(ENGINE_ENV_VAR, "late-test-backend")
+        with pytest.warns(RuntimeWarning):
+            default_engine_name()
+
+        class Late(PurePythonEngine):
+            name = "late-test-backend"
+
+        try:
+            register_engine(Late)
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                assert default_engine_name() == "late-test-backend"
+        finally:
+            registry._REGISTRY.pop("late-test-backend", None)
+            registry._INSTANCES.pop("late-test-backend", None)
 
 
 class TestEngineInfo:

@@ -177,3 +177,104 @@ class TestShardedConstruction:
             assert info["sharded"].available
             assert info["sharded"].reason is None
             assert info["sharded"].workers >= 1
+
+
+class TestShardMap:
+    """Mapper-level sharding: whole reads fanned across the pool."""
+
+    @pytest.fixture(scope="class")
+    def mapping_world(self):
+        from repro.sequences.genome import synthesize_genome
+        from repro.sequences.read_simulator import (
+            illumina_profile,
+            simulate_reads,
+        )
+
+        genome = synthesize_genome(20_000, seed=31, name="shardref")
+        reads = simulate_reads(
+            genome,
+            count=18,
+            read_length=90,
+            profile=illumina_profile(0.05),
+            seed=32,
+        )
+        return genome, [(read.name, read.sequence) for read in reads]
+
+    def test_shard_map_matches_in_process_mapping(self, mapping_world):
+        from repro.mapping.pipeline import make_genasm_mapper
+
+        genome, reads = mapping_world
+        direct = make_genasm_mapper(genome)
+        expected = direct.map_reads(reads)
+
+        with ShardedEngine(workers=2) as engine:
+            mapper = make_genasm_mapper(genome, engine=engine)
+            got = mapper.map_reads_batch(reads)
+            assert mapper.stats == direct.stats
+        assert len(got) == len(expected)
+        for exp, act in zip(expected, got):
+            assert exp.record.to_line() == act.record.to_line()
+            assert exp.candidate_position == act.candidate_position
+            assert exp.reverse == act.reverse
+
+    def test_map_pool_reused_for_same_mapper(self, mapping_world):
+        from repro.mapping.pipeline import make_genasm_mapper
+
+        genome, reads = mapping_world
+        with ShardedEngine(workers=2) as engine:
+            mapper = make_genasm_mapper(genome, engine=engine)
+            mapper.map_reads_batch(reads[:8])
+            first_pool = engine._map_pool
+            assert first_pool is not None
+            mapper.map_reads_batch(reads[8:])
+            assert engine._map_pool is first_pool
+
+    def test_map_pool_swapped_for_new_mapper(self, mapping_world):
+        from repro.mapping.pipeline import make_genasm_mapper
+
+        genome, reads = mapping_world
+        with ShardedEngine(workers=2) as engine:
+            first = make_genasm_mapper(genome, engine=engine)
+            first.map_reads_batch(reads)
+            first_pool = engine._map_pool
+            second = make_genasm_mapper(genome, engine=engine, error_rate=0.2)
+            second.map_reads_batch(reads)
+            assert engine._map_pool is not first_pool
+
+    def test_shard_map_empty_reads(self, mapping_world):
+        genome, _ = mapping_world
+        from repro.mapping.pipeline import make_genasm_mapper
+
+        with ShardedEngine(workers=2) as engine:
+            mapper = make_genasm_mapper(genome, engine=engine)
+            spec = mapper.shard_spec()
+            results, stats = engine.shard_map(spec, "empty-test", [])
+            assert results == []
+            assert stats.reads == 0
+
+    def test_single_worker_engine_maps_in_process(self, mapping_world):
+        """One worker buys no parallelism: no map pool should be spun up."""
+        from repro.mapping.pipeline import make_genasm_mapper
+
+        genome, reads = mapping_world
+        with ShardedEngine(workers=1) as engine:
+            assert engine.min_map_batch == float("inf")
+            mapper = make_genasm_mapper(genome, engine=engine)
+            direct = make_genasm_mapper(genome)
+            got = mapper.map_reads_batch(reads[:6])
+            assert engine._map_pool is None
+            expected = direct.map_reads(reads[:6])
+            assert [r.record.to_line() for r in got] == [
+                r.record.to_line() for r in expected
+            ]
+
+    def test_close_tears_down_map_pool(self, mapping_world):
+        from repro.mapping.pipeline import make_genasm_mapper
+
+        genome, reads = mapping_world
+        engine = ShardedEngine(workers=2)
+        mapper = make_genasm_mapper(genome, engine=engine)
+        mapper.map_reads_batch(reads[:6])
+        assert engine._map_pool is not None
+        engine.close()
+        assert engine._map_pool is None

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.aligner import GenAsmAligner
 from repro.core.prefilter import GenAsmFilter
 from repro.mapping.index import KmerIndex
 from repro.mapping.pipeline import ReadMapper, make_genasm_mapper
@@ -167,3 +168,82 @@ class TestCrossReadBatching:
         for exp, act in zip(expected, actual):
             assert exp.record.to_line() == act.record.to_line()
         assert direct.stats == concurrent.stats
+
+
+class TestMapReadsBatch:
+    """map_reads_batch: sharded fan-out when possible, map_reads otherwise."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        genome = synthesize_genome(18_000, seed=41)
+        reads = simulate_reads(
+            genome,
+            count=10,
+            read_length=90,
+            profile=illumina_profile(0.05),
+            seed=42,
+        )
+        return genome, [(read.name, read.sequence) for read in reads]
+
+    def test_in_process_engine_falls_back_to_map_reads(self, setup):
+        genome, pairs = setup
+        batched = make_genasm_mapper(genome, engine="pure")
+        direct = make_genasm_mapper(genome, engine="pure")
+        got = batched.map_reads_batch(pairs)
+        expected = direct.map_reads(pairs)
+        assert [r.record.to_line() for r in got] == [
+            r.record.to_line() for r in expected
+        ]
+        assert batched.stats == direct.stats
+
+    def test_custom_aligner_is_not_shardable(self, setup):
+        genome, pairs = setup
+        mapper = make_genasm_mapper(genome)
+        custom = ReadMapper(
+            genome=genome,
+            index=mapper.index,
+            aligner=lambda region, read: GenAsmAligner().align(region, read),
+        )
+        assert custom.shard_spec() is None
+        # Mapping still works through the in-process path.
+        results = custom.map_reads_batch(pairs[:3])
+        assert len(results) == 3
+
+    def test_custom_batch_aligner_is_not_shardable(self, setup):
+        genome, pairs = setup
+        mapper = make_genasm_mapper(genome)
+        genasm = GenAsmAligner()
+        custom = ReadMapper(
+            genome=genome,
+            index=mapper.index,
+            batch_aligner=lambda batch: genasm.align_batch(batch),
+        )
+        # A worker could not rebuild the custom batch aligner; sharding
+        # it would silently swap in the default one.
+        assert custom.shard_spec() is None
+
+    def test_custom_prefilter_is_not_shardable(self, setup):
+        genome, pairs = setup
+        mapper = make_genasm_mapper(genome)
+
+        class AlwaysAccept:
+            def accepts(self, reference, read):
+                return True
+
+        custom = ReadMapper(
+            genome=genome, index=mapper.index, prefilter=AlwaysAccept()
+        )
+        assert custom.shard_spec() is None
+
+    def test_default_mapper_spec_round_trips(self, setup):
+        genome, pairs = setup
+        mapper = make_genasm_mapper(genome)
+        spec = mapper.shard_spec()
+        assert spec is not None
+        rebuilt = spec.build("pure")
+        expected = mapper.map_reads(pairs)
+        got = rebuilt.map_reads(pairs)
+        assert [r.record.to_line() for r in got] == [
+            r.record.to_line() for r in expected
+        ]
+        assert rebuilt.stats == mapper.stats

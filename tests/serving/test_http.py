@@ -1,0 +1,564 @@
+"""Wire-level tests for the HTTP/JSON front.
+
+Every test drives the complete path — HTTP parsing, routing, validation,
+the batching alignment server, response framing — through an in-memory
+``socket.socketpair`` connection (:func:`open_memory_connection`), so no
+free TCP port is needed. The one exception binds an ephemeral localhost
+port to prove the real-socket path works identically.
+"""
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.engine import PurePythonEngine
+from repro.mapping.pipeline import make_genasm_mapper
+from repro.sequences.genome import synthesize_genome
+from repro.sequences.read_simulator import illumina_profile, simulate_reads
+from repro.serving import (
+    AlignmentHTTPServer,
+    AlignmentServer,
+    open_memory_connection,
+    serve_http,
+)
+
+PURE = PurePythonEngine()
+
+
+class HttpClient:
+    """Minimal HTTP/1.1 client over one stream pair (keep-alive capable)."""
+
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+
+    @classmethod
+    async def connect(cls, front):
+        return cls(*await open_memory_connection(front))
+
+    async def request(self, method, path, body=None, *, close=False, raw=None):
+        payload = raw if raw is not None else (
+            b"" if body is None else json.dumps(body).encode()
+        )
+        headers = [f"{method} {path} HTTP/1.1", "Host: test"]
+        if payload:
+            headers.append(f"Content-Length: {len(payload)}")
+        if close:
+            headers.append("Connection: close")
+        self.writer.write(
+            ("\r\n".join(headers) + "\r\n\r\n").encode() + payload
+        )
+        await self.writer.drain()
+        return await self.read_response()
+
+    async def read_response(self):
+        status_line = await self.reader.readline()
+        assert status_line, "connection closed before a response arrived"
+        status = int(status_line.split()[1])
+        headers = {}
+        while True:
+            line = await self.reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode().partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        body = await self.reader.readexactly(length) if length else b""
+        return status, (json.loads(body) if body else None), headers
+
+    def close(self):
+        self.writer.close()
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def make_front(**server_kwargs):
+    server_kwargs.setdefault("engine", "pure")
+    server_kwargs.setdefault("batch_size", 8)
+    server_kwargs.setdefault("flush_interval", 0.002)
+    server = AlignmentServer(**server_kwargs)
+    return AlignmentHTTPServer(server)
+
+
+class SlowScanEngine(PurePythonEngine):
+    """Pure backend whose scans block the worker thread measurably."""
+
+    def __init__(self, delay=0.15):
+        self.delay = delay
+
+    def scan_batch(self, pairs, k, **kwargs):
+        time.sleep(self.delay)
+        return super().scan_batch(pairs, k, **kwargs)
+
+
+class TestHappyPaths:
+    def test_edit_distance_scan_align_match_direct(self):
+        async def main():
+            async with await make_front() as front:
+                client = await HttpClient.connect(front)
+                ed_status, ed, _ = await client.request(
+                    "POST",
+                    "/v1/edit_distance",
+                    {"text": "ACGTACGT", "pattern": "ACGGT", "k": 3},
+                )
+                scan_status, scan, _ = await client.request(
+                    "POST",
+                    "/v1/scan",
+                    {"text": "ACGTACGT", "pattern": "ACGT", "k": 1},
+                )
+                al_status, al, _ = await client.request(
+                    "POST",
+                    "/v1/align",
+                    {"text": "ACGTACGT", "pattern": "ACGGT"},
+                )
+                client.close()
+                return (ed_status, ed), (scan_status, scan), (al_status, al)
+
+        (ed_status, ed), (scan_status, scan), (al_status, al) = run(main())
+        assert ed_status == scan_status == al_status == 200
+        assert ed["distance"] == PURE.edit_distance_batch(
+            [("ACGTACGT", "ACGGT")], 3
+        )[0]
+        expected_scan = PURE.scan_batch([("ACGTACGT", "ACGT")], 1)[0]
+        assert scan["matches"] == [
+            {"start": m.start, "distance": m.distance} for m in expected_scan
+        ]
+        from repro.core.aligner import GenAsmAligner
+
+        expected = GenAsmAligner(engine=PURE).align("ACGTACGT", "ACGGT")
+        assert al["cigar"] == expected.cigar.to_sam()
+        assert al["edit_distance"] == expected.edit_distance
+
+    def test_distance_above_k_is_null(self):
+        async def main():
+            async with await make_front() as front:
+                client = await HttpClient.connect(front)
+                status, body, _ = await client.request(
+                    "POST",
+                    "/v1/edit_distance",
+                    {"text": "AAAAAAAA", "pattern": "TTTTTTTT", "k": 2},
+                )
+                client.close()
+                return status, body
+
+        status, body = run(main())
+        assert status == 200
+        assert body["distance"] is None
+
+    def test_map_endpoint_matches_direct_mapper(self):
+        genome = synthesize_genome(6_000, seed=9, name="httpref")
+        read = simulate_reads(
+            genome,
+            count=1,
+            read_length=80,
+            profile=illumina_profile(0.03),
+            seed=3,
+        )[0]
+        direct = make_genasm_mapper(genome, engine="pure")
+        expected = direct.map_read(read.name, read.sequence)
+
+        async def main():
+            mapper = make_genasm_mapper(genome, engine="pure")
+            server = AlignmentServer(
+                mapper=mapper, batch_size=4, flush_interval=0.001
+            )
+            async with AlignmentHTTPServer(server) as front:
+                client = await HttpClient.connect(front)
+                status, body, _ = await client.request(
+                    "POST",
+                    "/v1/map",
+                    {"name": read.name, "read": read.sequence},
+                )
+                client.close()
+                return status, body
+
+        status, body = run(main())
+        assert status == 200
+        assert body["sam"] == expected.record.to_line()
+        assert body["mapped"] is True
+        assert body["position"] == expected.candidate_position
+
+    def test_map_without_mapper_is_501(self):
+        async def main():
+            async with await make_front() as front:
+                client = await HttpClient.connect(front)
+                status, body, _ = await client.request(
+                    "POST", "/v1/map", {"name": "r", "read": "ACGT"}
+                )
+                client.close()
+                return status, body
+
+        status, body = run(main())
+        assert status == 501
+        assert "mapper" in body["error"]
+
+    def test_real_tcp_port_serves_identically(self):
+        async def main():
+            front = await serve_http(
+                port=0, engine="pure", batch_size=4, flush_interval=0.001
+            )
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", front.port
+                )
+                client = HttpClient(reader, writer)
+                status, body, _ = await client.request(
+                    "POST",
+                    "/v1/edit_distance",
+                    {"text": "ACGTACGT", "pattern": "ACGT", "k": 2},
+                    close=True,
+                )
+                client.close()
+                return status, body
+            finally:
+                await front.stop()
+
+        status, body = run(main())
+        assert status == 200
+        assert body["distance"] == 0
+
+    def test_keep_alive_serves_many_requests_per_connection(self):
+        async def main():
+            async with await make_front() as front:
+                client = await HttpClient.connect(front)
+                distances = []
+                for _ in range(5):
+                    status, body, headers = await client.request(
+                        "POST",
+                        "/v1/edit_distance",
+                        {"text": "ACGTACGT", "pattern": "ACGT", "k": 2},
+                    )
+                    assert status == 200
+                    assert headers["connection"] == "keep-alive"
+                    distances.append(body["distance"])
+                client.close()
+                return distances
+
+        assert run(main()) == [0] * 5
+
+
+class TestRejections:
+    @pytest.mark.parametrize(
+        "raw_body, expected_fragment",
+        [
+            (b"{not json", "invalid JSON"),
+            (b"[1, 2, 3]", "JSON object"),
+            (b"", "JSON object"),
+        ],
+    )
+    def test_malformed_json_is_400(self, raw_body, expected_fragment):
+        async def main():
+            async with await make_front() as front:
+                client = await HttpClient.connect(front)
+                status, body, _ = await client.request(
+                    "POST", "/v1/edit_distance", raw=raw_body
+                )
+                client.close()
+                return status, body
+
+        status, body = run(main())
+        assert status == 400
+        assert expected_fragment in body["error"]
+
+    @pytest.mark.parametrize(
+        "payload, fragment",
+        [
+            ({"pattern": "ACGT", "k": 1}, "text"),
+            ({"text": "ACGT", "k": 1}, "pattern"),
+            ({"text": "ACGT", "pattern": "ACGT"}, "k"),
+            ({"text": "ACGT", "pattern": "", "k": 1}, "non-empty"),
+            ({"text": "ACGT", "pattern": "ACGT", "k": -1}, ">= 0"),
+            ({"text": "ACGT", "pattern": "ACGT", "k": "3"}, "integer"),
+            ({"text": "ACGT", "pattern": "ACGT", "k": True}, "integer"),
+            ({"text": 7, "pattern": "ACGT", "k": 1}, "string"),
+        ],
+    )
+    def test_field_validation_is_400(self, payload, fragment):
+        async def main():
+            async with await make_front() as front:
+                client = await HttpClient.connect(front)
+                status, body, _ = await client.request(
+                    "POST", "/v1/edit_distance", payload
+                )
+                client.close()
+                return status, body
+
+        status, body = run(main())
+        assert status == 400
+        assert fragment in body["error"]
+
+    def test_engine_symbol_rejection_maps_to_400(self):
+        async def main():
+            async with await make_front() as front:
+                client = await HttpClient.connect(front)
+                status, body, _ = await client.request(
+                    "POST",
+                    "/v1/edit_distance",
+                    {"text": "ACGT", "pattern": "AZGT", "k": 1},
+                )
+                client.close()
+                return status, body
+
+        status, body = run(main())
+        assert status == 400
+
+    def test_oversize_payload_is_413(self):
+        async def main():
+            server = AlignmentServer(engine="pure", batch_size=4)
+            front = AlignmentHTTPServer(server, max_body_bytes=256)
+            async with front:
+                client = await HttpClient.connect(front)
+                status, body, _ = await client.request(
+                    "POST",
+                    "/v1/edit_distance",
+                    {"text": "A" * 10_000, "pattern": "ACGT", "k": 1},
+                )
+                return status, body
+
+        status, body = run(main())
+        assert status == 413
+        assert "256" in body["error"]
+
+    def test_unknown_path_is_404_and_wrong_method_is_405(self):
+        async def main():
+            async with await make_front() as front:
+                client = await HttpClient.connect(front)
+                missing = await client.request("GET", "/v2/nothing")
+                wrong = await client.request("GET", "/v1/align")
+                client.close()
+                return missing, wrong
+
+        (s404, _, _), (s405, _, _) = run(main())
+        assert s404 == 404
+        assert s405 == 405
+
+    def test_bad_content_length_is_400(self):
+        async def main():
+            async with await make_front() as front:
+                reader, writer = await open_memory_connection(front)
+                writer.write(
+                    b"POST /v1/align HTTP/1.1\r\n"
+                    b"Content-Length: banana\r\n\r\n"
+                )
+                await writer.drain()
+                client = HttpClient(reader, writer)
+                return await client.read_response()
+
+        status, body, _ = run(main())
+        assert status == 400
+        assert "Content-Length" in body["error"]
+
+    def test_malformed_request_line_is_400(self):
+        async def main():
+            async with await make_front() as front:
+                reader, writer = await open_memory_connection(front)
+                writer.write(b"NONSENSE\r\n\r\n")
+                await writer.drain()
+                client = HttpClient(reader, writer)
+                return await client.read_response()
+
+        status, body, _ = run(main())
+        assert status == 400
+
+    def test_chunked_transfer_encoding_is_501(self):
+        """Unparsed chunked framing would desync the keep-alive stream."""
+
+        async def main():
+            async with await make_front() as front:
+                reader, writer = await open_memory_connection(front)
+                writer.write(
+                    b"POST /v1/align HTTP/1.1\r\n"
+                    b"Transfer-Encoding: chunked\r\n\r\n"
+                    b"4\r\n{\"a\"\r\n0\r\n\r\n"
+                )
+                await writer.drain()
+                client = HttpClient(reader, writer)
+                return await client.read_response()
+
+        status, body, _ = run(main())
+        assert status == 501
+        assert "Transfer-Encoding" in body["error"]
+
+    def test_oversize_header_line_is_400_not_a_dropped_connection(self):
+        """A header beyond the stream limit must still get a response."""
+
+        async def main():
+            async with await make_front() as front:
+                reader, writer = await open_memory_connection(front)
+                writer.write(
+                    b"GET /healthz HTTP/1.1\r\n"
+                    b"X-Big: " + b"a" * 80_000 + b"\r\n\r\n"
+                )
+                await writer.drain()
+                client = HttpClient(reader, writer)
+                return await client.read_response()
+
+        status, body, _ = run(main())
+        assert status == 400
+        assert "too long" in body["error"]
+
+
+class TestBackpressureAndHealth:
+    def test_saturated_server_sheds_with_503(self):
+        async def main():
+            engine = SlowScanEngine(delay=0.2)
+            server = AlignmentServer(
+                engine=engine,
+                batch_size=1,
+                flush_interval=0.001,
+                max_pending=1,
+            )
+            async with AlignmentHTTPServer(server) as front:
+                busy = await HttpClient.connect(front)
+                shed = await HttpClient.connect(front)
+                first = asyncio.create_task(
+                    busy.request(
+                        "POST",
+                        "/v1/scan",
+                        {"text": "ACGTACGT", "pattern": "ACGT", "k": 1},
+                    )
+                )
+                # Wait until the slow scan actually owns the only slot.
+                for _ in range(200):
+                    await asyncio.sleep(0.005)
+                    if server.saturated:
+                        break
+                assert server.saturated
+                status_shed, body_shed, headers = await shed.request(
+                    "POST",
+                    "/v1/scan",
+                    {"text": "ACGTACGT", "pattern": "ACGT", "k": 1},
+                )
+                status_first, body_first, _ = await first
+                busy.close()
+                shed.close()
+                return (status_shed, body_shed, headers), (
+                    status_first,
+                    body_first,
+                )
+
+        (status_shed, body_shed, headers), (status_first, body_first) = run(
+            main()
+        )
+        assert status_shed == 503
+        assert "capacity" in body_shed["error"]
+        assert headers.get("retry-after") == "1"
+        # The request that held the slot still completes correctly.
+        assert status_first == 200
+        assert body_first["matches"]
+
+    def test_healthz_answers_under_load(self):
+        async def main():
+            engine = SlowScanEngine(delay=0.25)
+            server = AlignmentServer(
+                engine=engine,
+                batch_size=1,
+                flush_interval=0.001,
+                max_pending=1,
+            )
+            async with AlignmentHTTPServer(server) as front:
+                busy = await HttpClient.connect(front)
+                probe = await HttpClient.connect(front)
+                slow = asyncio.create_task(
+                    busy.request(
+                        "POST",
+                        "/v1/scan",
+                        {"text": "ACGTACGT", "pattern": "ACGT", "k": 1},
+                    )
+                )
+                for _ in range(200):
+                    await asyncio.sleep(0.005)
+                    if server.saturated:
+                        break
+                start = time.perf_counter()
+                status, body, _ = await probe.request("GET", "/healthz")
+                elapsed = time.perf_counter() - start
+                await slow
+                busy.close()
+                probe.close()
+                return status, body, elapsed
+
+        status, body, elapsed = run(main())
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["saturated"] is True
+        # Health must not queue behind the saturated engine.
+        assert elapsed < 0.2
+
+    def test_stats_endpoint_reports_per_endpoint_counters(self):
+        async def main():
+            async with await make_front() as front:
+                client = await HttpClient.connect(front)
+                await client.request(
+                    "POST",
+                    "/v1/edit_distance",
+                    {"text": "ACGT", "pattern": "ACGT", "k": 1},
+                )
+                await client.request("POST", "/v1/edit_distance", raw=b"nope")
+                status, body, _ = await client.request("GET", "/v1/stats")
+                client.close()
+                return status, body
+
+        status, body = run(main())
+        assert status == 200
+        endpoint = body["endpoints"]["/v1/edit_distance"]
+        assert endpoint["requests"] == 2
+        assert endpoint["ok"] == 1
+        assert endpoint["errors"] == {"400": 1}
+        assert body["serving"]["served"] == 1
+        assert body["flush"]["batch_size"] == 8
+
+
+class TestShutdown:
+    def test_stop_drains_in_flight_request(self):
+        async def main():
+            engine = SlowScanEngine(delay=0.2)
+            server = AlignmentServer(
+                engine=engine, batch_size=1, flush_interval=0.001
+            )
+            front = AlignmentHTTPServer(server)
+            client = await HttpClient.connect(front)
+            in_flight = asyncio.create_task(
+                client.request(
+                    "POST",
+                    "/v1/scan",
+                    {"text": "ACGTACGT", "pattern": "ACGT", "k": 1},
+                )
+            )
+            await asyncio.sleep(0.05)  # request reaches the engine
+            await front.stop()
+            status, body, headers = await in_flight
+            client.close()
+            return status, body, headers
+
+        status, body, headers = run(main())
+        # Graceful shutdown: the response was computed and delivered.
+        assert status == 200
+        assert body["matches"]
+        assert headers["connection"] == "close"
+
+    def test_new_requests_after_stop_are_refused(self):
+        async def main():
+            front = await make_front()
+            client = await HttpClient.connect(front)
+            status, _, _ = await client.request("GET", "/healthz")
+            assert status == 200
+            await front.stop()
+            # The keep-alive connection was closed during shutdown.
+            leftover = await client.reader.read()
+            client.close()
+            return leftover
+
+        assert run(main()) == b""
+
+    def test_stop_is_idempotent(self):
+        async def main():
+            front = await make_front()
+            await front.stop()
+            await front.stop()
+
+        run(main())

@@ -1,0 +1,159 @@
+"""Hypothesis properties for the serving layer.
+
+The server's core contract is *transparency*: whatever the batch size,
+flush deadline (fixed or adaptive), submission order, or request mix,
+every request resolves to exactly what a direct engine call returns. These
+tests let Hypothesis pick the traffic and the flush policy, then assert
+the batching was unobservable.
+"""
+
+import asyncio
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.aligner import GenAsmAligner
+from repro.engine import PurePythonEngine
+from repro.serving import AlignmentServer
+
+PURE = PurePythonEngine()
+ALIGNER = GenAsmAligner(engine=PURE)
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=32)
+texts = st.text(alphabet="ACGTN", min_size=0, max_size=48)
+
+pair = st.tuples(texts, dna)
+
+flush_policies = st.fixed_dictionaries(
+    {
+        "batch_size": st.sampled_from([1, 2, 3, 8, 64]),
+        "flush_interval": st.sampled_from([0.0, 0.0005, 0.003]),
+        "adaptive_flush": st.booleans(),
+    }
+)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    pairs=st.lists(pair, min_size=1, max_size=10),
+    k=st.integers(min_value=0, max_value=6),
+    policy=flush_policies,
+)
+def test_edit_distances_independent_of_flush_policy(pairs, k, policy):
+    expected = PURE.edit_distance_batch(pairs, k)
+
+    async def main():
+        async with AlignmentServer(engine="pure", **policy) as server:
+            return list(
+                await asyncio.gather(
+                    *(server.edit_distance(t, p, k) for t, p in pairs)
+                )
+            )
+
+    assert asyncio.run(main()) == expected
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    requests=st.lists(
+        st.tuples(st.sampled_from(["scan", "edit_distance", "align"]), pair),
+        min_size=1,
+        max_size=8,
+    ),
+    k=st.integers(min_value=0, max_value=5),
+    policy=flush_policies,
+    order=st.randoms(use_true_random=False),
+)
+def test_mixed_interleavings_match_direct_calls(requests, k, policy, order):
+    """Submission order and request mix never change any single result."""
+    expected = []
+    for op, (text, pattern) in requests:
+        if op == "scan":
+            expected.append(PURE.scan_batch([(text, pattern)], k)[0])
+        elif op == "edit_distance":
+            expected.append(PURE.edit_distance_batch([(text, pattern)], k)[0])
+        else:
+            alignment = ALIGNER.align(text, pattern)
+            expected.append(
+                (str(alignment.cigar), alignment.edit_distance)
+            )
+
+    submission_order = list(range(len(requests)))
+    order.shuffle(submission_order)
+
+    async def main():
+        async with AlignmentServer(engine="pure", **policy) as server:
+            tasks: dict[int, asyncio.Task] = {}
+            for index in submission_order:
+                op, (text, pattern) = requests[index]
+                if op == "scan":
+                    coro = server.scan(text, pattern, k)
+                elif op == "edit_distance":
+                    coro = server.edit_distance(text, pattern, k)
+                else:
+                    coro = server.align(text, pattern)
+                tasks[index] = asyncio.create_task(coro)
+                if order.random() < 0.3:
+                    await asyncio.sleep(0)  # vary how submissions interleave
+            return [
+                await tasks[index] for index in range(len(requests))
+            ]
+
+    results = asyncio.run(main())
+    for (op, _), got, want in zip(requests, results, expected):
+        if op == "align":
+            assert (str(got.cigar), got.edit_distance) == want
+        else:
+            assert got == want
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    pairs=st.lists(pair, min_size=2, max_size=12),
+    k=st.integers(min_value=0, max_value=4),
+    min_ms=st.sampled_from([0.0, 0.5]),
+    max_ms=st.sampled_from([2.0, 20.0]),
+)
+def test_adaptive_deadline_stays_within_bounds(pairs, k, min_ms, max_ms):
+    """The EWMA deadline never escapes [min, max], whatever the traffic."""
+
+    async def main():
+        async with AlignmentServer(
+            engine="pure",
+            batch_size=4,
+            flush_interval=0.001,
+            adaptive_flush=True,
+            min_flush_interval=min_ms / 1e3,
+            max_flush_interval=max_ms / 1e3,
+        ) as server:
+            observed = []
+            for text, pattern in pairs:
+                await server.edit_distance(text, pattern, k)
+                observed.append(server.current_flush_interval)
+            return observed
+
+    for interval in asyncio.run(main()):
+        assert min_ms / 1e3 <= interval <= max_ms / 1e3
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    pairs=st.lists(pair, min_size=1, max_size=10),
+    k=st.integers(min_value=0, max_value=4),
+)
+def test_adaptive_and_fixed_servers_agree(pairs, k):
+    """Adaptive flushing changes timing, never results."""
+
+    async def run(adaptive):
+        async with AlignmentServer(
+            engine="pure",
+            batch_size=3,
+            flush_interval=0.001,
+            adaptive_flush=adaptive,
+        ) as server:
+            return list(
+                await asyncio.gather(
+                    *(server.edit_distance(t, p, k) for t, p in pairs)
+                )
+            )
+
+    assert asyncio.run(run(True)) == asyncio.run(run(False))
