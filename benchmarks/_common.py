@@ -1,9 +1,10 @@
 """Shared helpers for the benchmark harness.
 
-Every bench regenerates the rows/series of one paper table or figure
-(DESIGN.md Section 4 maps them). The rendered table is printed and also
-persisted under ``benchmarks/results/`` so EXPERIMENTS.md can reference
-stable artifacts.
+Every bench regenerates the rows/series of one paper table or figure and
+prints the rendered table. The only *committed* artifacts are the
+machine-readable ``BENCH_*.json`` files at the repo root
+(:func:`emit_json`) — those are tracked across PRs and uploaded by CI;
+rendered tables are stdout only.
 """
 
 from __future__ import annotations
@@ -15,8 +16,6 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.eval.reporting import format_table
-
-RESULTS_DIR = Path(__file__).parent / "results"
 
 #: Repo root — where the cross-PR machine-readable artifacts live.
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -53,9 +52,9 @@ def emit_table(
     *,
     title: str,
 ) -> str:
-    """Render, print, and persist one reproduction table."""
+    """Render and print one reproduction table (stdout only — committed
+    artifacts are the ``BENCH_*.json`` files, not rendered text)."""
+    del name  # kept for call-site compatibility
     text = format_table(headers, rows, title=title)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
     print("\n" + text)
     return text

@@ -17,8 +17,8 @@ across read lengths, error rates, and batch sizes, for every available
 backend — plus a dedicated long-read (10 kbp) ``align`` workload. Emits a
 machine-readable ``BENCH_batch_engine.json`` at the repo root so the
 performance trajectory is tracked across PRs (and gated by
-``benchmarks/check_regression.py`` in CI), plus the usual table under
-``benchmarks/results/``.
+``benchmarks/check_regression.py`` in CI); the rendered table goes to
+stdout.
 
 Run:  PYTHONPATH=src python benchmarks/bench_batch_engine.py [--smoke]
 """

@@ -1,0 +1,340 @@
+"""Cluster benchmark: goodput and tail latency vs replica count, with and
+without one artificially degraded replica.
+
+GenASM's throughput story is many independent ASM units; the serving
+analogue is an :class:`AlignmentCluster` of replicas behind a
+health-aware router. This bench drives the cluster with *open-loop*
+traffic (requests fire on a wall-clock schedule, like a load balancer,
+not in lockstep with responses) and records **goodput** (answered-OK
+requests per second — shed and failed requests don't count) and latency
+percentiles, across:
+
+* replica counts 1 / 2 / 4, all healthy;
+* the same clusters with replica 0 degraded by a 50x injected latency
+  (:class:`DegradedEngine` times each real engine call and sleeps 49x as
+  long — the profile of a replica wedged on I/O or thermals, which is
+  exactly the case routing can win: the sleeping replica isn't consuming
+  the CPU the healthy replicas need).
+
+The claim under test: a 2+-replica cluster with one degraded replica
+sustains >= 80% of its healthy goodput (the router prices the degraded
+replica out of rotation within a few probes), while a *single* degraded
+server collapses to ~1/50th. The ``summary`` block records both ratios;
+``benchmarks/check_regression.py``-style tracking can gate on them.
+
+Emits ``BENCH_cluster.json`` at the repo root (tracked across PRs,
+uploaded as a CI artifact). Run:
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import random
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from _common import REPO_ROOT, emit_json
+from bench_serving import percentile
+
+from repro.engine import PurePythonEngine
+from repro.engine.registry import create_engine
+from repro.eval.reporting import format_table
+from repro.serving import AlignmentCluster, ClusterSaturatedError
+from repro.sequences.mutate import MutationProfile, mutate
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_cluster.json"
+
+#: Injected slowdown on the degraded replica (the ISSUE's 50x).
+DEGRADE_FACTOR = 50.0
+
+
+class DegradedEngine(PurePythonEngine):
+    """Wrap an engine so every call takes ``slowdown`` times as long.
+
+    The extra time is *sleep*, not compute: a degraded replica stalls its
+    own worker thread without stealing CPU from healthy replicas —
+    the I/O-bound / throttled-host failure mode a router can win against.
+    """
+
+    def __init__(self, inner, slowdown: float = DEGRADE_FACTOR) -> None:
+        self.inner = inner
+        self.slowdown = slowdown
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"degraded-{self.inner.name}"
+
+    def _degrade(self, elapsed: float) -> None:
+        time.sleep(elapsed * (self.slowdown - 1.0))
+
+    def scan_batch(self, pairs, k, **kwargs):
+        started = time.perf_counter()
+        result = self.inner.scan_batch(pairs, k, **kwargs)
+        self._degrade(time.perf_counter() - started)
+        return result
+
+    def run_dc_windows(self, jobs, **kwargs):
+        started = time.perf_counter()
+        result = self.inner.run_dc_windows(jobs, **kwargs)
+        self._degrade(time.perf_counter() - started)
+        return result
+
+
+@dataclass(frozen=True)
+class Workload:
+    name: str
+    read_length: int
+    error_rate: float
+    requests: int
+    interarrival_ms: float
+
+    @property
+    def threshold(self) -> int:
+        return max(8, int(self.read_length * self.error_rate))
+
+
+def build_pairs(workload: Workload, seed: int) -> list[tuple[str, str]]:
+    rng = random.Random(seed)
+    pairs = []
+    for _ in range(workload.requests):
+        region = "".join(
+            rng.choice("ACGT")
+            for _ in range(workload.read_length + workload.threshold)
+        )
+        read = mutate(
+            region[: workload.read_length],
+            MutationProfile(error_rate=workload.error_rate),
+            rng=rng,
+        ).sequence
+        pairs.append((region, read))
+    return pairs
+
+
+async def drive_open_loop(
+    cluster: AlignmentCluster,
+    pairs: list[tuple[str, str]],
+    k: int,
+    interarrival_s: float,
+) -> dict:
+    """Fire one request per schedule slot; classify every outcome.
+
+    Latency is measured from the scheduled fire time, queue wait
+    included — what a client behind the router observes.
+    """
+
+    async def one(pair: tuple[str, str], fired_at: float) -> tuple[str, float]:
+        try:
+            await cluster.edit_distance(pair[0], pair[1], k)
+        except ClusterSaturatedError:
+            return "shed", time.perf_counter() - fired_at
+        except Exception:  # noqa: BLE001 - benchmark classification
+            return "error", time.perf_counter() - fired_at
+        return "ok", time.perf_counter() - fired_at
+
+    started = time.perf_counter()
+    tasks = []
+    for pair in pairs:
+        tasks.append(asyncio.create_task(one(pair, time.perf_counter())))
+        await asyncio.sleep(interarrival_s)
+    outcomes = await asyncio.gather(*tasks)
+    elapsed = time.perf_counter() - started
+    ok_latencies = [lat for kind, lat in outcomes if kind == "ok"]
+    counts = {
+        kind: sum(1 for outcome_kind, _ in outcomes if outcome_kind == kind)
+        for kind in ("ok", "shed", "error")
+    }
+    return {
+        "seconds": elapsed,
+        "offered_per_sec": len(pairs) / elapsed,
+        "goodput_per_sec": counts["ok"] / elapsed if counts["ok"] else 0.0,
+        "ok": counts["ok"],
+        "shed": counts["shed"],
+        "errors": counts["error"],
+        "p50_ms": percentile(ok_latencies, 50) * 1e3 if ok_latencies else None,
+        "p99_ms": percentile(ok_latencies, 99) * 1e3 if ok_latencies else None,
+    }
+
+
+def run_config(
+    workload: Workload,
+    pairs: list[tuple[str, str]],
+    *,
+    replicas: int,
+    degraded: bool,
+    policy: str,
+    engine: str,
+    batch_size: int,
+    flush_ms: float,
+    max_pending: int,
+) -> dict:
+    def engine_factory(index: int):
+        inner = create_engine(engine)
+        if degraded and index == 0:
+            return DegradedEngine(inner)
+        return inner
+
+    async def main() -> dict:
+        async with AlignmentCluster(
+            replicas=replicas,
+            engine_factory=engine_factory,
+            policy=policy,
+            batch_size=batch_size,
+            flush_interval=flush_ms / 1e3,
+            max_pending=max_pending,
+        ) as cluster:
+            measured = await drive_open_loop(
+                cluster,
+                pairs,
+                workload.threshold,
+                workload.interarrival_ms / 1e3,
+            )
+            per_replica = [
+                {
+                    "name": r.name,
+                    "engine": r.server.engine_name,
+                    "completed": r.completed,
+                    "failed": r.failed,
+                    "p99_ms": r.latency.to_dict()["p99_ms"],
+                }
+                for r in cluster.replicas
+            ]
+        return {
+            "workload": workload.name,
+            "replicas": replicas,
+            "degraded": degraded,
+            "policy": policy,
+            "engine": engine,
+            "batch_size": batch_size,
+            "flush_ms": flush_ms,
+            "requests": len(pairs),
+            **measured,
+            "per_replica": per_replica,
+        }
+
+    return asyncio.run(main())
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload for CI: fewer requests, 1/2 replicas only",
+    )
+    parser.add_argument(
+        "--engine",
+        default="pure",
+        help="engine backend per replica (default: pure)",
+    )
+    parser.add_argument(
+        "--policy",
+        default="latency_ewma",
+        help="routing policy (default: latency_ewma)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help="where to write the JSON artifact",
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        workload = Workload("shed_route_smoke", 64, 0.08, 160, 2.0)
+        replica_counts = [1, 2]
+        batch_size, flush_ms, max_pending = 8, 3.0, 128
+    else:
+        workload = Workload("shed_route", 64, 0.08, 600, 1.5)
+        replica_counts = [1, 2, 4]
+        batch_size, flush_ms, max_pending = 8, 3.0, 256
+
+    pairs = build_pairs(workload, seed=0xC1)
+    results = []
+    for replicas in replica_counts:
+        for degraded in (False, True):
+            result = run_config(
+                workload,
+                pairs,
+                replicas=replicas,
+                degraded=degraded,
+                policy=args.policy,
+                engine=args.engine,
+                batch_size=batch_size,
+                flush_ms=flush_ms,
+                max_pending=max_pending,
+            )
+            results.append(result)
+
+    def goodput(replicas: int, degraded: bool) -> float | None:
+        for result in results:
+            if result["replicas"] == replicas and result["degraded"] == degraded:
+                return result["goodput_per_sec"]
+        return None
+
+    healthy_2 = goodput(2, False)
+    degraded_2 = goodput(2, True)
+    summary = {
+        "degrade_factor": DEGRADE_FACTOR,
+        "healthy_2rep_goodput": healthy_2,
+        "degraded_2rep_goodput": degraded_2,
+        # The acceptance ratio: a 2-replica cluster with one degraded
+        # replica should sustain >= 0.8 of its healthy goodput.
+        "degraded_2rep_vs_healthy_2rep": (
+            degraded_2 / healthy_2 if healthy_2 else None
+        ),
+        "single_degraded_goodput": goodput(1, True),
+        "single_degraded_vs_healthy_2rep": (
+            goodput(1, True) / healthy_2 if healthy_2 else None
+        ),
+    }
+
+    emit_json(
+        args.output,
+        "cluster",
+        {
+            "smoke": args.smoke,
+            "results": results,
+            "summary": summary,
+        },
+    )
+
+    rows = [
+        [
+            r["replicas"],
+            "one degraded" if r["degraded"] else "healthy",
+            f"{r['goodput_per_sec']:,.0f}",
+            r["ok"],
+            r["shed"],
+            f"{r['p50_ms']:.1f}" if r["p50_ms"] is not None else "-",
+            f"{r['p99_ms']:.1f}" if r["p99_ms"] is not None else "-",
+        ]
+        for r in results
+    ]
+    print(
+        "\n"
+        + format_table(
+            ["replicas", "condition", "goodput/s", "ok", "shed", "p50 ms", "p99 ms"],
+            rows,
+            title=(
+                f"Cluster goodput under open-loop load "
+                f"({args.policy}, {DEGRADE_FACTOR:.0f}x degradation)"
+            ),
+        )
+    )
+    print(f"\nwrote {args.output}")
+    ratio = summary["degraded_2rep_vs_healthy_2rep"]
+    if ratio is not None:
+        print(
+            f"2-replica cluster with one degraded replica: "
+            f"{ratio:.2f}x of healthy goodput "
+            f"(single degraded server: "
+            f"{summary['single_degraded_vs_healthy_2rep']:.2f}x)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -15,8 +15,7 @@ Each configuration sweeps the flush window (deadline, ms) and the backend —
 ``pure`` vs ``batched`` vs ``sharded`` at each requested worker count — and
 records requests/sec plus p50/p99 client-observed latency. Emits a
 machine-readable ``BENCH_serving.json`` at the repo root (tracked across
-PRs, uploaded as a CI artifact) plus the usual table under
-``benchmarks/results/``.
+PRs, uploaded as a CI artifact); the rendered table goes to stdout.
 
 Run:  PYTHONPATH=src python benchmarks/bench_serving.py [--smoke]
 """

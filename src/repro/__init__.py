@@ -15,7 +15,10 @@ Bitap-compatible traceback. This package reproduces the paper end to end:
   align) hosting GenASM as its alignment step;
 * :mod:`repro.serving` — the asyncio alignment server that batches many
   concurrent requests into few large engine calls (with adaptive flush
-  windows), plus the stdlib HTTP/JSON network front over it;
+  windows), the replicated cluster router over N such servers
+  (replica-aware load shedding, pluggable dispatch policies, mergeable
+  latency histograms), plus the stdlib HTTP/JSON network front that
+  mounts either;
 * :mod:`repro.eval` — datasets, metrics, and one experiment driver per
   table/figure in the paper's evaluation.
 """
@@ -44,17 +47,20 @@ from repro.engine import (
     register_engine,
 )
 from repro.serving import (
+    AlignmentCluster,
     AlignmentHTTPServer,
     AlignmentServer,
+    LatencyHistogram,
     ServerClosedError,
     ServingStats,
     serve_http,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Alignment",
+    "AlignmentCluster",
     "AlignmentEngine",
     "AlignmentHTTPServer",
     "AlignmentServer",
@@ -63,6 +69,7 @@ __all__ = [
     "EngineInfo",
     "GenAsmAligner",
     "GenAsmFilter",
+    "LatencyHistogram",
     "PurePythonEngine",
     "ScoringScheme",
     "ServerClosedError",

@@ -27,6 +27,7 @@ from repro.engine.registry import (
     EngineInfo,
     UnknownEngineError,
     available_engines,
+    create_engine,
     default_engine_name,
     engine_info,
     get_engine,
@@ -45,6 +46,7 @@ __all__ = [
     "ShardedEngine",
     "UnknownEngineError",
     "available_engines",
+    "create_engine",
     "default_engine_name",
     "engine_info",
     "get_engine",

@@ -93,6 +93,18 @@ class AlignmentEngine(ABC):
         """Parallel workers a default-constructed instance would use."""
         return 1
 
+    @classmethod
+    def create(cls, **kwargs: object) -> "AlignmentEngine":
+        """Construct a fresh instance of this backend.
+
+        The hook :func:`create_engine` calls when building *private*
+        engine instances — one per serving replica — as opposed to the
+        shared per-name singletons :func:`get_engine` hands out. Backends
+        whose construction needs more than ``cls(**kwargs)`` (a warmed
+        pool, a device handle) override this.
+        """
+        return cls(**kwargs)
+
     @abstractmethod
     def scan_batch(
         self,
@@ -269,6 +281,21 @@ def _is_usable(name: str) -> bool:
     return cls is not None and cls.is_available()
 
 
+def _resolve_available_class(name: str) -> type[AlignmentEngine]:
+    """``name`` -> registered, available backend class (or raise)."""
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        raise UnknownEngineError(
+            f"unknown engine {name!r}; registered engines: {registered_engines()}"
+        )
+    if not cls.is_available():
+        raise UnknownEngineError(
+            f"engine {name!r} is registered but unavailable "
+            f"({cls.unavailable_reason() or 'missing optional dependency'})"
+        )
+    return cls
+
+
 def get_engine(
     spec: AlignmentEngine | str | None = None,
 ) -> AlignmentEngine:
@@ -282,18 +309,37 @@ def get_engine(
     if isinstance(spec, AlignmentEngine):
         return spec
     name = spec if spec is not None else default_engine_name()
-    cls = _REGISTRY.get(name)
-    if cls is None:
-        raise UnknownEngineError(
-            f"unknown engine {name!r}; registered engines: {registered_engines()}"
-        )
-    if not cls.is_available():
-        raise UnknownEngineError(
-            f"engine {name!r} is registered but unavailable "
-            f"({cls.unavailable_reason() or 'missing optional dependency'})"
-        )
+    cls = _resolve_available_class(name)
     instance = _INSTANCES.get(name)
     if instance is None:
         instance = cls()
         _INSTANCES[name] = instance
     return instance
+
+
+def create_engine(
+    spec: AlignmentEngine | str | None = None, **kwargs: object
+) -> AlignmentEngine:
+    """Construct a **fresh** backend instance — never the shared singleton.
+
+    Replicated servers need one engine *instance* per replica (a sharded
+    backend's process pool, a batched backend's scratch arrays, and any
+    future device handle must not be shared across replicas that flush
+    concurrently from different worker threads), but :func:`get_engine`
+    deliberately memoizes one instance per name. This is the per-replica
+    construction hook: ``spec`` resolves exactly like :func:`get_engine`
+    (instance / registered name / None for the environment default), but
+    a name resolves through :meth:`AlignmentEngine.create` to a brand-new
+    instance, with ``kwargs`` forwarded to the constructor. An engine
+    *instance* passed as ``spec`` is returned as-is — the caller already
+    chose its sharing.
+    """
+    if isinstance(spec, AlignmentEngine):
+        if kwargs:
+            raise ValueError(
+                "pass constructor kwargs only with an engine name, "
+                "not a ready instance"
+            )
+        return spec
+    name = spec if spec is not None else default_engine_name()
+    return _resolve_available_class(name).create(**kwargs)

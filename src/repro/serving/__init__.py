@@ -7,13 +7,35 @@ policy (optionally adaptive — the deadline tracks an EWMA of the observed
 arrival rate), bounded-queue backpressure, and graceful shutdown. See
 :mod:`repro.serving.server` for the design notes.
 
+:class:`AlignmentCluster` (:mod:`repro.serving.cluster`) replicates that
+server N times — one private engine per replica — behind a health-aware
+router with pluggable dispatch policies (``round_robin``,
+``least_in_flight``, ``latency_ewma``), replica-aware load shedding with
+a dynamic ``Retry-After`` computed from observed latency EWMAs, failure
+cooldowns with cross-replica retry, and clean per-replica draining.
+
 :class:`AlignmentHTTPServer` (:mod:`repro.serving.http`) puts a stdlib
-HTTP/1.1 JSON API in front of it — ``POST /v1/scan``,
+HTTP/1.1 JSON API in front of either — ``POST /v1/scan``,
 ``/v1/edit_distance``, ``/v1/align``, ``/v1/map``, plus ``GET /healthz``
 and ``/v1/stats`` — with request validation, load shedding, and graceful
-draining.
+draining. Latency percentiles (p50/p90/p99) come from the mergeable
+log-bucket :class:`LatencyHistogram` (:mod:`repro.serving.histogram`) and
+appear per endpoint, per replica, and cluster-wide in ``/v1/stats``.
 """
 
+from repro.serving.cluster import (
+    AlignmentCluster,
+    ClusterSaturatedError,
+    LatencyEwmaPolicy,
+    LeastInFlightPolicy,
+    Replica,
+    RoundRobinPolicy,
+    RoutingPolicy,
+    ROUTING_POLICIES,
+    make_policy,
+    register_policy,
+)
+from repro.serving.histogram import LatencyHistogram
 from repro.serving.http import (
     AlignmentHTTPServer,
     EndpointStats,
@@ -29,13 +51,24 @@ from repro.serving.server import (
 )
 
 __all__ = [
+    "ROUTING_POLICIES",
+    "AlignmentCluster",
     "AlignmentHTTPServer",
     "AlignmentServer",
+    "ClusterSaturatedError",
     "EndpointStats",
     "HttpError",
+    "LatencyEwmaPolicy",
+    "LatencyHistogram",
+    "LeastInFlightPolicy",
+    "Replica",
+    "RoundRobinPolicy",
+    "RoutingPolicy",
     "ServerClosedError",
     "ServingStats",
+    "make_policy",
     "open_memory_connection",
+    "register_policy",
     "serve_http",
     "serve_requests",
 ]

@@ -1,0 +1,674 @@
+"""Replicated serving: a health-aware router over N alignment servers.
+
+GenASM gets its throughput from many independent ASM units working in
+parallel; the serving-layer analogue is many :class:`AlignmentServer`
+replicas — each with its *own* engine instance (its own process pool,
+scratch arrays, eventually its own device) — behind one router.
+:class:`AlignmentCluster` is that router. It exposes the same request
+surface as a single server (``scan`` / ``edit_distance`` / ``align`` /
+``map_read``), so the HTTP front and every other caller mounts a cluster
+exactly like a server, and adds three things a single server cannot have:
+
+**Pluggable dispatch.** A :class:`RoutingPolicy` picks the replica for
+each request from the currently *eligible* ones: ``round_robin`` (fair,
+oblivious), ``least_in_flight`` (join-the-shortest-queue), and
+``latency_ewma`` (each replica scored by its smoothed observed latency,
+scaled by its queue depth — a degraded replica prices itself out of
+rotation within a few requests). Policies register by name via
+:func:`register_policy`, so new ones plug in without touching the router.
+
+**Replica-aware load shedding.** A replica that is saturated (all
+``max_pending`` slots taken), draining, stopped, or cooling down after
+consecutive failures is simply *skipped* — the request goes elsewhere.
+Only when **every** live replica is saturated does the cluster shed, and
+the :class:`ClusterSaturatedError` it raises carries a ``retry_after``
+computed from the replicas' observed flush windows and service-time EWMAs
+(the soonest any replica expects to free capacity), not a constant.
+
+**Failure containment.** An engine exception marks the replica as failing
+(exponential cooldown after consecutive failures) and the request is
+retried on a different replica — engine calls are pure functions of their
+payload, so a retry can never duplicate an effect, and every submitted
+request is answered exactly once: with the first successful result, or
+with the last error once no replica remains to try. A replica can be
+drained mid-flight (:meth:`AlignmentCluster.drain_replica`): it stops
+receiving new work immediately, finishes what it holds, and its in-flight
+requests complete normally.
+
+Per-replica latency lands in mergeable log-bucket histograms
+(:mod:`repro.serving.histogram`), so ``/v1/stats`` reports true
+cluster-wide p50/p90/p99 as well as per-replica percentiles without any
+sample buffers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Any, Callable, ClassVar, Sequence
+
+from repro.engine.registry import create_engine
+from repro.serving.histogram import LatencyHistogram
+from repro.serving.server import AlignmentServer, ServerClosedError, ServingStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.aligner import Alignment
+    from repro.core.bitap import BitapMatch
+    from repro.engine.registry import AlignmentEngine
+    from repro.mapping.pipeline import MappingResult, ReadMapper
+
+
+class ClusterSaturatedError(RuntimeError):
+    """Every live replica is at capacity; retry after ``retry_after`` s.
+
+    The HTTP front maps this to ``503`` with a ``Retry-After`` header
+    carrying the hint.
+    """
+
+    def __init__(self, message: str, *, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class Replica:
+    """One :class:`AlignmentServer` behind the router, plus its telemetry.
+
+    The router never looks inside the server; everything it needs for
+    dispatch — queue depth, saturation, smoothed latency, failure state —
+    lives here or on the server's public surface.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        server: AlignmentServer,
+        *,
+        latency_smoothing: float = 0.25,
+        failure_cooldown: float = 0.25,
+    ) -> None:
+        self.name = name
+        self.server = server
+        self.latency = LatencyHistogram()
+        self.ewma_latency: float | None = None
+        self.latency_smoothing = latency_smoothing
+        self.failure_cooldown = failure_cooldown
+        self.dispatched = 0
+        self.completed = 0
+        self.failed = 0
+        self.consecutive_failures = 0
+        self.cooldown_until = 0.0
+        self.draining = False
+        self.stopped = False
+
+    @property
+    def live(self) -> bool:
+        """Whether this replica may still be offered new work at all."""
+        return not self.draining and not self.stopped
+
+    def eligible(self, now: float) -> bool:
+        """Whether the router may dispatch to this replica right now."""
+        return self.live and not self.server.saturated and now >= self.cooldown_until
+
+    @property
+    def state(self) -> str:
+        """Human-readable state for health and stats payloads."""
+        if self.stopped:
+            return "stopped"
+        if self.draining:
+            return "draining"
+        if time.monotonic() < self.cooldown_until:
+            return "cooldown"
+        if self.server.saturated:
+            return "saturated"
+        return "up"
+
+    def record_success(self, seconds: float) -> None:
+        self.completed += 1
+        self.consecutive_failures = 0
+        self.cooldown_until = 0.0
+        self.latency.record(seconds)
+        if self.ewma_latency is None:
+            self.ewma_latency = seconds
+        else:
+            alpha = self.latency_smoothing
+            self.ewma_latency = alpha * seconds + (1.0 - alpha) * self.ewma_latency
+
+    def record_failure(self, now: float) -> None:
+        """Count one engine failure and back off exponentially.
+
+        The cooldown doubles per consecutive failure (capped at 16x), so a
+        replica whose engine is throwing gets probed at a decaying rate
+        instead of eating a retry from every request.
+        """
+        self.failed += 1
+        self.consecutive_failures += 1
+        backoff = min(2 ** (self.consecutive_failures - 1), 16)
+        self.cooldown_until = now + self.failure_cooldown * backoff
+
+    def to_dict(self) -> dict[str, Any]:
+        """Per-replica block of the cluster's ``/v1/stats`` payload."""
+        return {
+            "name": self.name,
+            "state": self.state,
+            "engine": self.server.engine_name,
+            "pending": self.server.pending,
+            "in_flight": self.server.in_flight,
+            "saturated": self.server.saturated,
+            "dispatched": self.dispatched,
+            "completed": self.completed,
+            "failed": self.failed,
+            "latency": self.latency.to_dict(),
+            "serving": self.server.stats.to_dict(),
+        }
+
+
+# ----------------------------------------------------------------------
+# Routing policies
+# ----------------------------------------------------------------------
+class RoutingPolicy(ABC):
+    """Picks one replica from the eligible candidates for each request."""
+
+    #: Registry key; subclasses must override.
+    name: ClassVar[str] = "abstract"
+
+    @abstractmethod
+    def select(self, candidates: Sequence[Replica]) -> Replica:
+        """Choose from ``candidates`` (never empty, all eligible)."""
+
+
+class RoundRobinPolicy(RoutingPolicy):
+    """Cycle through the eligible replicas in order — fair and oblivious."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def select(self, candidates: Sequence[Replica]) -> Replica:
+        choice = candidates[self._cursor % len(candidates)]
+        self._cursor += 1
+        return choice
+
+
+class LeastInFlightPolicy(RoundRobinPolicy):
+    """Join the shortest queue; ties broken round-robin."""
+
+    name = "least_in_flight"
+
+    def select(self, candidates: Sequence[Replica]) -> Replica:
+        depth = min(c.server.in_flight for c in candidates)
+        shortest = [c for c in candidates if c.server.in_flight == depth]
+        return super().select(shortest)
+
+
+class LatencyEwmaPolicy(RoundRobinPolicy):
+    """Score replicas by smoothed latency scaled by queue depth.
+
+    A replica's expected cost is roughly its per-request latency times the
+    work already ahead of a new arrival, so the score is
+    ``ewma_latency * (1 + in_flight)``. Replicas with no observations yet
+    score zero — optimistically cheap — so every replica gets probed and
+    earns a real EWMA; a degraded replica's score then keeps it out of
+    rotation until the others grow queues long enough to make it the
+    cheaper option again.
+    """
+
+    name = "latency_ewma"
+
+    def select(self, candidates: Sequence[Replica]) -> Replica:
+        def score(replica: Replica) -> float:
+            if replica.ewma_latency is None:
+                return 0.0
+            return replica.ewma_latency * (1 + replica.server.in_flight)
+
+        best = min(score(c) for c in candidates)
+        cheapest = [c for c in candidates if score(c) == best]
+        return super().select(cheapest)
+
+
+ROUTING_POLICIES: dict[str, type[RoutingPolicy]] = {}
+
+
+def register_policy(policy_cls: type[RoutingPolicy]) -> type[RoutingPolicy]:
+    """Register a policy class under its ``name`` (usable as a decorator)."""
+    if not policy_cls.name or policy_cls.name == RoutingPolicy.name:
+        raise ValueError(f"{policy_cls.__name__} must define a concrete name")
+    ROUTING_POLICIES[policy_cls.name] = policy_cls
+    return policy_cls
+
+
+for _cls in (RoundRobinPolicy, LeastInFlightPolicy, LatencyEwmaPolicy):
+    register_policy(_cls)
+
+
+def make_policy(spec: RoutingPolicy | str) -> RoutingPolicy:
+    """Resolve ``spec`` to a policy instance (name or ready instance)."""
+    if isinstance(spec, RoutingPolicy):
+        return spec
+    policy_cls = ROUTING_POLICIES.get(spec)
+    if policy_cls is None:
+        raise ValueError(
+            f"unknown routing policy {spec!r}; "
+            f"registered: {sorted(ROUTING_POLICIES)}"
+        )
+    return policy_cls()
+
+
+# ----------------------------------------------------------------------
+# The cluster router
+# ----------------------------------------------------------------------
+class AlignmentCluster:
+    """Router fronting N :class:`AlignmentServer` replicas.
+
+    Parameters
+    ----------
+    replicas:
+        How many replicas to build (ignored when ``servers`` is given).
+        Each gets a **fresh** engine instance via
+        :func:`repro.engine.registry.create_engine`.
+    servers:
+        Pre-built servers to front instead — the caller owns their
+        configuration; every other construction knob is then rejected.
+    engine:
+        Engine *name* (or None for the environment default) constructed
+        fresh per replica. Pass an instance only via ``engine_factory``
+        or ``servers`` — a shared instance defeats replication.
+    engine_factory:
+        ``f(replica_index) -> engine`` for heterogeneous replicas (e.g.
+        one sharded + one batched, or injected test doubles).
+    mapper / mapper_factory:
+        A :class:`~repro.mapping.pipeline.ReadMapper` template for
+        ``map_read`` requests, or a per-replica factory. A template
+        mapper is rebuilt per replica from its
+        :meth:`~repro.mapping.pipeline.ReadMapper.shard_spec` over the
+        replica's private engine (genome/index shared, engine state not);
+        mappers with custom callables are not spec-representable and
+        stay shared across replicas — use ``mapper_factory`` for those.
+    policy:
+        Routing policy name or instance (default ``least_in_flight``).
+    failure_cooldown:
+        Base seconds a replica sits out after an engine failure (doubled
+        per consecutive failure, capped at 16x).
+    max_attempts:
+        Replicas tried per request before giving up (default: all).
+    **server_kwargs:
+        Forwarded to every built :class:`AlignmentServer`
+        (``batch_size=``, ``flush_interval=``, ``max_pending=``,
+        ``adaptive_flush=``, ...).
+    """
+
+    def __init__(
+        self,
+        *,
+        replicas: int = 2,
+        servers: Sequence[AlignmentServer] | None = None,
+        engine: "str | None" = None,
+        engine_factory: "Callable[[int], AlignmentEngine] | None" = None,
+        mapper: "ReadMapper | None" = None,
+        mapper_factory: "Callable[[int], ReadMapper] | None" = None,
+        policy: RoutingPolicy | str = "least_in_flight",
+        failure_cooldown: float = 0.25,
+        max_attempts: int | None = None,
+        **server_kwargs: Any,
+    ) -> None:
+        if servers is not None:
+            if engine is not None or engine_factory or mapper or mapper_factory:
+                raise ValueError(
+                    "pass either pre-built servers or construction knobs, "
+                    "not both"
+                )
+            if server_kwargs:
+                raise ValueError(
+                    "server kwargs apply only when the cluster builds its "
+                    "own replicas"
+                )
+            built = list(servers)
+            if not built:
+                raise ValueError("servers must be non-empty")
+        else:
+            if replicas < 1:
+                raise ValueError("replicas must be at least 1")
+            if engine is not None and engine_factory is not None:
+                raise ValueError("pass engine or engine_factory, not both")
+            if engine is not None and not isinstance(engine, str):
+                # One instance shared by N concurrently-flushing worker
+                # threads is the exact hazard this class exists to
+                # prevent; make it an immediate error, not a data race.
+                raise ValueError(
+                    "engine must be a backend name; pass instances via "
+                    "engine_factory (one per replica) or servers"
+                )
+            built = []
+            for index in range(replicas):
+                if engine_factory is not None:
+                    replica_engine: Any = engine_factory(index)
+                elif engine is None and mapper is not None:
+                    # Derive the engine from the mapper's spec, but still
+                    # one fresh instance per replica: a name (or None)
+                    # must not collapse onto the shared get_engine
+                    # singleton across concurrently-flushing replicas.
+                    # An engine *instance* on the mapper passes through —
+                    # the caller already chose to share it, like the
+                    # mapper itself.
+                    replica_engine = create_engine(mapper.engine)
+                else:
+                    replica_engine = create_engine(engine)
+                if mapper_factory is not None:
+                    replica_mapper = mapper_factory(index)
+                elif mapper is not None:
+                    # Rebuild a private mapper per replica over the
+                    # replica's private engine (via MapperSpec), so map
+                    # flushes from N worker threads never race on one
+                    # mapper/engine. Mappers with custom callables are
+                    # not spec-representable and stay shared — the same
+                    # in-process fallback the sharded mapper uses; prefer
+                    # mapper_factory for those.
+                    spec = mapper.shard_spec()
+                    replica_mapper = (
+                        spec.build(replica_engine)
+                        if spec is not None
+                        else mapper
+                    )
+                else:
+                    replica_mapper = None
+                built.append(
+                    AlignmentServer(
+                        engine=replica_engine,
+                        mapper=replica_mapper,
+                        **server_kwargs,
+                    )
+                )
+        self._replicas = [
+            Replica(
+                f"replica-{index}",
+                server,
+                failure_cooldown=failure_cooldown,
+            )
+            for index, server in enumerate(built)
+        ]
+        self._policy = make_policy(policy)
+        self.max_attempts = max_attempts
+        self._closed = False
+        self.shed = 0
+        self.retries = 0
+
+    # ------------------------------------------------------------------
+    # Request entry points (mirror AlignmentServer)
+    # ------------------------------------------------------------------
+    async def scan(
+        self,
+        text: str,
+        pattern: str,
+        k: int,
+        *,
+        first_match_only: bool = False,
+    ) -> "list[BitapMatch]":
+        """Bitap-scan one (text, pattern) pair on some replica."""
+        return await self._submit(
+            "scan", (text, pattern, k), {"first_match_only": first_match_only}
+        )
+
+    async def edit_distance(
+        self, text: str, pattern: str, k: int
+    ) -> int | None:
+        """Minimum semi-global edit distance (None above ``k``)."""
+        return await self._submit("edit_distance", (text, pattern, k), {})
+
+    async def align(self, text: str, pattern: str) -> "Alignment":
+        """Full GenASM alignment of one pair on some replica."""
+        return await self._submit("align", (text, pattern), {})
+
+    async def map_read(self, name: str, read: str) -> "MappingResult":
+        """Map one read through some replica's attached mapper."""
+        if self.mapper is None:
+            raise RuntimeError(
+                "map_read requires a cluster constructed with mapper=..."
+            )
+        return await self._submit("map_read", (name, read), {})
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _select(
+        self, tried: set[int], *, require_mapper: bool = False
+    ) -> Replica | None:
+        """Pick the next replica to try, or None when none can take work.
+
+        Preference order: policy choice among fully eligible replicas;
+        failing that, the cooling-down replica whose cooldown ends
+        soonest (a half-open probe — shedding while unsaturated capacity
+        exists, even suspect capacity, would be premature).
+        ``require_mapper`` restricts the pool to replicas that can serve
+        ``map_read`` at all — a mapper-less replica answering one with a
+        RuntimeError is a routing mistake, not a replica failure.
+        """
+        now = time.monotonic()
+
+        def routable(replica: Replica) -> bool:
+            if id(replica) in tried:
+                return False
+            return not require_mapper or replica.server.mapper is not None
+
+        candidates = [
+            r for r in self._replicas if routable(r) and r.eligible(now)
+        ]
+        if candidates:
+            return self._policy.select(candidates)
+        cooling = [
+            r
+            for r in self._replicas
+            if routable(r) and r.live and not r.server.saturated
+        ]
+        if cooling:
+            return min(cooling, key=lambda r: r.cooldown_until)
+        return None
+
+    async def _submit(self, method: str, args: tuple, kwargs: dict) -> Any:
+        if self._closed:
+            raise ServerClosedError("cluster is stopped")
+        tried: set[int] = set()
+        budget = (
+            self.max_attempts
+            if self.max_attempts is not None
+            else len(self._replicas)
+        )
+        last_error: Exception | None = None
+        require_mapper = method == "map_read"
+        while budget > 0:
+            replica = self._select(tried, require_mapper=require_mapper)
+            if replica is None:
+                break
+            budget -= 1
+            replica.dispatched += 1
+            started = time.monotonic()
+            try:
+                result = await getattr(replica.server, method)(*args, **kwargs)
+            except asyncio.CancelledError:
+                raise
+            except ServerClosedError:
+                # Raced a drain/stop of that server: it never accepted the
+                # request, so trying elsewhere cannot duplicate anything.
+                replica.stopped = True
+                tried.add(id(replica))
+                self.retries += 1
+                continue
+            except ValueError:
+                # Input rejections (bad symbols, negative k, ...) are the
+                # *request's* fault: every replica would refuse it the
+                # same way. Surface it untouched — no failure recorded,
+                # no retry burned.
+                raise
+            except Exception as exc:  # noqa: BLE001 - judged per replica
+                # Engine calls are pure functions of the payload; the
+                # failed replica produced no result, so a retry on a
+                # different replica still answers the request exactly once.
+                replica.record_failure(time.monotonic())
+                tried.add(id(replica))
+                last_error = exc
+                if self._select(tried, require_mapper=require_mapper) is None:
+                    raise
+                self.retries += 1
+                continue
+            replica.record_success(time.monotonic() - started)
+            return result
+        if last_error is not None:
+            raise last_error
+        live = [r for r in self._replicas if r.live]
+        if not live:
+            raise ServerClosedError("every replica is draining or stopped")
+        if require_mapper and not any(
+            r.server.mapper is not None for r in live
+        ):
+            # Terminal, not retryable: no amount of waiting gives a
+            # mapper-less replica a mapper. A 503 here would have
+            # clients Retry-After forever.
+            raise RuntimeError(
+                "no live replica has a mapper to serve map_read"
+            )
+        self.shed += 1
+        raise ClusterSaturatedError(
+            f"all {len(live)} replicas are at capacity",
+            retry_after=self.suggested_retry_after(),
+        )
+
+    # ------------------------------------------------------------------
+    # Capacity and lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def replicas(self) -> Sequence[Replica]:
+        """The replicas behind the router (read-only view)."""
+        return tuple(self._replicas)
+
+    @property
+    def policy(self) -> RoutingPolicy:
+        """The routing policy instance in use."""
+        return self._policy
+
+    @property
+    def pending(self) -> int:
+        """Requests queued (not yet flushed) across all replicas."""
+        return sum(r.server.pending for r in self._replicas)
+
+    @property
+    def in_flight(self) -> int:
+        """Requests holding a slot on any replica."""
+        return sum(r.server.in_flight for r in self._replicas)
+
+    @property
+    def max_pending(self) -> int:
+        """Total pending slots across live replicas."""
+        return sum(r.server.max_pending for r in self._replicas if r.live)
+
+    @property
+    def saturated(self) -> bool:
+        """True when no live replica has a free slot — shed, don't queue."""
+        live = [r for r in self._replicas if r.live]
+        return all(r.server.saturated for r in live) if live else True
+
+    @property
+    def engine_name(self) -> str:
+        """Composite backend name, e.g. ``cluster(2x pure)``."""
+        names = [r.server.engine_name for r in self._replicas]
+        if len(set(names)) == 1:
+            return f"cluster({len(names)}x {names[0]})"
+        return f"cluster({', '.join(names)})"
+
+    @property
+    def mapper(self) -> "ReadMapper | None":
+        """A mapper capable of serving ``map_read`` right now.
+
+        Only *live* replicas count: once every mapper-bearing replica is
+        drained, ``map_read`` is unservable and callers (the HTTP front's
+        ``/v1/map`` pre-check) should see that as "no mapper", not queue
+        behind capacity that cannot help.
+        """
+        for replica in self._replicas:
+            if replica.live and replica.server.mapper is not None:
+                return replica.server.mapper
+        return None
+
+    @property
+    def stats(self) -> ServingStats:
+        """Replica serving stats merged into one (histograms pooled)."""
+        merged = ServingStats()
+        for replica in self._replicas:
+            merged.merge(replica.server.stats)
+        return merged
+
+    def suggested_retry_after(self) -> float:
+        """Soonest any live replica expects to free capacity, seconds."""
+        live = [r for r in self._replicas if r.live]
+        if not live:
+            return 1.0
+        return min(r.server.suggested_retry_after() for r in live)
+
+    def health_payload(self) -> dict[str, Any]:
+        """Liveness/load fields for ``GET /healthz``."""
+        return {
+            "engine": self.engine_name,
+            "pending": self.pending,
+            "in_flight": self.in_flight,
+            "saturated": self.saturated,
+            "replicas": [
+                {
+                    "name": r.name,
+                    "state": r.state,
+                    "in_flight": r.server.in_flight,
+                    "saturated": r.server.saturated,
+                }
+                for r in self._replicas
+            ],
+        }
+
+    def stats_payload(self) -> dict[str, Any]:
+        """Cluster-wide and per-replica blocks for ``GET /v1/stats``."""
+        return {
+            "engine": self.engine_name,
+            "cluster": {
+                "policy": self._policy.name,
+                "replicas": len(self._replicas),
+                "live": sum(1 for r in self._replicas if r.live),
+                "shed": self.shed,
+                "retries": self.retries,
+            },
+            "serving": self.stats.to_dict(),
+            "replicas": [r.to_dict() for r in self._replicas],
+        }
+
+    def _resolve(self, which: int | str) -> Replica:
+        if isinstance(which, int):
+            return self._replicas[which]
+        for replica in self._replicas:
+            if replica.name == which:
+                return replica
+        raise KeyError(f"no replica named {which!r}")
+
+    async def drain_replica(self, which: int | str) -> None:
+        """Take one replica out of rotation and drain it cleanly.
+
+        New requests stop routing to it immediately; whatever it holds is
+        flushed and answered; then its server (and private engine) shuts
+        down. Idempotent.
+        """
+        replica = self._resolve(which)
+        replica.draining = True
+        await replica.server.stop()
+        replica.stopped = True
+
+    async def stop(self) -> None:
+        """Drain every replica concurrently; reject later submissions."""
+        if self._closed:
+            return
+        self._closed = True
+        for replica in self._replicas:
+            replica.draining = True
+        await asyncio.gather(*(r.server.stop() for r in self._replicas))
+        for replica in self._replicas:
+            replica.stopped = True
+
+    async def __aenter__(self) -> "AlignmentCluster":
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.stop()

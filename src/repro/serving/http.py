@@ -45,11 +45,21 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import socket
+import time
 from dataclasses import dataclass, field
-from typing import Any, Awaitable, Callable
+from typing import Any, Awaitable, Callable, Union
 
+from repro.serving.cluster import AlignmentCluster, ClusterSaturatedError
+from repro.serving.histogram import LatencyHistogram
 from repro.serving.server import AlignmentServer, ServerClosedError
+
+#: What the front can mount: one batching server or a replicated cluster.
+#: Both expose the same surface (request methods, ``saturated``,
+#: ``suggested_retry_after``, ``health_payload``, ``stats_payload``), so
+#: nothing below cares which it got.
+ServingBackend = Union[AlignmentServer, AlignmentCluster]
 
 #: Largest accepted request body; JSON for even 100 kbp reads fits well
 #: under this, and anything larger is a client bug or abuse.
@@ -62,26 +72,41 @@ _JSON_CONTENT_TYPE = "application/json"
 
 
 class HttpError(Exception):
-    """A request failure that maps to one HTTP status code."""
+    """A request failure that maps to one HTTP status code.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``retry_after`` (seconds) rides along on 503s so the response can
+    carry a ``Retry-After`` hint computed from observed load rather than
+    a constant.
+    """
+
+    def __init__(
+        self, status: int, message: str, *, retry_after: float | None = None
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.retry_after = retry_after
 
 
 @dataclass
 class EndpointStats:
-    """Counters for one route: attempts, successes, failures by status."""
+    """Counters for one route: attempts, successes, failures by status,
+    and a latency histogram over the successful requests."""
 
     requests: int = 0
     ok: int = 0
     errors: dict[int, int] = field(default_factory=dict)
+    #: Wall time of successful requests, parse-to-handler-return. Error
+    #: responses are excluded — a flood of instant 400s would otherwise
+    #: make a melting endpoint look fast.
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
 
-    def record(self, status: int) -> None:
+    def record(self, status: int, seconds: float | None = None) -> None:
         self.requests += 1
         if status < 400:
             self.ok += 1
+            if seconds is not None:
+                self.latency.record(seconds)
         else:
             self.errors[status] = self.errors.get(status, 0) + 1
 
@@ -90,6 +115,7 @@ class EndpointStats:
             "requests": self.requests,
             "ok": self.ok,
             "errors": {str(code): n for code, n in sorted(self.errors.items())},
+            "latency": self.latency.to_dict(),
         }
 
 
@@ -120,13 +146,16 @@ class _ParsedRequest:
 
 
 class AlignmentHTTPServer:
-    """JSON-over-HTTP front funneling requests into one alignment server.
+    """JSON-over-HTTP front funneling requests into one serving backend.
 
     Parameters
     ----------
     server:
-        The batching :class:`AlignmentServer` every request is submitted
-        to. When ``own_server=True`` (default), :meth:`stop` also stops it.
+        The backend every request is submitted to — a single batching
+        :class:`AlignmentServer` or a replicated
+        :class:`~repro.serving.cluster.AlignmentCluster`; the two share
+        one surface and the front does not care which it mounts. When
+        ``own_server=True`` (default), :meth:`stop` also stops it.
     max_body_bytes:
         Request bodies above this are rejected with 413 without being read.
     own_server:
@@ -135,7 +164,7 @@ class AlignmentHTTPServer:
 
     def __init__(
         self,
-        server: AlignmentServer,
+        server: ServingBackend,
         *,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         own_server: bool = True,
@@ -247,10 +276,14 @@ class AlignmentHTTPServer:
                 self._busy += 1
                 self._idle.clear()
                 try:
-                    status, payload = await self._dispatch(request)
+                    status, payload, retry_after = await self._dispatch(request)
                     keep_alive = request.keep_alive and not self._closed
                     await self._write_response(
-                        writer, status, payload, keep_alive
+                        writer,
+                        status,
+                        payload,
+                        keep_alive,
+                        retry_after=retry_after,
                     )
                 finally:
                     self._busy -= 1
@@ -328,24 +361,38 @@ class AlignmentHTTPServer:
 
     async def _dispatch(
         self, request: _ParsedRequest
-    ) -> tuple[int, dict[str, Any]]:
-        """Route one parsed request; always returns a JSON-able response."""
+    ) -> tuple[int, dict[str, Any], float | None]:
+        """Route one parsed request; always returns a JSON-able response
+        plus the Retry-After hint for 503s (None elsewhere)."""
         route = self._route_table.get(request.path)
         if route is None:
-            return 404, {"error": f"unknown path {request.path!r}"}
+            return 404, {"error": f"unknown path {request.path!r}"}, None
         method, handler = route
         endpoint = self.stats[request.path]
         if request.method != method:
             endpoint.record(405)
-            return 405, {
-                "error": f"{request.path} requires {method}, got {request.method}"
-            }
+            return (
+                405,
+                {
+                    "error": f"{request.path} requires {method}, "
+                    f"got {request.method}"
+                },
+                None,
+            )
+        retry_after: float | None = None
+        started = time.monotonic()
         try:
             payload = self._decode_body(request) if method == "POST" else {}
             result = await handler(payload)
             status = 200
         except HttpError as exc:
             status, result = exc.status, {"error": exc.message}
+            retry_after = exc.retry_after
+        except ClusterSaturatedError as exc:
+            # Raced past the capacity pre-check into a saturating cluster;
+            # same shedding contract, same dynamic hint.
+            status, result = 503, {"error": str(exc)}
+            retry_after = exc.retry_after
         except ServerClosedError:
             status, result = 503, {"error": "server is shutting down"}
         except ValueError as exc:
@@ -355,8 +402,12 @@ class AlignmentHTTPServer:
         except Exception as exc:  # noqa: BLE001 - wire boundary
             status = 500
             result = {"error": f"{type(exc).__name__}: {exc}"}
-        endpoint.record(status)
-        return status, result
+        if status == 503 and retry_after is not None:
+            # Mirror the header in the body: the header is integer-rounded
+            # per RFC 9110, the body keeps the precise estimate.
+            result["retry_after"] = round(retry_after, 3)
+        endpoint.record(status, time.monotonic() - started)
+        return status, result, retry_after
 
     def _decode_body(self, request: _ParsedRequest) -> dict[str, Any]:
         if not request.body:
@@ -375,6 +426,8 @@ class AlignmentHTTPServer:
         status: int,
         payload: dict[str, Any],
         keep_alive: bool,
+        *,
+        retry_after: float | None = None,
     ) -> None:
         body = json.dumps(payload).encode()
         reason = _REASONS.get(status, "Unknown")
@@ -385,7 +438,11 @@ class AlignmentHTTPServer:
             f"Connection: {'keep-alive' if keep_alive else 'close'}",
         ]
         if status == 503:
-            headers.append("Retry-After: 1")
+            # Retry-After is delay-seconds (an integer) on the wire; the
+            # precise float estimate travels in the JSON body.
+            headers.append(
+                f"Retry-After: {max(1, math.ceil(retry_after or 1.0))}"
+            )
         head = ("\r\n".join(headers) + "\r\n\r\n").encode("latin-1")
         writer.write(head + body)
         await writer.drain()
@@ -394,12 +451,18 @@ class AlignmentHTTPServer:
     # Endpoint handlers
     # ------------------------------------------------------------------
     def _check_capacity(self) -> None:
-        """Shed load instead of queueing when the pending bound is hit."""
+        """Shed load instead of queueing when the pending bound is hit.
+
+        The Retry-After hint comes from the backend's observed flush and
+        service-time EWMAs — how long until capacity actually frees — not
+        a constant.
+        """
         if self.server.saturated:
             raise HttpError(
                 503,
                 f"server at capacity ({self.server.max_pending} pending "
                 "requests); retry shortly",
+                retry_after=self.server.suggested_retry_after(),
             )
         if self._closed:
             raise HttpError(503, "server is shutting down")
@@ -462,40 +525,21 @@ class AlignmentHTTPServer:
 
     async def _handle_healthz(self, _payload: dict[str, Any]) -> dict[str, Any]:
         # Served inline — never behind the batch queue — so load balancers
-        # get an answer even when the engine is saturated with work.
-        return {
-            "status": "draining" if self._closed else "ok",
-            "engine": self.server.engine.name,
-            "pending": self.server.pending,
-            "in_flight": self.server.in_flight,
-            "saturated": self.server.saturated,
-        }
+        # get an answer even when the engine is saturated with work. The
+        # backend (server or cluster) contributes its own load fields.
+        payload = self.server.health_payload()
+        payload["status"] = "draining" if self._closed else "ok"
+        return payload
 
     async def _handle_stats(self, _payload: dict[str, Any]) -> dict[str, Any]:
-        serving = self.server.stats
-        return {
-            "engine": self.server.engine.name,
-            "serving": {
-                "requests": serving.requests,
-                "served": serving.served,
-                "failed": serving.failed,
-                "flushes": serving.flushes,
-                "size_flushes": serving.size_flushes,
-                "deadline_flushes": serving.deadline_flushes,
-                "engine_calls": serving.engine_calls,
-                "mean_batch": serving.mean_batch,
-                "max_batch": serving.max_batch,
-            },
-            "flush": {
-                "adaptive": self.server.adaptive_flush,
-                "current_interval_ms": self.server.current_flush_interval
-                * 1e3,
-                "batch_size": self.server.batch_size,
-            },
-            "endpoints": {
-                path: stats.to_dict() for path, stats in self.stats.items()
-            },
+        # The backend describes itself (a cluster adds per-replica blocks
+        # and cluster counters); the front adds its per-endpoint HTTP
+        # counters and latency percentiles on top.
+        payload = self.server.stats_payload()
+        payload["endpoints"] = {
+            path: stats.to_dict() for path, stats in self.stats.items()
         }
+        return payload
 
 
 # ----------------------------------------------------------------------
@@ -562,14 +606,16 @@ async def serve_http(
     *,
     host: str = "127.0.0.1",
     port: int = 8777,
-    server: AlignmentServer | None = None,
+    server: ServingBackend | None = None,
     **server_kwargs: Any,
 ) -> AlignmentHTTPServer:
     """Start an HTTP front (building an :class:`AlignmentServer` if needed).
 
-    Extra keyword arguments construct the alignment server (``engine=``,
-    ``batch_size=``, ``adaptive_flush=``, ...). The returned front is
-    already listening; stop it with :meth:`AlignmentHTTPServer.stop`.
+    ``server`` may also be an :class:`~repro.serving.cluster.AlignmentCluster`
+    — the front mounts either. Extra keyword arguments construct a single
+    alignment server (``engine=``, ``batch_size=``, ``adaptive_flush=``,
+    ...). The returned front is already listening; stop it with
+    :meth:`AlignmentHTTPServer.stop`.
     """
     own = server is None
     if server is None:

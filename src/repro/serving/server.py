@@ -48,6 +48,7 @@ from typing import TYPE_CHECKING, Any, Sequence
 from repro.core.aligner import Alignment, GenAsmAligner
 from repro.core.bitap import BitapMatch
 from repro.engine.registry import get_engine
+from repro.serving.histogram import LatencyHistogram
 from repro.sequences.alphabet import DNA, Alphabet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -72,6 +73,9 @@ class ServingStats:
     final_flushes: int = 0
     engine_calls: int = 0
     max_batch: int = 0
+    #: Request latencies (submit -> result), a mergeable log-bucket
+    #: histogram so percentiles survive aggregation across replicas.
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
 
     @property
     def mean_batch(self) -> float:
@@ -79,6 +83,35 @@ class ServingStats:
         if self.flushes == 0:
             return 0.0
         return self.served / self.flushes if self.served else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """Wire form for ``/v1/stats`` (latency as percentile fields)."""
+        return {
+            "requests": self.requests,
+            "served": self.served,
+            "failed": self.failed,
+            "flushes": self.flushes,
+            "size_flushes": self.size_flushes,
+            "deadline_flushes": self.deadline_flushes,
+            "engine_calls": self.engine_calls,
+            "mean_batch": self.mean_batch,
+            "max_batch": self.max_batch,
+            "latency": self.latency.to_dict(),
+        }
+
+    def merge(self, other: "ServingStats") -> "ServingStats":
+        """Fold ``other``'s counters and histogram into this one."""
+        self.requests += other.requests
+        self.served += other.served
+        self.failed += other.failed
+        self.flushes += other.flushes
+        self.size_flushes += other.size_flushes
+        self.deadline_flushes += other.deadline_flushes
+        self.final_flushes += other.final_flushes
+        self.engine_calls += other.engine_calls
+        self.max_batch = max(self.max_batch, other.max_batch)
+        self.latency.merge(other.latency)
+        return self
 
 
 @dataclass
@@ -196,6 +229,9 @@ class AlignmentServer:
         self._aligner = GenAsmAligner(engine=self.engine, alphabet=alphabet)
         self._queue: list[_Request] = []
         self._pending_total = 0
+        # EWMA of wall seconds per engine call: the basis for the dynamic
+        # Retry-After hint a saturated server hands shed clients.
+        self._service_ewma: float | None = None
         self._slots = asyncio.Semaphore(max_pending)
         self._timer: asyncio.TimerHandle | None = None
         self._inflight: set[asyncio.Task] = set()
@@ -265,6 +301,28 @@ class AlignmentServer:
         return self._pending_total >= self.max_pending
 
     @property
+    def engine_name(self) -> str:
+        """Name of the compute backend behind this server."""
+        return self.engine.name
+
+    def suggested_retry_after(self) -> float:
+        """Seconds a shed client should wait before retrying, estimated
+        from observed behavior rather than a constant.
+
+        The backlog drains one flush at a time, so the wait is roughly
+        the flushes ahead of a new arrival times the EWMA engine-call
+        service time, plus the flush window still to elapse. Before any
+        flush has completed the flush window itself is the only signal.
+        Clamped to ``[0.05, 60]`` — a hint, not a lease.
+        """
+        service = self._service_ewma
+        if service is None:
+            service = max(self.current_flush_interval, 0.01)
+        flushes_ahead = -(-self._pending_total // self.batch_size)  # ceil
+        estimate = self.current_flush_interval + max(1, flushes_ahead) * service
+        return min(60.0, max(0.05, estimate))
+
+    @property
     def current_flush_interval(self) -> float:
         """The deadline the next flush timer will be armed with.
 
@@ -307,6 +365,7 @@ class AlignmentServer:
     async def _submit(self, kind: str, key: tuple, payload: Any) -> Any:
         if self._closed:
             raise ServerClosedError("server is stopped")
+        submitted = time.monotonic()
         await self._slots.acquire()
         self._pending_total += 1
         try:
@@ -342,7 +401,10 @@ class AlignmentServer:
                 self._timer = loop.call_later(
                     self.current_flush_interval, self._flush, "deadline"
                 )
-            return await request.future
+            result = await request.future
+            # Queue wait plus service time: the latency the caller saw.
+            self.stats.latency.record(time.monotonic() - submitted)
+            return result
         finally:
             self._pending_total -= 1
             self._slots.release()
@@ -378,11 +440,13 @@ class AlignmentServer:
             payloads = [request.payload for request in group]
             kind = group[0].kind
             key = group[0].key
+            started = time.monotonic()
             try:
                 self.stats.engine_calls += 1
                 results = await loop.run_in_executor(
                     self._executor, self._run_group, kind, key, payloads
                 )
+                self._observe_service(time.monotonic() - started)
             except Exception as exc:  # noqa: BLE001 - forwarded to callers
                 for request in group:
                     if not request.future.done():
@@ -393,6 +457,39 @@ class AlignmentServer:
                 if not request.future.done():
                     request.future.set_result(result)
             self.stats.served += len(group)
+
+    def _observe_service(self, seconds: float) -> None:
+        """Fold one engine call's wall time into the service-time EWMA."""
+        if self._service_ewma is None:
+            self._service_ewma = seconds
+        else:
+            alpha = self.arrival_smoothing
+            self._service_ewma = alpha * seconds + (1.0 - alpha) * self._service_ewma
+
+    # ------------------------------------------------------------------
+    # Introspection payloads (shared surface with AlignmentCluster, so
+    # the HTTP front mounts either without caring which it got)
+    # ------------------------------------------------------------------
+    def health_payload(self) -> dict[str, Any]:
+        """Liveness/load fields for ``GET /healthz``."""
+        return {
+            "engine": self.engine_name,
+            "pending": self.pending,
+            "in_flight": self.in_flight,
+            "saturated": self.saturated,
+        }
+
+    def stats_payload(self) -> dict[str, Any]:
+        """Serving counters and flush policy for ``GET /v1/stats``."""
+        return {
+            "engine": self.engine_name,
+            "serving": self.stats.to_dict(),
+            "flush": {
+                "adaptive": self.adaptive_flush,
+                "current_interval_ms": self.current_flush_interval * 1e3,
+                "batch_size": self.batch_size,
+            },
+        }
 
     def _run_group(
         self, kind: str, key: tuple, payloads: list[Any]

@@ -1,0 +1,397 @@
+"""Behavioral tests for the replicated cluster router: construction,
+per-replica engine isolation, routing policies, stats aggregation,
+draining, and lifecycle. Fault injection lives in
+``test_cluster_faults.py``."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.engine import PurePythonEngine, create_engine, get_engine
+from repro.serving import (
+    AlignmentCluster,
+    AlignmentServer,
+    RoutingPolicy,
+    ServerClosedError,
+    make_policy,
+    register_policy,
+)
+from repro.serving.cluster import ROUTING_POLICIES
+
+PAIRS = [
+    ("ACGTACGTAC", "ACGTTCGTAC"),
+    ("GGGGCCCCAA", "GGGGCCCAA"),
+    ("TTTTTTTTTT", "TTTTATTTTT"),
+    ("ACACACACAC", "CACACACACA"),
+]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def expected(text, pattern, k):
+    return PurePythonEngine().edit_distance_batch([(text, pattern)], k)[0]
+
+
+class TestEngineConstructionHooks:
+    def test_create_engine_returns_fresh_instances(self):
+        first = create_engine("pure")
+        second = create_engine("pure")
+        assert isinstance(first, PurePythonEngine)
+        assert first is not second
+        # get_engine still memoizes its singleton, untouched by create.
+        assert get_engine("pure") is get_engine("pure")
+        assert get_engine("pure") is not first
+
+    def test_create_engine_passes_instance_through(self):
+        engine = PurePythonEngine()
+        assert create_engine(engine) is engine
+        with pytest.raises(ValueError):
+            create_engine(engine, bogus_kwarg=1)
+
+    def test_cluster_builds_one_engine_per_replica(self):
+        cluster = AlignmentCluster(replicas=3, engine="pure")
+        engines = [r.server.engine for r in cluster.replicas]
+        assert len({id(e) for e in engines}) == 3
+        run(cluster.stop())
+
+    def test_engine_factory_builds_heterogeneous_replicas(self):
+        seen = []
+
+        def factory(index):
+            engine = PurePythonEngine()
+            seen.append((index, engine))
+            return engine
+
+        cluster = AlignmentCluster(replicas=2, engine_factory=factory)
+        assert [i for i, _ in seen] == [0, 1]
+        assert [r.server.engine for r in cluster.replicas] == [
+            e for _, e in seen
+        ]
+        run(cluster.stop())
+
+    def test_mapper_cluster_still_gets_private_engines(self):
+        from repro.mapping.pipeline import make_genasm_mapper
+        from repro.sequences.genome import synthesize_genome
+
+        genome = synthesize_genome(length=600, seed=3)
+        mapper = make_genasm_mapper(genome, engine="pure")
+        assert not isinstance(mapper.engine, PurePythonEngine)  # spec, not instance
+        cluster = AlignmentCluster(replicas=3, mapper=mapper)
+        engines = [r.server.engine for r in cluster.replicas]
+        # The mapper's *name* spec resolves to a fresh instance per
+        # replica, never a singleton shared across worker threads.
+        assert len({id(e) for e in engines}) == 3
+        assert all(isinstance(e, PurePythonEngine) for e in engines)
+        # The mapper itself is rebuilt per replica over that private
+        # engine (same genome/index, no shared compute state).
+        mappers = [r.server.mapper for r in cluster.replicas]
+        assert len({id(m) for m in mappers}) == 3
+        assert all(m is not mapper for m in mappers)
+        assert all(m.engine is e for m, e in zip(mappers, engines))
+        assert all(m.genome is mapper.genome for m in mappers)
+        run(cluster.stop())
+
+    def test_map_read_routes_only_to_mapper_replicas(self):
+        from repro.mapping.pipeline import make_genasm_mapper
+        from repro.sequences.genome import synthesize_genome
+        from repro.sequences.read_simulator import illumina_profile, simulate_reads
+
+        genome = synthesize_genome(length=800, seed=5)
+        mapper = make_genasm_mapper(genome, engine="pure")
+        mapped_server = AlignmentServer(
+            mapper=mapper, batch_size=1, flush_interval=0.001
+        )
+        bare_server = AlignmentServer(
+            engine="pure", batch_size=1, flush_interval=0.001
+        )
+
+        async def main():
+            async with AlignmentCluster(
+                servers=[bare_server, mapped_server], policy="round_robin"
+            ) as cluster:
+                reads = simulate_reads(
+                    genome,
+                    count=4,
+                    read_length=60,
+                    profile=illumina_profile(),
+                    seed=7,
+                )
+                results = [
+                    await cluster.map_read(read.name, read.sequence)
+                    for read in reads
+                ]
+                return cluster, results
+
+        cluster, results = run(main())
+        # Every map request landed on the mapper-bearing replica; the bare
+        # replica was never blamed (no failure cooldown from misrouting).
+        assert all(r.record.is_mapped for r in results)
+        assert cluster.replicas[1].completed == 4
+        assert cluster.replicas[0].dispatched == 0
+        assert cluster.replicas[0].failed == 0
+
+    def test_prebuilt_servers_reject_construction_knobs(self):
+        servers = [AlignmentServer(engine="pure")]
+        with pytest.raises(ValueError):
+            AlignmentCluster(servers=servers, engine="pure")
+        with pytest.raises(ValueError):
+            AlignmentCluster(servers=servers, batch_size=4)
+        with pytest.raises(ValueError):
+            AlignmentCluster(servers=[])
+        run(servers[0].stop())
+
+    def test_bad_construction_rejected(self):
+        with pytest.raises(ValueError):
+            AlignmentCluster(replicas=0)
+        with pytest.raises(ValueError):
+            AlignmentCluster(
+                replicas=2, engine="pure", engine_factory=lambda i: None
+            )
+        # An engine *instance* would be shared by every replica's worker
+        # thread — rejected outright, not silently raced.
+        with pytest.raises(ValueError, match="engine_factory"):
+            AlignmentCluster(replicas=2, engine=PurePythonEngine())
+
+    def test_bad_input_is_not_a_replica_failure(self):
+        async def main():
+            async with AlignmentCluster(
+                replicas=2, engine="pure", batch_size=1, flush_interval=0.001
+            ) as cluster:
+                with pytest.raises(ValueError):
+                    await cluster.scan("ACGT", "AXGT", 1)  # X not in DNA
+                assert await cluster.edit_distance("ACGTACGT", "ACGGT", 3) == 1
+                return cluster.retries, [
+                    (r.failed, r.state) for r in cluster.replicas
+                ]
+
+        retries, replica_states = run(main())
+        # The poison request surfaced as the client's error: no retry was
+        # burned and no replica was cooled down over it.
+        assert retries == 0
+        assert all(failed == 0 for failed, _ in replica_states)
+        assert all(state == "up" for _, state in replica_states)
+
+    def test_map_read_unservable_without_live_mapper_replica(self):
+        from repro.mapping.pipeline import make_genasm_mapper
+        from repro.sequences.genome import synthesize_genome
+
+        genome = synthesize_genome(length=600, seed=9)
+        mapper = make_genasm_mapper(genome, engine="pure")
+
+        async def main():
+            mapped = AlignmentServer(mapper=mapper)
+            bare = AlignmentServer(engine="pure")
+            async with AlignmentCluster(servers=[bare, mapped]) as cluster:
+                assert cluster.mapper is not None
+                await cluster.drain_replica(1)
+                # The only mapper-bearing replica is gone: terminal error,
+                # not a 503 that clients would Retry-After forever.
+                assert cluster.mapper is None
+                with pytest.raises(RuntimeError, match="mapper"):
+                    await cluster.map_read("r1", "ACGTACGT")
+                # Non-map traffic still flows through the live replica.
+                assert await cluster.edit_distance("ACGTACGT", "ACGGT", 3) == 1
+
+        run(main())
+
+
+class TestRouting:
+    @pytest.mark.parametrize(
+        "policy", ["round_robin", "least_in_flight", "latency_ewma"]
+    )
+    def test_results_correct_under_every_policy(self, policy):
+        async def main():
+            async with AlignmentCluster(
+                replicas=3,
+                engine="pure",
+                policy=policy,
+                batch_size=4,
+                flush_interval=0.002,
+            ) as cluster:
+                jobs = [
+                    cluster.edit_distance(text, pattern, 4)
+                    for text, pattern in PAIRS * 6
+                ]
+                results = await asyncio.gather(*jobs)
+                dispatched = [r.dispatched for r in cluster.replicas]
+                return results, dispatched
+
+        results, dispatched = run(main())
+        assert results == [expected(t, p, 4) for t, p in PAIRS * 6]
+        assert sum(dispatched) == len(PAIRS) * 6
+        # Work actually spread: no policy funnels everything to one replica
+        # when requests run concurrently against equal replicas.
+        assert sum(1 for d in dispatched if d > 0) >= 2
+
+    def test_round_robin_spreads_evenly_when_sequential(self):
+        async def main():
+            async with AlignmentCluster(
+                replicas=2,
+                engine="pure",
+                policy="round_robin",
+                batch_size=1,
+                flush_interval=0.001,
+            ) as cluster:
+                for text, pattern in PAIRS * 3:
+                    await cluster.edit_distance(text, pattern, 4)
+                return [r.dispatched for r in cluster.replicas]
+
+        dispatched = run(main())
+        assert dispatched == [6, 6]
+
+    def test_scan_align_and_map_surface(self):
+        async def main():
+            async with AlignmentCluster(
+                replicas=2, engine="pure", batch_size=2, flush_interval=0.002
+            ) as cluster:
+                matches = await cluster.scan("ACGTACGT", "ACGT", 1)
+                alignment = await cluster.align("ACGTACGT", "ACGGT")
+                with pytest.raises(RuntimeError, match="mapper"):
+                    await cluster.map_read("r1", "ACGT")
+                return matches, alignment
+
+        matches, alignment = run(main())
+        assert any(m.distance == 0 for m in matches)
+        assert alignment.edit_distance == 1
+
+    def test_latency_ewma_prefers_fast_replica(self):
+        class SlowEngine(PurePythonEngine):
+            def __init__(self, delay):
+                self.delay = delay
+
+            def scan_batch(self, pairs, k, **kwargs):
+                time.sleep(self.delay)
+                return super().scan_batch(pairs, k, **kwargs)
+
+        async def main():
+            engines = [SlowEngine(0.08), PurePythonEngine()]
+            async with AlignmentCluster(
+                replicas=2,
+                engine_factory=lambda i: engines[i],
+                policy="latency_ewma",
+                batch_size=1,
+                flush_interval=0.001,
+            ) as cluster:
+                # Sequential warm-up gives both replicas one observation...
+                for text, pattern in PAIRS[:2]:
+                    await cluster.edit_distance(text, pattern, 4)
+                warm = [r.dispatched for r in cluster.replicas]
+                # ...after which the EWMA keeps traffic off the slow one.
+                for text, pattern in PAIRS * 5:
+                    await cluster.edit_distance(text, pattern, 4)
+                return warm, [r.dispatched for r in cluster.replicas]
+
+        warm, final = run(main())
+        assert warm == [1, 1]  # both probed while unmeasured
+        assert final[1] - warm[1] == len(PAIRS) * 5  # all later traffic fast
+        assert final[0] == warm[0]
+
+
+class TestPolicies:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown routing policy"):
+            make_policy("definitely_not_a_policy")
+
+    def test_policy_instance_passes_through(self):
+        policy = make_policy("round_robin")
+        assert make_policy(policy) is policy
+
+    def test_register_custom_policy(self):
+        class FirstPolicy(RoutingPolicy):
+            name = "always_first_test_only"
+
+            def select(self, candidates):
+                return candidates[0]
+
+        try:
+            register_policy(FirstPolicy)
+            assert isinstance(make_policy("always_first_test_only"), FirstPolicy)
+        finally:
+            ROUTING_POLICIES.pop("always_first_test_only", None)
+
+    def test_abstract_name_rejected(self):
+        class Nameless(RoutingPolicy):
+            def select(self, candidates):  # pragma: no cover - never called
+                return candidates[0]
+
+        with pytest.raises(ValueError):
+            register_policy(Nameless)
+
+
+class TestStatsAndLifecycle:
+    def test_cluster_stats_merge_replica_counters(self):
+        async def main():
+            async with AlignmentCluster(
+                replicas=2,
+                engine="pure",
+                policy="round_robin",
+                batch_size=2,
+                flush_interval=0.002,
+            ) as cluster:
+                await asyncio.gather(
+                    *(
+                        cluster.edit_distance(text, pattern, 4)
+                        for text, pattern in PAIRS * 4
+                    )
+                )
+                merged = cluster.stats
+                per_replica = [r.server.stats for r in cluster.replicas]
+                return merged, per_replica
+
+        merged, per_replica = run(main())
+        assert merged.served == sum(s.served for s in per_replica) == 16
+        assert merged.flushes == sum(s.flushes for s in per_replica)
+        assert merged.latency.count == 16
+        assert merged.max_batch == max(s.max_batch for s in per_replica)
+
+    def test_engine_name_formats(self):
+        homogeneous = AlignmentCluster(replicas=2, engine="pure")
+        assert homogeneous.engine_name == "cluster(2x pure)"
+        run(homogeneous.stop())
+
+    def test_stop_rejects_new_requests_and_is_idempotent(self):
+        async def main():
+            cluster = AlignmentCluster(replicas=2, engine="pure")
+            await cluster.stop()
+            await cluster.stop()
+            with pytest.raises(ServerClosedError):
+                await cluster.edit_distance("ACGT", "ACGT", 1)
+            assert all(r.state == "stopped" for r in cluster.replicas)
+            assert cluster.saturated  # no live capacity left
+
+        run(main())
+
+    def test_drain_replica_removes_it_from_rotation(self):
+        async def main():
+            async with AlignmentCluster(
+                replicas=2,
+                engine="pure",
+                policy="round_robin",
+                batch_size=1,
+                flush_interval=0.001,
+            ) as cluster:
+                await cluster.drain_replica(0)
+                await cluster.drain_replica("replica-0")  # idempotent by name
+                assert cluster.replicas[0].state == "stopped"
+                for text, pattern in PAIRS:
+                    await cluster.edit_distance(text, pattern, 4)
+                assert cluster.replicas[0].dispatched == 0
+                assert cluster.replicas[1].dispatched == len(PAIRS)
+                with pytest.raises(KeyError):
+                    await cluster.drain_replica("replica-9")
+
+        run(main())
+
+    def test_suggested_retry_after_scales_with_observed_service_time(self):
+        server = AlignmentServer(engine="pure", batch_size=4, max_pending=8)
+        baseline = server.suggested_retry_after()
+        server._observe_service(2.0)
+        slow = server.suggested_retry_after()
+        assert slow > baseline
+        assert slow >= 2.0
+        # Clamped to the ceiling however bad the backlog estimate gets.
+        server._observe_service(500.0)
+        assert server.suggested_retry_after() <= 60.0

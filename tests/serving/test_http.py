@@ -446,7 +446,10 @@ class TestBackpressureAndHealth:
         )
         assert status_shed == 503
         assert "capacity" in body_shed["error"]
-        assert headers.get("retry-after") == "1"
+        # Dynamic hint: integer delay-seconds on the wire, the precise
+        # load-derived estimate in the body.
+        assert int(headers["retry-after"]) >= 1
+        assert 0 < body_shed["retry_after"] <= 60
         # The request that held the slot still completes correctly.
         assert status_first == 200
         assert body_first["matches"]
