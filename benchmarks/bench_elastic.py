@@ -1,0 +1,525 @@
+"""Elastic-serving benchmark: hedging, result cache, autoscaler convergence.
+
+Three scenarios over the elastic layer (`BENCH_elastic.json`):
+
+* **hedge** — a 2-replica cluster behind a *stateless* round-robin
+  router, replica 0 degraded 50x (sleep-based, as in ``bench_cluster``).
+  Round-robin keeps feeding the degraded replica — the worst case for
+  tail latency and exactly the case hedged requests exist for. The same
+  open-loop workload runs unhedged and hedged; the claim under test is
+  the ISSUE's acceptance bar: **hedged p99 <= 0.5x unhedged p99 at equal
+  goodput** (ratios in the ``summary`` block, gated by
+  ``check_regression.py``).
+* **cache** — a Zipf-repeated workload (hot keys drawn rank-weighted,
+  cold keys unique) through a ``consistent_hash`` cluster with
+  per-replica content-addressed caches, swept across repeat fractions,
+  plus a cache-off control at the highest fraction. The claim: **>= 5x
+  served-req/s on a >= 80%-repeated workload** via cache hits.
+* **autoscaler** — a low/burst/cool load trace against a 1-replica
+  cluster of sleep-based engines (capacity genuinely per-replica, even
+  on one core) with a :class:`ClusterAutoscaler` attached. The decision
+  log is emitted as the convergence trace; the claims: the burst forces
+  **peak replicas >= 2** and the cool-down **returns to the floor**.
+
+Emits ``BENCH_elastic.json`` at the repo root (committed baseline,
+uploaded as a CI artifact). Run:
+
+    PYTHONPATH=src python benchmarks/bench_elastic.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import random
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from _common import REPO_ROOT, emit_json
+from bench_cluster import DEGRADE_FACTOR, DegradedEngine, drive_open_loop
+from bench_serving import percentile
+
+from repro.engine import PurePythonEngine
+from repro.engine.registry import create_engine
+from repro.eval.reporting import format_table
+from repro.serving import AlignmentCluster, ClusterAutoscaler
+from repro.sequences.mutate import MutationProfile, mutate
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_elastic.json"
+
+
+# ----------------------------------------------------------------------
+# Shared workload machinery
+# ----------------------------------------------------------------------
+def build_pairs(
+    count: int, read_length: int, error_rate: float, seed: int
+) -> list[tuple[str, str]]:
+    rng = random.Random(seed)
+    threshold = max(8, int(read_length * error_rate))
+    pairs = []
+    for _ in range(count):
+        region = "".join(
+            rng.choice("ACGT") for _ in range(read_length + threshold)
+        )
+        read = mutate(
+            region[:read_length],
+            MutationProfile(error_rate=error_rate),
+            rng=rng,
+        ).sequence
+        pairs.append((region, read))
+    return pairs
+
+
+def zipf_workload(
+    requests: int,
+    repeat_fraction: float,
+    *,
+    hot_keys: int,
+    read_length: int,
+    error_rate: float,
+    seed: int,
+) -> list[tuple[str, str]]:
+    """A request stream where ``repeat_fraction`` of requests re-ask a
+    small hot set (rank-weighted, Zipf-style) and the rest are unique."""
+    rng = random.Random(seed)
+    hot = build_pairs(hot_keys, read_length, error_rate, seed + 1)
+    cold = iter(build_pairs(requests, read_length, error_rate, seed + 2))
+    weights = [1.0 / rank for rank in range(1, hot_keys + 1)]
+    stream = []
+    for _ in range(requests):
+        if rng.random() < repeat_fraction:
+            stream.append(rng.choices(hot, weights=weights, k=1)[0])
+        else:
+            stream.append(next(cold))
+    return stream
+
+
+# ----------------------------------------------------------------------
+# Scenario 1: hedged vs unhedged with one degraded replica
+# ----------------------------------------------------------------------
+def run_hedge_config(
+    workload_name: str,
+    pairs: list[tuple[str, str]],
+    k: int,
+    *,
+    hedged: bool,
+    interarrival_ms: float,
+    engine: str,
+    batch_size: int,
+    flush_ms: float,
+    max_pending: int,
+) -> dict:
+    def engine_factory(index: int):
+        inner = create_engine(engine)
+        return DegradedEngine(inner) if index == 0 else inner
+
+    async def main() -> dict:
+        async with AlignmentCluster(
+            replicas=2,
+            engine_factory=engine_factory,
+            policy="round_robin",
+            hedge=hedged,
+            min_hedge_delay=0.005,
+            max_hedge_delay=0.05,
+            batch_size=batch_size,
+            flush_interval=flush_ms / 1e3,
+            max_pending=max_pending,
+        ) as cluster:
+            measured = await drive_open_loop(
+                cluster, pairs, k, interarrival_ms / 1e3
+            )
+            hedges, hedge_wins = cluster.hedges, cluster.hedge_wins
+            cancelled = cluster.stats.cancelled
+        return {
+            "workload": workload_name,
+            "scenario": "hedge",
+            "replicas": 2,
+            "policy": "round_robin",
+            "hedged": hedged,
+            "degraded": True,
+            "engine": engine,
+            "batch_size": batch_size,
+            "flush_ms": flush_ms,
+            "requests": len(pairs),
+            "hedges": hedges,
+            "hedge_wins": hedge_wins,
+            "cancelled": cancelled,
+            **measured,
+        }
+
+    return asyncio.run(main())
+
+
+# ----------------------------------------------------------------------
+# Scenario 2: content-addressed cache on a Zipf-repeated workload
+# ----------------------------------------------------------------------
+def run_cache_config(
+    workload_name: str,
+    stream: list[tuple[str, str]],
+    k: int,
+    *,
+    cache: bool,
+    clients: int,
+    batch_size: int,
+    flush_ms: float,
+) -> dict:
+    async def main() -> dict:
+        async with AlignmentCluster(
+            replicas=2,
+            engine="pure",
+            policy="consistent_hash",
+            cache=cache,
+            batch_size=batch_size,
+            flush_interval=flush_ms / 1e3,
+        ) as cluster:
+            queue: asyncio.Queue = asyncio.Queue()
+            for pair in stream:
+                queue.put_nowait(pair)
+            latencies: list[float] = []
+
+            async def client() -> int:
+                served = 0
+                while True:
+                    try:
+                        text, pattern = queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        return served
+                    started = time.perf_counter()
+                    await cluster.edit_distance(text, pattern, k)
+                    latencies.append(time.perf_counter() - started)
+                    served += 1
+
+            started = time.perf_counter()
+            counts = await asyncio.gather(
+                *(client() for _ in range(clients))
+            )
+            elapsed = time.perf_counter() - started
+            cache_stats = cluster.cache_stats
+        return {
+            "workload": workload_name,
+            "scenario": "cache",
+            "replicas": 2,
+            "policy": "consistent_hash",
+            "cache": cache,
+            "requests": len(stream),
+            "clients": clients,
+            "batch_size": batch_size,
+            "flush_ms": flush_ms,
+            "seconds": elapsed,
+            "ok": sum(counts),
+            "goodput_per_sec": sum(counts) / elapsed,
+            "p50_ms": percentile(latencies, 50) * 1e3,
+            "p99_ms": percentile(latencies, 99) * 1e3,
+            "hit_rate": (
+                cache_stats.hit_rate if cache_stats is not None else None
+            ),
+        }
+
+    return asyncio.run(main())
+
+
+# ----------------------------------------------------------------------
+# Scenario 3: autoscaler convergence under a load burst
+# ----------------------------------------------------------------------
+class SleepEngine(PurePythonEngine):
+    """Engine whose cost is pure sleep per request.
+
+    Replica capacity is then genuinely per-replica even on a single CPU
+    core — each replica's worker thread sleeps independently — so the
+    autoscaler's added replicas add real measurable capacity, which a
+    CPU-bound engine on a one-core CI runner cannot show.
+    """
+
+    def __init__(self, per_request: float) -> None:
+        self.per_request = per_request
+
+    def edit_distance_batch(self, pairs, k, **kwargs):
+        time.sleep(self.per_request * len(pairs))
+        return super().edit_distance_batch(pairs, k, **kwargs)
+
+
+def run_autoscaler_trace(
+    workload_name: str,
+    *,
+    per_request_s: float,
+    phases: list[tuple[float, float]],
+    pairs: list[tuple[str, str]],
+    k: int,
+    max_replicas: int,
+    settle_s: float,
+) -> dict:
+    """Drive low/burst/cool phases and record the autoscaler's trace.
+
+    ``phases`` is ``[(duration_s, offered_per_sec), ...]``; requests
+    cycle through ``pairs``. After the last phase the cluster idles for
+    ``settle_s`` so scale-down decisions can complete.
+    """
+
+    async def main() -> dict:
+        async with AlignmentCluster(
+            replicas=1,
+            engine_factory=lambda i: SleepEngine(per_request_s),
+            policy="least_in_flight",
+            batch_size=8,
+            flush_interval=0.002,
+            max_pending=32,
+        ) as cluster:
+            scaler = ClusterAutoscaler(
+                cluster,
+                min_replicas=1,
+                max_replicas=max_replicas,
+                interval=0.1,
+                cooldown=0.4,
+                target_p99_ms=250.0,
+                shed_tolerance=0,
+                scale_up_utilization=0.6,
+                scale_down_utilization=0.1,
+                utilization_smoothing=0.5,
+                decision_log_size=256,
+            )
+            scaler.start()
+            ok = 0
+            shed = 0
+            peak_live = 1
+            pair_cycle = 0
+            tasks: list[asyncio.Task] = []
+
+            async def one(text: str, pattern: str) -> bool:
+                try:
+                    await cluster.edit_distance(text, pattern, k)
+                except Exception:  # noqa: BLE001 - shed/failed both count
+                    return False
+                return True
+
+            started = time.perf_counter()
+            for duration, offered in phases:
+                interarrival = 1.0 / offered
+                phase_end = time.perf_counter() + duration
+                while time.perf_counter() < phase_end:
+                    text, pattern = pairs[pair_cycle % len(pairs)]
+                    pair_cycle += 1
+                    tasks.append(asyncio.create_task(one(text, pattern)))
+                    peak_live = max(
+                        peak_live,
+                        sum(1 for r in cluster.replicas if r.live),
+                    )
+                    await asyncio.sleep(interarrival)
+            outcomes = await asyncio.gather(*tasks)
+            ok = sum(outcomes)
+            shed = len(outcomes) - ok
+            # Idle settle: let the autoscaler walk capacity back down.
+            settle_end = time.perf_counter() + settle_s
+            while time.perf_counter() < settle_end:
+                await asyncio.sleep(0.05)
+            elapsed = time.perf_counter() - started
+            await scaler.stop()
+            final_live = sum(1 for r in cluster.replicas if r.live)
+            trace = [d.to_dict() for d in scaler.decisions]
+            scale_ups, scale_downs = scaler.scale_ups, scaler.scale_downs
+        return {
+            "workload": workload_name,
+            "scenario": "autoscaler",
+            "replicas": max_replicas,
+            "policy": "least_in_flight",
+            "requests": len(outcomes),
+            "ok": ok,
+            "shed": shed,
+            "seconds": elapsed,
+            "goodput_per_sec": ok / elapsed,
+            "peak_live_replicas": peak_live,
+            "final_live_replicas": final_live,
+            "scale_ups": scale_ups,
+            "scale_downs": scale_downs,
+            "trace": trace,
+        }
+
+    return asyncio.run(main())
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Scale:
+    """All the knobs that differ between full and smoke runs."""
+
+    suffix: str
+    hedge_requests: int
+    hedge_interarrival_ms: float
+    cache_requests: int
+    cache_fractions: tuple[float, ...]
+    burst_phases: list[tuple[float, float]]
+    settle_s: float
+
+
+FULL = Scale(
+    suffix="",
+    hedge_requests=240,
+    hedge_interarrival_ms=6.0,
+    cache_requests=600,
+    cache_fractions=(0.0, 0.5, 0.9),
+    burst_phases=[(1.0, 60.0), (2.0, 400.0), (1.0, 40.0)],
+    settle_s=4.0,
+)
+
+SMOKE = Scale(
+    suffix="_smoke",
+    hedge_requests=60,
+    hedge_interarrival_ms=6.0,
+    cache_requests=150,
+    cache_fractions=(0.0, 0.9),
+    burst_phases=[(0.5, 60.0), (1.0, 400.0), (0.5, 40.0)],
+    settle_s=2.5,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload for CI: fewer requests, shorter trace",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help="where to write the JSON artifact",
+    )
+    args = parser.parse_args()
+    scale = SMOKE if args.smoke else FULL
+    results: list[dict] = []
+
+    # --- hedging -------------------------------------------------------
+    hedge_pairs = build_pairs(scale.hedge_requests, 64, 0.08, seed=0xE1)
+    hedge_k = max(8, int(64 * 0.08))
+    hedge_rows = {}
+    for hedged in (False, True):
+        row = run_hedge_config(
+            f"tail{scale.suffix}",
+            hedge_pairs,
+            hedge_k,
+            hedged=hedged,
+            interarrival_ms=scale.hedge_interarrival_ms,
+            engine="pure",
+            batch_size=4,
+            flush_ms=2.0,
+            max_pending=512,
+        )
+        # hedged/unhedged are distinct configs of one workload; fold the
+        # axis into the row identity the gate keys on.
+        row["workload"] = row["workload"] + ("_hedged" if hedged else "_unhedged")
+        hedge_rows[hedged] = row
+        results.append(row)
+
+    # --- cache ---------------------------------------------------------
+    cache_rows = {}
+    cache_k = max(8, int(150 * 0.10))
+    for fraction in scale.cache_fractions:
+        stream = zipf_workload(
+            scale.cache_requests,
+            fraction,
+            hot_keys=8,
+            read_length=150,
+            error_rate=0.10,
+            seed=0xE2,
+        )
+        for cache in ((True, False) if fraction == max(scale.cache_fractions) else (True,)):
+            row = run_cache_config(
+                f"zipf{int(fraction * 100):02d}{scale.suffix}"
+                + ("" if cache else "_nocache"),
+                stream,
+                cache_k,
+                cache=cache,
+                clients=8,
+                batch_size=8,
+                flush_ms=2.0,
+            )
+            cache_rows[(fraction, cache)] = row
+            results.append(row)
+
+    # --- autoscaler ----------------------------------------------------
+    scaler_pairs = build_pairs(64, 64, 0.08, seed=0xE3)
+    scaler_row = run_autoscaler_trace(
+        f"burst{scale.suffix}",
+        per_request_s=0.004,
+        phases=scale.burst_phases,
+        pairs=scaler_pairs,
+        k=hedge_k,
+        max_replicas=4,
+        settle_s=scale.settle_s,
+    )
+    results.append(scaler_row)
+
+    # --- summary -------------------------------------------------------
+    unhedged, hedged = hedge_rows[False], hedge_rows[True]
+    top_fraction = max(scale.cache_fractions)
+    cached = cache_rows[(top_fraction, True)]
+    uncached = cache_rows[(top_fraction, False)]
+    summary = {
+        "degrade_factor": DEGRADE_FACTOR,
+        "unhedged_p99_ms": unhedged["p99_ms"],
+        "hedged_p99_ms": hedged["p99_ms"],
+        "hedged_p99_vs_unhedged_p99": (
+            hedged["p99_ms"] / unhedged["p99_ms"]
+            if unhedged["p99_ms"]
+            else None
+        ),
+        "hedged_vs_unhedged_goodput": (
+            hedged["goodput_per_sec"] / unhedged["goodput_per_sec"]
+            if unhedged["goodput_per_sec"]
+            else None
+        ),
+        "cache_repeat_fraction": top_fraction,
+        "cache_hit_rate": cached["hit_rate"],
+        "cache_speedup_repeated": (
+            cached["goodput_per_sec"] / uncached["goodput_per_sec"]
+            if uncached["goodput_per_sec"]
+            else None
+        ),
+        "autoscaler_peak_replicas": scaler_row["peak_live_replicas"],
+        "autoscaler_final_replicas": scaler_row["final_live_replicas"],
+        "autoscaler_scale_ups": scaler_row["scale_ups"],
+        "autoscaler_scale_downs": scaler_row["scale_downs"],
+    }
+
+    emit_json(
+        args.output,
+        "elastic",
+        {"smoke": args.smoke, "results": results, "summary": summary},
+    )
+
+    rows = [
+        [
+            r["workload"],
+            r["scenario"],
+            f"{r['goodput_per_sec']:,.0f}",
+            r.get("ok", "-"),
+            f"{r['p50_ms']:.1f}" if r.get("p50_ms") is not None else "-",
+            f"{r['p99_ms']:.1f}" if r.get("p99_ms") is not None else "-",
+        ]
+        for r in results
+    ]
+    print(
+        "\n"
+        + format_table(
+            ["workload", "scenario", "goodput/s", "ok", "p50 ms", "p99 ms"],
+            rows,
+            title="Elastic serving: hedging, cache, autoscaler",
+        )
+    )
+    print(f"\nwrote {args.output}")
+    print(
+        f"hedged p99 {summary['hedged_p99_vs_unhedged_p99']:.3f}x unhedged "
+        f"(goodput {summary['hedged_vs_unhedged_goodput']:.2f}x); "
+        f"cache speedup {summary['cache_speedup_repeated']:.1f}x at "
+        f"{top_fraction:.0%} repeats "
+        f"(hit rate {summary['cache_hit_rate']:.2f}); "
+        f"autoscaler peak {summary['autoscaler_peak_replicas']} -> "
+        f"final {summary['autoscaler_final_replicas']} replicas"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,22 +1,30 @@
-"""CI bench regression gate for the batched-engine hot paths.
+"""CI bench regression gate across every committed benchmark baseline.
 
-Compares a freshly measured run against the committed
-``BENCH_batch_engine.json`` baseline and exits non-zero when any matching
-configuration at batch size >= 64 lost more than ``--threshold`` (default
-40%) of its pairs/sec. The goal is catching structural regressions (an
-accidentally quadratic traceback, a de-vectorized kernel), not 5% noise —
-hence the generous threshold, which also absorbs most same-class CI
-machine variation; ``--threshold`` can be tightened on pinned hardware.
+The repo commits one JSON artifact per benchmark family at the repo root
+(``BENCH_batch_engine.json``, ``BENCH_serving.json``, ``BENCH_http.json``,
+``BENCH_cluster.json``, ``BENCH_elastic.json``). Each is a *baseline*:
+rows of measured configurations plus a ``summary`` block of
+scale-invariant ratios (speedups, degradation ratios, hit-rate wins).
+This gate protects them three ways:
 
-Two modes:
+* **Invariant gating** (``--all``): every committed baseline must parse,
+  contain gated rows with a positive metric, and satisfy its
+  :class:`Invariant` list — dotted-path predicates over the document
+  (``summary.hedged_p99_vs_unhedged_p99 <= 0.5``). Ratios are
+  machine-independent, so this runs anywhere, and it runs **before** the
+  smoke benches overwrite the baselines in CI.
+* **Row-metric comparison** (``--file NAME --fresh PATH``): compare a
+  fresh artifact against the committed baseline row-by-row using the
+  family's :class:`GateSpec` (metric, identity key fields, drop
+  threshold). The goal is catching structural regressions (an
+  accidentally quadratic traceback, a de-vectorized kernel), not 5%
+  noise — hence generous thresholds.
+* **In-process re-measure** (default mode, batch_engine only): re-run a
+  small representative subset (batched backend, batch 64, 100 bp reads,
+  both committed error rates; a few seconds) and compare against the
+  committed baseline.
 
-* default — re-measure a small representative subset in-process (the
-  batched backend at batch 64 on 100 bp reads, both committed error rates,
-  all five tasks; one repeat each, a few seconds total) and compare;
-* ``--fresh PATH`` — compare two existing benchmark JSON artifacts
-  (e.g. the current smoke artifact against a downloaded baseline).
-
-Run:  PYTHONPATH=src python benchmarks/check_regression.py [--baseline PATH]
+Run:  PYTHONPATH=src python benchmarks/check_regression.py [--all]
 """
 
 from __future__ import annotations
@@ -24,7 +32,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import dataclass
 from pathlib import Path
+from typing import Any, Callable
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
@@ -39,15 +49,221 @@ GATE_READ_LENGTH = 100
 GATE_BATCH_SIZE = 64
 
 
-def config_key(row: dict) -> tuple:
-    """Identity of one measured configuration across runs."""
-    return (
-        row["task"],
-        row["backend"],
-        row["read_length"],
-        row["error_rate"],
-        row["batch_size"],
+@dataclass(frozen=True)
+class Invariant:
+    """One dotted-path predicate a benchmark document must satisfy.
+
+    ``path`` walks dict keys (``summary.cache_speedup_repeated``); a
+    missing segment *fails* the invariant — a silently absent summary
+    field would otherwise turn the gate into a no-op.
+    """
+
+    path: str
+    op: str  # ">=" or "<="
+    value: float
+
+    def resolve(self, doc: dict) -> Any:
+        node: Any = doc
+        for part in self.path.split("."):
+            if not isinstance(node, dict) or part not in node:
+                return None
+            node = node[part]
+        return node
+
+    def check(self, doc: dict) -> tuple[bool, Any]:
+        """``(holds, observed)`` for this document."""
+        observed = self.resolve(doc)
+        if not isinstance(observed, (int, float)) or isinstance(
+            observed, bool
+        ):
+            return False, observed
+        if self.op == ">=":
+            return observed >= self.value, observed
+        if self.op == "<=":
+            return observed <= self.value, observed
+        raise ValueError(f"unknown invariant op {self.op!r}")
+
+    def describe(self) -> str:
+        return f"{self.path} {self.op} {self.value}"
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """How one benchmark family's artifact is gated.
+
+    ``metric`` is the per-row throughput field; ``key_fields`` identify a
+    configuration across runs (rows missing a key field still compare —
+    absent fields become None on both sides); ``row_filter`` restricts
+    gating to rows measured at scale (tiny batches are pure noise);
+    ``threshold`` is the fractional metric drop that fails.
+    """
+
+    name: str
+    metric: str
+    key_fields: tuple[str, ...]
+    threshold: float = 0.40
+    row_filter: Callable[[dict], bool] | None = None
+    invariants: tuple[Invariant, ...] = ()
+
+    @property
+    def path(self) -> Path:
+        return REPO_ROOT / f"BENCH_{self.name}.json"
+
+    def gated_rows(self, rows: list[dict]) -> list[dict]:
+        if self.row_filter is None:
+            return list(rows)
+        return [row for row in rows if self.row_filter(row)]
+
+    def row_key(self, row: dict) -> tuple:
+        return tuple(row.get(field_name) for field_name in self.key_fields)
+
+
+GATE_SPECS: dict[str, GateSpec] = {
+    spec.name: spec
+    for spec in (
+        GateSpec(
+            name="batch_engine",
+            metric="pairs_per_sec",
+            key_fields=(
+                "task",
+                "backend",
+                "read_length",
+                "error_rate",
+                "batch_size",
+            ),
+            threshold=0.40,
+            row_filter=lambda row: row.get("batch_size", 0) >= GATE_BATCH_SIZE,
+            invariants=(
+                # The batched backend's reason to exist: a real at-scale
+                # speedup over the pure backend survives re-measurement.
+                Invariant("summary.max_speedup_at_batch_ge_64", ">=", 2.0),
+            ),
+        ),
+        GateSpec(
+            name="serving",
+            metric="requests_per_sec",
+            key_fields=(
+                "workload",
+                "op",
+                "backend",
+                "workers",
+                "read_length",
+                "error_rate",
+                "flush_ms",
+                "clients",
+                "batch_size",
+            ),
+            # Async serving benches are noisier than closed-loop kernels.
+            threshold=0.50,
+            invariants=(
+                Invariant("summary.max_requests_per_sec", ">=", 1.0),
+            ),
+        ),
+        GateSpec(
+            name="http",
+            metric="requests_per_sec",
+            key_fields=(
+                "workload",
+                "mode",
+                "flush_ms",
+                "burst_size",
+                "burst_gap_ms",
+            ),
+            threshold=0.50,
+            invariants=(
+                # Adaptive flush must not *lose* to fixed flush on the
+                # bursty workload it was built for.
+                Invariant("summary.best_adaptive_speedup_bursty", ">=", 0.9),
+            ),
+        ),
+        GateSpec(
+            name="cluster",
+            metric="goodput_per_sec",
+            key_fields=("workload", "replicas", "degraded", "policy"),
+            threshold=0.50,
+            invariants=(
+                # Routing around one 50x-degraded replica keeps most of
+                # the healthy pair's goodput...
+                Invariant(
+                    "summary.degraded_2rep_vs_healthy_2rep", ">=", 0.5
+                ),
+                # ...while that replica alone would collapse it — the
+                # gap is the router's measured contribution.
+                Invariant(
+                    "summary.single_degraded_vs_healthy_2rep", "<=", 0.5
+                ),
+            ),
+        ),
+        GateSpec(
+            name="elastic",
+            metric="goodput_per_sec",
+            key_fields=("workload", "scenario", "replicas", "policy"),
+            threshold=0.50,
+            invariants=(
+                # Acceptance bar: hedging halves (or better) the p99 a
+                # 50x-degraded replica inflicts, at equal goodput...
+                Invariant(
+                    "summary.hedged_p99_vs_unhedged_p99", "<=", 0.5
+                ),
+                Invariant(
+                    "summary.hedged_vs_unhedged_goodput", ">=", 0.9
+                ),
+                # ...and the content-addressed cache turns a >= 80%
+                # repeated workload into a >= 5x served-req/s win.
+                Invariant("summary.cache_speedup_repeated", ">=", 5.0),
+                # The autoscaler converges: replicas grow under load and
+                # return to the floor after it.
+                Invariant("summary.autoscaler_peak_replicas", ">=", 2.0),
+                Invariant("summary.autoscaler_final_replicas", "<=", 1.0),
+            ),
+        ),
     )
+}
+
+
+def config_key(row: dict) -> tuple:
+    """Identity of one batch-engine configuration (legacy helper)."""
+    return GATE_SPECS["batch_engine"].row_key(row)
+
+
+def find_metric_regressions(
+    baseline_rows: list[dict],
+    fresh_rows: list[dict],
+    spec: GateSpec,
+) -> tuple[list[dict], int]:
+    """Configs whose fresh metric dropped more than the spec's threshold.
+
+    Only configurations present in *both* runs (after the spec's row
+    filter) participate; returns ``(regressions, compared_count)`` so
+    callers can fail loudly when nothing overlapped — a silent pass on
+    zero comparisons would defeat the gate.
+    """
+    baseline = {
+        spec.row_key(row): row[spec.metric]
+        for row in spec.gated_rows(baseline_rows)
+        if spec.metric in row
+    }
+    regressions = []
+    compared = 0
+    for row in spec.gated_rows(fresh_rows):
+        if spec.metric not in row:
+            continue
+        key = spec.row_key(row)
+        base_rate = baseline.get(key)
+        if base_rate is None or base_rate <= 0:
+            continue
+        compared += 1
+        ratio = row[spec.metric] / base_rate
+        if ratio < 1.0 - spec.threshold:
+            regressions.append(
+                {
+                    "key": dict(zip(spec.key_fields, key)),
+                    f"baseline_{spec.metric}": base_rate,
+                    f"fresh_{spec.metric}": row[spec.metric],
+                    "ratio": ratio,
+                }
+            )
+    return regressions, compared
 
 
 def find_regressions(
@@ -57,47 +273,160 @@ def find_regressions(
     threshold: float,
     min_batch: int = 64,
 ) -> tuple[list[dict], int]:
-    """Configs whose fresh pairs/sec dropped more than ``threshold``.
+    """Batch-engine pairs/sec gate (legacy shape, kept for callers/tests).
 
-    Only configurations present in *both* runs with ``batch_size >=
-    min_batch`` participate; returns ``(regressions, compared_count)`` so
-    callers can fail loudly when nothing overlapped (a silent pass on zero
-    comparisons would defeat the gate).
+    Thin wrapper over :func:`find_metric_regressions` with the
+    batch-engine spec at a caller-chosen threshold and batch floor;
+    regression dicts keep the historical flat field layout.
     """
-    baseline = {
-        config_key(row): row["pairs_per_sec"]
-        for row in baseline_rows
-        if row["batch_size"] >= min_batch
-    }
-    regressions = []
-    compared = 0
-    for row in fresh_rows:
-        if row["batch_size"] < min_batch:
-            continue
-        key = config_key(row)
-        base_rate = baseline.get(key)
-        if base_rate is None or base_rate <= 0:
-            continue
-        compared += 1
-        ratio = row["pairs_per_sec"] / base_rate
-        if ratio < 1.0 - threshold:
-            regressions.append(
-                {
-                    "task": row["task"],
-                    "backend": row["backend"],
-                    "read_length": row["read_length"],
-                    "error_rate": row["error_rate"],
-                    "batch_size": row["batch_size"],
-                    "baseline_pairs_per_sec": base_rate,
-                    "fresh_pairs_per_sec": row["pairs_per_sec"],
-                    "ratio": ratio,
-                }
-            )
+    base = GATE_SPECS["batch_engine"]
+    spec = GateSpec(
+        name=base.name,
+        metric=base.metric,
+        key_fields=base.key_fields,
+        threshold=threshold,
+        row_filter=lambda row: row.get("batch_size", 0) >= min_batch,
+    )
+    nested, compared = find_metric_regressions(baseline_rows, fresh_rows, spec)
+    regressions = [
+        {
+            **reg["key"],
+            "baseline_pairs_per_sec": reg["baseline_pairs_per_sec"],
+            "fresh_pairs_per_sec": reg["fresh_pairs_per_sec"],
+            "ratio": reg["ratio"],
+        }
+        for reg in nested
+    ]
     return regressions, compared
 
 
+def check_invariants(spec: GateSpec, doc: dict) -> list[str]:
+    """Human-readable failures for every invariant ``doc`` violates."""
+    failures = []
+    for invariant in spec.invariants:
+        holds, observed = invariant.check(doc)
+        if not holds:
+            failures.append(
+                f"{spec.name}: {invariant.describe()} "
+                f"violated (observed {observed!r})"
+            )
+    return failures
+
+
+def gate_artifact(spec: GateSpec, path: Path | None = None) -> list[str]:
+    """Structurally gate one committed artifact; returns failure strings.
+
+    Checks: file exists and parses; it has gated rows; every gated row
+    carries a positive metric; every invariant holds.
+    """
+    path = path or spec.path
+    if not path.exists():
+        return [f"{spec.name}: missing artifact {path}"]
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        return [f"{spec.name}: unparseable artifact {path}: {exc}"]
+    rows = spec.gated_rows(doc.get("results", []))
+    failures = []
+    if not rows:
+        failures.append(f"{spec.name}: no gated rows in {path}")
+    for row in rows:
+        value = row.get(spec.metric)
+        if not isinstance(value, (int, float)) or value <= 0:
+            failures.append(
+                f"{spec.name}: row {spec.row_key(row)} has invalid "
+                f"{spec.metric}={value!r}"
+            )
+            break
+    failures.extend(check_invariants(spec, doc))
+    return failures
+
+
+def gate_all(fresh_dir: Path | None = None) -> int:
+    """Gate every committed baseline (and optionally fresh artifacts).
+
+    With ``fresh_dir``, any ``BENCH_<name>.json`` found there is also
+    row-compared against the committed baseline under its family spec.
+    """
+    failures: list[str] = []
+    for spec in GATE_SPECS.values():
+        spec_failures = gate_artifact(spec)
+        failures.extend(spec_failures)
+        status = "FAIL" if spec_failures else "ok"
+        checked = len(spec.invariants)
+        print(f"  [{status}] {spec.path.name}: {checked} invariant(s)")
+        if fresh_dir is not None:
+            fresh_path = fresh_dir / spec.path.name
+            if fresh_path.exists():
+                baseline_rows = json.loads(spec.path.read_text()).get(
+                    "results", []
+                )
+                fresh_rows = json.loads(fresh_path.read_text()).get(
+                    "results", []
+                )
+                regressions, compared = find_metric_regressions(
+                    baseline_rows, fresh_rows, spec
+                )
+                print(
+                    f"         fresh {fresh_path}: compared {compared}, "
+                    f"{len(regressions)} regressed"
+                )
+                failures.extend(
+                    f"{spec.name}: {reg['key']} dropped to "
+                    f"{reg['ratio']:.2f}x baseline"
+                    for reg in regressions
+                )
+    if failures:
+        print(f"\nFAIL: {len(failures)} gate failure(s):")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"OK: all {len(GATE_SPECS)} benchmark baselines pass their gates")
+    return 0
+
+
+def gate_one_fresh(spec: GateSpec, fresh: Path, threshold: float | None) -> int:
+    """Row-compare one fresh artifact against its committed baseline."""
+    if threshold is not None:
+        spec = GateSpec(
+            name=spec.name,
+            metric=spec.metric,
+            key_fields=spec.key_fields,
+            threshold=threshold,
+            row_filter=spec.row_filter,
+            invariants=spec.invariants,
+        )
+    baseline_rows = json.loads(spec.path.read_text()).get("results", [])
+    fresh_rows = json.loads(fresh.read_text()).get("results", [])
+    regressions, compared = find_metric_regressions(
+        baseline_rows, fresh_rows, spec
+    )
+    if compared == 0:
+        print(
+            f"FAIL: no overlapping {spec.name} configurations between "
+            f"{spec.path.name} and {fresh}"
+        )
+        return 2
+    print(
+        f"compared {compared} {spec.name} configurations "
+        f"(gate: >{spec.threshold:.0%} {spec.metric} drop fails)"
+    )
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} regression(s):")
+        for reg in regressions:
+            print(
+                f"  {reg['key']}: "
+                f"{reg[f'baseline_{spec.metric}']:,.0f} -> "
+                f"{reg[f'fresh_{spec.metric}']:,.0f} {spec.metric} "
+                f"({reg['ratio']:.2f}x)"
+            )
+        return 1
+    print("OK: no configuration regressed past the threshold")
+    return 0
+
+
 def measure_gate_subset(baseline_rows: list[dict]) -> list[dict]:
-    """Re-measure the gate subset of the committed baseline in-process."""
+    """Re-measure the batch-engine gate subset in-process."""
     from bench_batch_engine import _threshold, build_pairs, run_config
 
     error_rates = sorted(
@@ -135,36 +464,8 @@ def measure_gate_subset(baseline_rows: list[dict]) -> list[dict]:
     return fresh
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--baseline",
-        type=Path,
-        default=DEFAULT_BASELINE,
-        help="committed benchmark JSON to compare against",
-    )
-    parser.add_argument(
-        "--fresh",
-        type=Path,
-        default=None,
-        help="existing benchmark JSON to check instead of re-measuring",
-    )
-    parser.add_argument(
-        "--threshold",
-        type=float,
-        default=0.40,
-        help="fractional pairs/sec drop that fails the gate (default 0.40)",
-    )
-    parser.add_argument(
-        "--min-batch",
-        type=int,
-        default=64,
-        help="only configurations at this batch size or larger are gated",
-    )
-    args = parser.parse_args()
-    if not 0 < args.threshold < 1:
-        parser.error("--threshold must be a fraction in (0, 1)")
-
+def legacy_main(args: argparse.Namespace) -> int:
+    """Default mode: batch-engine re-measure (or --fresh) comparison."""
     baseline_doc = json.loads(args.baseline.read_text())
     baseline_rows = baseline_doc.get("results", [])
     if not baseline_rows:
@@ -217,6 +518,74 @@ def main() -> int:
         return 1
     print("OK: no configuration regressed past the threshold")
     return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        help="gate every committed BENCH_*.json baseline (invariants + "
+        "structure) instead of re-measuring",
+    )
+    parser.add_argument(
+        "--no-measure",
+        action="store_true",
+        help="with --all: explicit flag documenting that nothing is "
+        "re-measured (the default for --all)",
+    )
+    parser.add_argument(
+        "--fresh-dir",
+        type=Path,
+        default=None,
+        help="with --all: directory of fresh BENCH_*.json artifacts to "
+        "row-compare against the committed baselines",
+    )
+    parser.add_argument(
+        "--file",
+        choices=sorted(GATE_SPECS),
+        default=None,
+        help="gate one family: row-compare --fresh against its baseline",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="committed benchmark JSON to compare against (default mode)",
+    )
+    parser.add_argument(
+        "--fresh",
+        type=Path,
+        default=None,
+        help="existing benchmark JSON to check instead of re-measuring",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="fractional metric drop that fails the gate "
+        "(default: per-family spec; 0.40 in legacy mode)",
+    )
+    parser.add_argument(
+        "--min-batch",
+        type=int,
+        default=64,
+        help="legacy mode: only configurations at this batch size or "
+        "larger are gated",
+    )
+    args = parser.parse_args()
+    if args.threshold is not None and not 0 < args.threshold < 1:
+        parser.error("--threshold must be a fraction in (0, 1)")
+
+    if args.all:
+        return gate_all(fresh_dir=args.fresh_dir)
+    if args.file is not None:
+        if args.fresh is None:
+            parser.error("--file requires --fresh PATH")
+        return gate_one_fresh(GATE_SPECS[args.file], args.fresh, args.threshold)
+    if args.threshold is None:
+        args.threshold = 0.40
+    return legacy_main(args)
 
 
 if __name__ == "__main__":

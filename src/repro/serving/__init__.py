@@ -4,15 +4,26 @@
 ``edit_distance``, ``align``, ``map_read``) into the large batches the
 engine backends are built to amortize, with a size-or-deadline flush
 policy (optionally adaptive — the deadline tracks an EWMA of the observed
-arrival rate), bounded-queue backpressure, and graceful shutdown. See
+arrival rate), bounded-queue backpressure, an optional content-addressed
+result cache (:mod:`repro.serving.cache`), and graceful shutdown. See
 :mod:`repro.serving.server` for the design notes.
 
 :class:`AlignmentCluster` (:mod:`repro.serving.cluster`) replicates that
 server N times — one private engine per replica — behind a health-aware
 router with pluggable dispatch policies (``round_robin``,
-``least_in_flight``, ``latency_ewma``), replica-aware load shedding with
-a dynamic ``Retry-After`` computed from observed latency EWMAs, failure
-cooldowns with cross-replica retry, and clean per-replica draining.
+``least_in_flight``, ``latency_ewma``, and the cache-affine
+``consistent_hash``), replica-aware load shedding with a dynamic
+``Retry-After`` computed from observed latency EWMAs, failure cooldowns
+with cross-replica retry, clean per-replica draining, and optional
+hedged requests (``hedge=True``) that duplicate tail-latency stragglers
+onto a second replica and cancel the loser.
+
+:class:`ClusterAutoscaler` (:mod:`repro.serving.autoscaler`) closes the
+capacity loop: it watches sheds, windowed p99, and pending-slot
+utilization, and grows (:meth:`AlignmentCluster.add_replica`) or drains
+(:meth:`AlignmentCluster.drain_replica`) the cluster between min/max
+bounds with a cooldown between actions, logging every decision into
+``/v1/stats``.
 
 :class:`AlignmentHTTPServer` (:mod:`repro.serving.http`) puts a stdlib
 HTTP/1.1 JSON API in front of either — ``POST /v1/scan``,
@@ -23,9 +34,18 @@ log-bucket :class:`LatencyHistogram` (:mod:`repro.serving.histogram`) and
 appear per endpoint, per replica, and cluster-wide in ``/v1/stats``.
 """
 
+from repro.serving.autoscaler import AutoscalerDecision, ClusterAutoscaler
+from repro.serving.cache import (
+    MISS,
+    AlignmentCache,
+    CacheStats,
+    make_cache,
+    request_digest,
+)
 from repro.serving.cluster import (
     AlignmentCluster,
     ClusterSaturatedError,
+    ConsistentHashPolicy,
     LatencyEwmaPolicy,
     LeastInFlightPolicy,
     Replica,
@@ -51,11 +71,17 @@ from repro.serving.server import (
 )
 
 __all__ = [
+    "MISS",
     "ROUTING_POLICIES",
+    "AlignmentCache",
     "AlignmentCluster",
     "AlignmentHTTPServer",
     "AlignmentServer",
+    "AutoscalerDecision",
+    "CacheStats",
+    "ClusterAutoscaler",
     "ClusterSaturatedError",
+    "ConsistentHashPolicy",
     "EndpointStats",
     "HttpError",
     "LatencyEwmaPolicy",
@@ -66,8 +92,8 @@ __all__ = [
     "RoutingPolicy",
     "ServerClosedError",
     "ServingStats",
+    "make_cache",
     "make_policy",
-    "open_memory_connection",
     "register_policy",
     "serve_http",
     "serve_requests",

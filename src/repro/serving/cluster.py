@@ -39,6 +39,17 @@ Per-replica latency lands in mergeable log-bucket histograms
 (:mod:`repro.serving.histogram`), so ``/v1/stats`` reports true
 cluster-wide p50/p90/p99 as well as per-replica percentiles without any
 sample buffers.
+
+On top of that static core sits the *elastic* layer. ``hedge=True``
+duplicates a request stuck past the p99-derived :meth:`hedge_delay`
+onto a second replica and answers with whichever lands first (the
+loser's queued entry is cancelled before its engine sees it — "tied
+requests" from the tail-at-scale playbook). :meth:`add_replica` regrows
+the cluster from its stored construction recipe, which together with
+:meth:`drain_replica` gives :class:`~repro.serving.autoscaler.\
+ClusterAutoscaler` its two actuators. The ``consistent_hash`` policy
+routes by request content digest so each replica's private result cache
+(``cache=True``) holds a disjoint arc of the key space.
 """
 
 from __future__ import annotations
@@ -46,9 +57,12 @@ from __future__ import annotations
 import asyncio
 import time
 from abc import ABC, abstractmethod
+from bisect import bisect_left
+from hashlib import blake2b
 from typing import TYPE_CHECKING, Any, Callable, ClassVar, Sequence
 
 from repro.engine.registry import create_engine
+from repro.serving.cache import CacheStats, request_digest
 from repro.serving.histogram import LatencyHistogram
 from repro.serving.server import AlignmentServer, ServerClosedError, ServingStats
 
@@ -172,9 +186,25 @@ class RoutingPolicy(ABC):
     #: Registry key; subclasses must override.
     name: ClassVar[str] = "abstract"
 
+    #: Whether the router should compute a per-request content key and
+    #: dispatch through :meth:`select_keyed`. Key computation hashes the
+    #: full payload, so it is skipped for the policies that ignore it.
+    needs_key: ClassVar[bool] = False
+
     @abstractmethod
     def select(self, candidates: Sequence[Replica]) -> Replica:
         """Choose from ``candidates`` (never empty, all eligible)."""
+
+    def select_keyed(
+        self, candidates: Sequence[Replica], key: str | None
+    ) -> Replica:
+        """Key-aware dispatch hook; the default ignores the key.
+
+        Key-affine policies (``consistent_hash``) override this; every
+        load-based policy inherits the key-oblivious :meth:`select`.
+        """
+        del key
+        return self.select(candidates)
 
 
 class RoundRobinPolicy(RoutingPolicy):
@@ -227,6 +257,81 @@ class LatencyEwmaPolicy(RoundRobinPolicy):
         return super().select(cheapest)
 
 
+class ConsistentHashPolicy(RoutingPolicy):
+    """Route each request by its content digest on a consistent-hash ring.
+
+    Every replica owns ``vnodes`` pseudo-random points on a 64-bit ring;
+    a request's digest hashes to a ring position and is served by the
+    replica owning the next point clockwise. Two properties make this
+    the natural partner of the per-replica result cache:
+
+    * **Affinity** — equal request content always lands on the same
+      replica (while the eligible set is stable), so a cached key's
+      entry lives on exactly one replica and the cluster's aggregate
+      cache behaves like one cache of N times the budget instead of N
+      copies of the same hot keys.
+    * **Minimal rebalance** — when a replica drains (or saturates out of
+      the candidate set), only the keys on *its* arcs remap; every other
+      key keeps its replica and its warm cache entries. A modulo hash
+      would reshuffle nearly everything on every membership change.
+
+    Keyless selections (a policy user outside the router) fall back to
+    round-robin.
+    """
+
+    name = "consistent_hash"
+    needs_key = True
+
+    #: Ring points per replica: enough that each replica's share of the
+    #: key space concentrates near 1/N (vnode count evens out the arcs).
+    DEFAULT_VNODES = 64
+
+    def __init__(self, *, vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be at least 1")
+        self.vnodes = vnodes
+        self._cursor = 0
+        # Ring cache, rebuilt only when the candidate name set changes.
+        self._ring_names: frozenset[str] = frozenset()
+        self._points: list[int] = []
+        self._owners: list[str] = []
+
+    @staticmethod
+    def _hash(data: str) -> int:
+        return int.from_bytes(
+            blake2b(data.encode(), digest_size=8).digest(), "big"
+        )
+
+    def _rebuild(self, names: frozenset[str]) -> None:
+        ring = sorted(
+            (self._hash(f"{name}#{vnode}"), name)
+            for name in names
+            for vnode in range(self.vnodes)
+        )
+        self._points = [point for point, _ in ring]
+        self._owners = [name for _, name in ring]
+        self._ring_names = names
+
+    def select(self, candidates: Sequence[Replica]) -> Replica:
+        choice = candidates[self._cursor % len(candidates)]
+        self._cursor += 1
+        return choice
+
+    def select_keyed(
+        self, candidates: Sequence[Replica], key: str | None
+    ) -> Replica:
+        if key is None:
+            return self.select(candidates)
+        by_name = {candidate.name: candidate for candidate in candidates}
+        names = frozenset(by_name)
+        if names != self._ring_names:
+            self._rebuild(names)
+        index = bisect_left(self._points, self._hash(key))
+        if index == len(self._points):
+            index = 0  # wrap: past the last point is the first point
+        return by_name[self._owners[index]]
+
+
 ROUTING_POLICIES: dict[str, type[RoutingPolicy]] = {}
 
 
@@ -238,7 +343,12 @@ def register_policy(policy_cls: type[RoutingPolicy]) -> type[RoutingPolicy]:
     return policy_cls
 
 
-for _cls in (RoundRobinPolicy, LeastInFlightPolicy, LatencyEwmaPolicy):
+for _cls in (
+    RoundRobinPolicy,
+    LeastInFlightPolicy,
+    LatencyEwmaPolicy,
+    ConsistentHashPolicy,
+):
     register_policy(_cls)
 
 
@@ -287,15 +397,33 @@ class AlignmentCluster:
         stay shared across replicas — use ``mapper_factory`` for those.
     policy:
         Routing policy name or instance (default ``least_in_flight``).
+        ``consistent_hash`` routes by request content so each key's
+        cache entry is replica-affine.
     failure_cooldown:
         Base seconds a replica sits out after an engine failure (doubled
         per consecutive failure, capped at 16x).
     max_attempts:
         Replicas tried per request before giving up (default: all).
+    hedge:
+        Duplicate a request that has been in flight longer than the
+        p99-derived :meth:`hedge_delay` onto a second replica and answer
+        with whichever result lands first (the loser is cancelled, its
+        queued work dropped before the engine sees it). Tames the tail a
+        slow replica inflicts at the cost of a small amount of duplicate
+        work on the slowest ~1% of requests.
+    hedge_quantile:
+        Latency quantile deriving the hedge delay (default 0.99: only
+        the slowest ~1% of requests hedge once histograms are warm).
+    min_hedge_delay, max_hedge_delay:
+        Clamp bounds (seconds) for :meth:`hedge_delay`; the max is also
+        the delay used before any latency has been observed.
     **server_kwargs:
         Forwarded to every built :class:`AlignmentServer`
         (``batch_size=``, ``flush_interval=``, ``max_pending=``,
-        ``adaptive_flush=``, ...).
+        ``cache=``, ``adaptive_flush=``, ...). ``cache=True`` gives each
+        replica a *private* content-addressed result cache — pair it
+        with ``policy="consistent_hash"`` so every key is cached on
+        exactly one replica.
     """
 
     def __init__(
@@ -310,8 +438,20 @@ class AlignmentCluster:
         policy: RoutingPolicy | str = "least_in_flight",
         failure_cooldown: float = 0.25,
         max_attempts: int | None = None,
+        hedge: bool = False,
+        hedge_quantile: float = 0.99,
+        min_hedge_delay: float = 0.001,
+        max_hedge_delay: float = 1.0,
         **server_kwargs: Any,
     ) -> None:
+        if not 0.0 < hedge_quantile <= 1.0:
+            raise ValueError("hedge_quantile must be in (0, 1]")
+        if min_hedge_delay < 0:
+            raise ValueError("min_hedge_delay must be non-negative")
+        if max_hedge_delay < min_hedge_delay:
+            raise ValueError(
+                "max_hedge_delay must be at least min_hedge_delay"
+            )
         if servers is not None:
             if engine is not None or engine_factory or mapper or mapper_factory:
                 raise ValueError(
@@ -326,6 +466,7 @@ class AlignmentCluster:
             built = list(servers)
             if not built:
                 raise ValueError("servers must be non-empty")
+            self._buildable = False
         else:
             if replicas < 1:
                 raise ValueError("replicas must be at least 1")
@@ -339,46 +480,18 @@ class AlignmentCluster:
                     "engine must be a backend name; pass instances via "
                     "engine_factory (one per replica) or servers"
                 )
-            built = []
-            for index in range(replicas):
-                if engine_factory is not None:
-                    replica_engine: Any = engine_factory(index)
-                elif engine is None and mapper is not None:
-                    # Derive the engine from the mapper's spec, but still
-                    # one fresh instance per replica: a name (or None)
-                    # must not collapse onto the shared get_engine
-                    # singleton across concurrently-flushing replicas.
-                    # An engine *instance* on the mapper passes through —
-                    # the caller already chose to share it, like the
-                    # mapper itself.
-                    replica_engine = create_engine(mapper.engine)
-                else:
-                    replica_engine = create_engine(engine)
-                if mapper_factory is not None:
-                    replica_mapper = mapper_factory(index)
-                elif mapper is not None:
-                    # Rebuild a private mapper per replica over the
-                    # replica's private engine (via MapperSpec), so map
-                    # flushes from N worker threads never race on one
-                    # mapper/engine. Mappers with custom callables are
-                    # not spec-representable and stay shared — the same
-                    # in-process fallback the sharded mapper uses; prefer
-                    # mapper_factory for those.
-                    spec = mapper.shard_spec()
-                    replica_mapper = (
-                        spec.build(replica_engine)
-                        if spec is not None
-                        else mapper
-                    )
-                else:
-                    replica_mapper = None
-                built.append(
-                    AlignmentServer(
-                        engine=replica_engine,
-                        mapper=replica_mapper,
-                        **server_kwargs,
-                    )
-                )
+            self._buildable = True
+        # The construction recipe is retained so the autoscaler (or any
+        # caller) can add_replica() later with the same per-replica
+        # freshness guarantees as construction time.
+        self._engine_spec = engine
+        self._engine_factory = engine_factory
+        self._mapper_template = mapper
+        self._mapper_factory = mapper_factory
+        self._server_kwargs = dict(server_kwargs)
+        self._failure_cooldown = failure_cooldown
+        if self._buildable:
+            built = [self._build_server(index) for index in range(replicas)]
         self._replicas = [
             Replica(
                 f"replica-{index}",
@@ -387,11 +500,56 @@ class AlignmentCluster:
             )
             for index, server in enumerate(built)
         ]
+        self._next_index = len(built)
         self._policy = make_policy(policy)
         self.max_attempts = max_attempts
+        self.hedge = hedge
+        self.hedge_quantile = hedge_quantile
+        self.min_hedge_delay = min_hedge_delay
+        self.max_hedge_delay = max_hedge_delay
+        self._autoscaler: Any = None
         self._closed = False
         self.shed = 0
         self.retries = 0
+        self.hedges = 0
+        self.hedge_wins = 0
+
+    def _build_server(self, index: int) -> AlignmentServer:
+        """One fresh replica server from the stored construction recipe."""
+        if self._engine_factory is not None:
+            replica_engine: Any = self._engine_factory(index)
+        elif self._engine_spec is None and self._mapper_template is not None:
+            # Derive the engine from the mapper's spec, but still one
+            # fresh instance per replica: a name (or None) must not
+            # collapse onto the shared get_engine singleton across
+            # concurrently-flushing replicas. An engine *instance* on
+            # the mapper passes through — the caller already chose to
+            # share it, like the mapper itself.
+            replica_engine = create_engine(self._mapper_template.engine)
+        else:
+            replica_engine = create_engine(self._engine_spec)
+        if self._mapper_factory is not None:
+            replica_mapper = self._mapper_factory(index)
+        elif self._mapper_template is not None:
+            # Rebuild a private mapper per replica over the replica's
+            # private engine (via MapperSpec), so map flushes from N
+            # worker threads never race on one mapper/engine. Mappers
+            # with custom callables are not spec-representable and stay
+            # shared — the same in-process fallback the sharded mapper
+            # uses; prefer mapper_factory for those.
+            spec = self._mapper_template.shard_spec()
+            replica_mapper = (
+                spec.build(replica_engine)
+                if spec is not None
+                else self._mapper_template
+            )
+        else:
+            replica_mapper = None
+        return AlignmentServer(
+            engine=replica_engine,
+            mapper=replica_mapper,
+            **self._server_kwargs,
+        )
 
     # ------------------------------------------------------------------
     # Request entry points (mirror AlignmentServer)
@@ -431,7 +589,11 @@ class AlignmentCluster:
     # Dispatch
     # ------------------------------------------------------------------
     def _select(
-        self, tried: set[int], *, require_mapper: bool = False
+        self,
+        tried: set[int],
+        *,
+        require_mapper: bool = False,
+        key: str | None = None,
     ) -> Replica | None:
         """Pick the next replica to try, or None when none can take work.
 
@@ -442,6 +604,7 @@ class AlignmentCluster:
         ``require_mapper`` restricts the pool to replicas that can serve
         ``map_read`` at all — a mapper-less replica answering one with a
         RuntimeError is a routing mistake, not a replica failure.
+        ``key`` is the request's content digest for key-affine policies.
         """
         now = time.monotonic()
 
@@ -454,7 +617,7 @@ class AlignmentCluster:
             r for r in self._replicas if routable(r) and r.eligible(now)
         ]
         if candidates:
-            return self._policy.select(candidates)
+            return self._policy.select_keyed(candidates, key)
         cooling = [
             r
             for r in self._replicas
@@ -464,9 +627,59 @@ class AlignmentCluster:
             return min(cooling, key=lambda r: r.cooldown_until)
         return None
 
+    def _routing_key(self, method: str, args: tuple, kwargs: dict) -> str | None:
+        """Content digest for key-affine policies (None when unused)."""
+        if not self._policy.needs_key:
+            return None
+        return request_digest(method, args, tuple(sorted(kwargs.items())))
+
+    def hedge_delay(self) -> float:
+        """Seconds an in-flight request waits before being hedged.
+
+        Derived from the ``hedge_quantile`` (default p99) of per-replica
+        latency — but the **minimum** across replicas, not the merged
+        quantile: the merged histogram is poisoned by exactly the slow
+        replica hedging exists to escape, while the fastest replica's
+        p99 answers the question that matters — "could some replica have
+        answered by now?". Clamped to the configured bounds; before any
+        latency is observed the max bound applies (hedge rarely until
+        the histograms know better).
+        """
+        per_replica = [
+            quantile
+            for replica in self._replicas
+            if replica.live
+            for quantile in (replica.latency.quantile(self.hedge_quantile),)
+            if quantile is not None
+        ]
+        if not per_replica:
+            return self.max_hedge_delay
+        return min(
+            self.max_hedge_delay, max(self.min_hedge_delay, min(per_replica))
+        )
+
     async def _submit(self, method: str, args: tuple, kwargs: dict) -> Any:
         if self._closed:
             raise ServerClosedError("cluster is stopped")
+        key = self._routing_key(method, args, kwargs)
+        used: set[int] = set()
+        if not self.hedge or len(self._replicas) < 2:
+            return await self._attempt_chain(method, args, kwargs, key, used)
+        return await self._submit_hedged(method, args, kwargs, key, used)
+
+    async def _attempt_chain(
+        self,
+        method: str,
+        args: tuple,
+        kwargs: dict,
+        key: str | None,
+        used: set[int],
+    ) -> Any:
+        """The retry loop: try replicas until one answers or none remain.
+
+        Every replica actually dispatched to is recorded in ``used`` so
+        a concurrent hedge can aim elsewhere.
+        """
         tried: set[int] = set()
         budget = (
             self.max_attempts
@@ -476,11 +689,14 @@ class AlignmentCluster:
         last_error: Exception | None = None
         require_mapper = method == "map_read"
         while budget > 0:
-            replica = self._select(tried, require_mapper=require_mapper)
+            replica = self._select(
+                tried, require_mapper=require_mapper, key=key
+            )
             if replica is None:
                 break
             budget -= 1
             replica.dispatched += 1
+            used.add(id(replica))
             started = time.monotonic()
             try:
                 result = await getattr(replica.server, method)(*args, **kwargs)
@@ -506,7 +722,12 @@ class AlignmentCluster:
                 replica.record_failure(time.monotonic())
                 tried.add(id(replica))
                 last_error = exc
-                if self._select(tried, require_mapper=require_mapper) is None:
+                if (
+                    self._select(
+                        tried, require_mapper=require_mapper, key=key
+                    )
+                    is None
+                ):
                     raise
                 self.retries += 1
                 continue
@@ -531,6 +752,112 @@ class AlignmentCluster:
             f"all {len(live)} replicas are at capacity",
             retry_after=self.suggested_retry_after(),
         )
+
+    async def _submit_hedged(
+        self,
+        method: str,
+        args: tuple,
+        kwargs: dict,
+        key: str | None,
+        used: set[int],
+    ) -> Any:
+        """Primary attempt plus a delayed duplicate; first answer wins.
+
+        The primary retry chain is authoritative: the hedge never
+        surfaces an error and never burns the primary's retries. The
+        losing side is cancelled — its queued entry is dropped before
+        its server flushes it, and a result that raced past cancellation
+        is discarded, so no request is ever answered twice.
+        """
+        primary = asyncio.ensure_future(
+            self._attempt_chain(method, args, kwargs, key, used)
+        )
+        try:
+            done, _ = await asyncio.wait({primary}, timeout=self.hedge_delay())
+            if done:
+                return primary.result()
+            hedge = asyncio.ensure_future(
+                self._hedge_once(method, args, kwargs, key, set(used))
+            )
+        except asyncio.CancelledError:
+            await self._reap(primary)
+            raise
+        try:
+            await asyncio.wait(
+                {primary, hedge}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if primary.done():
+                # Primary is authoritative whenever it has finished —
+                # even if the hedge finished in the same event-loop step.
+                await self._reap(hedge)
+                return primary.result()
+            hedge_won, result = await hedge
+            if hedge_won:
+                self.hedge_wins += 1
+                await self._reap(primary)
+                return result
+            # The hedge could not help (no spare replica, or it failed);
+            # the primary remains the request's one answer.
+            return await primary
+        except asyncio.CancelledError:
+            await self._reap(primary)
+            await self._reap(hedge)
+            raise
+
+    async def _hedge_once(
+        self,
+        method: str,
+        args: tuple,
+        kwargs: dict,
+        key: str | None,
+        avoid: set[int],
+    ) -> tuple[bool, Any]:
+        """One duplicate attempt on a replica the primary has not used.
+
+        Returns ``(True, result)`` on success, ``(False, None)`` when no
+        spare replica exists or the spare failed — never an exception
+        (short of cancellation), so a doomed hedge cannot preempt the
+        primary's real answer or error.
+        """
+        require_mapper = method == "map_read"
+        replica = self._select(avoid, require_mapper=require_mapper, key=key)
+        if replica is None:
+            return False, None
+        self.hedges += 1
+        replica.dispatched += 1
+        started = time.monotonic()
+        try:
+            result = await getattr(replica.server, method)(*args, **kwargs)
+        except asyncio.CancelledError:
+            raise
+        except ServerClosedError:
+            replica.stopped = True
+            return False, None
+        except ValueError:
+            # Input rejection: the primary will surface the same error;
+            # cooling the replica for a poison request would be wrong.
+            return False, None
+        except Exception:  # noqa: BLE001 - primary is authoritative
+            replica.record_failure(time.monotonic())
+            return False, None
+        replica.record_success(time.monotonic() - started)
+        return True, result
+
+    @staticmethod
+    async def _reap(task: "asyncio.Task[Any]") -> None:
+        """Cancel (if still running) and silence one raced sibling task.
+
+        The loser of a hedge race must be awaited — an abandoned task
+        would leak "exception was never retrieved" noise — but whatever
+        it produced is discarded: exactly one answer surfaces.
+        """
+        task.cancel()
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass
+        except Exception:  # noqa: BLE001 - loser's outcome is discarded
+            pass
 
     # ------------------------------------------------------------------
     # Capacity and lifecycle
@@ -596,6 +923,19 @@ class AlignmentCluster:
             merged.merge(replica.server.stats)
         return merged
 
+    @property
+    def cache_stats(self) -> "CacheStats | None":
+        """Replica cache counters summed cluster-wide (None if uncached)."""
+        merged: CacheStats | None = None
+        for replica in self._replicas:
+            cache = replica.server.cache
+            if cache is None:
+                continue
+            if merged is None:
+                merged = CacheStats()
+            merged.merge(cache.stats)
+        return merged
+
     def suggested_retry_after(self) -> float:
         """Soonest any live replica expects to free capacity, seconds."""
         live = [r for r in self._replicas if r.live]
@@ -623,7 +963,7 @@ class AlignmentCluster:
 
     def stats_payload(self) -> dict[str, Any]:
         """Cluster-wide and per-replica blocks for ``GET /v1/stats``."""
-        return {
+        payload: dict[str, Any] = {
             "engine": self.engine_name,
             "cluster": {
                 "policy": self._policy.name,
@@ -631,10 +971,26 @@ class AlignmentCluster:
                 "live": sum(1 for r in self._replicas if r.live),
                 "shed": self.shed,
                 "retries": self.retries,
+                "hedges": self.hedges,
+                "hedge_wins": self.hedge_wins,
             },
             "serving": self.stats.to_dict(),
             "replicas": [r.to_dict() for r in self._replicas],
         }
+        if self.hedge:
+            payload["hedging"] = {
+                "enabled": True,
+                "quantile": self.hedge_quantile,
+                "delay_ms": self.hedge_delay() * 1000.0,
+                "hedges": self.hedges,
+                "hedge_wins": self.hedge_wins,
+            }
+        cache_stats = self.cache_stats
+        if cache_stats is not None:
+            payload["cache"] = cache_stats.to_dict()
+        if self._autoscaler is not None:
+            payload["autoscaler"] = self._autoscaler.to_dict()
+        return payload
 
     def _resolve(self, which: int | str) -> Replica:
         if isinstance(which, int):
@@ -655,6 +1011,38 @@ class AlignmentCluster:
         replica.draining = True
         await replica.server.stop()
         replica.stopped = True
+
+    def add_replica(self, *, server: AlignmentServer | None = None) -> Replica:
+        """Grow the cluster by one replica, in rotation immediately.
+
+        Without ``server`` the cluster rebuilds from its own recipe —
+        the same engine spec/factory, mapper template, and server kwargs
+        the constructor used — so an autoscaler can add capacity without
+        knowing how the cluster was put together. Clusters built from
+        pre-made ``servers=`` have no recipe and require an explicit
+        ``server``.
+        """
+        if self._closed:
+            raise ServerClosedError("cluster is stopped")
+        if server is None:
+            if not self._buildable:
+                raise RuntimeError(
+                    "cluster was built from pre-made servers; pass server= "
+                    "to add_replica"
+                )
+            server = self._build_server(self._next_index)
+        replica = Replica(
+            f"replica-{self._next_index}",
+            server,
+            failure_cooldown=self._failure_cooldown,
+        )
+        self._next_index += 1
+        self._replicas.append(replica)
+        return replica
+
+    def attach_autoscaler(self, scaler: Any) -> None:
+        """Surface ``scaler.to_dict()`` under ``autoscaler`` in stats."""
+        self._autoscaler = scaler
 
     async def stop(self) -> None:
         """Drain every replica concurrently; reject later submissions."""

@@ -48,6 +48,7 @@ from typing import TYPE_CHECKING, Any, Sequence
 from repro.core.aligner import Alignment, GenAsmAligner
 from repro.core.bitap import BitapMatch
 from repro.engine.registry import get_engine
+from repro.serving.cache import MISS, AlignmentCache, make_cache, request_digest
 from repro.serving.histogram import LatencyHistogram
 from repro.sequences.alphabet import DNA, Alphabet
 
@@ -67,6 +68,9 @@ class ServingStats:
     requests: int = 0
     served: int = 0
     failed: int = 0
+    #: Requests cancelled while queued (a hedge won elsewhere, a client
+    #: went away): dropped before the engine call instead of computed.
+    cancelled: int = 0
     flushes: int = 0
     size_flushes: int = 0
     deadline_flushes: int = 0
@@ -90,6 +94,7 @@ class ServingStats:
             "requests": self.requests,
             "served": self.served,
             "failed": self.failed,
+            "cancelled": self.cancelled,
             "flushes": self.flushes,
             "size_flushes": self.size_flushes,
             "deadline_flushes": self.deadline_flushes,
@@ -104,6 +109,7 @@ class ServingStats:
         self.requests += other.requests
         self.served += other.served
         self.failed += other.failed
+        self.cancelled += other.cancelled
         self.flushes += other.flushes
         self.size_flushes += other.size_flushes
         self.deadline_flushes += other.deadline_flushes
@@ -122,6 +128,8 @@ class _Request:
     key: tuple
     payload: Any
     future: "asyncio.Future[Any]" = field(repr=False, default=None)
+    #: Content digest for the result cache (None when caching is off).
+    digest: str | None = None
 
 
 class AlignmentServer:
@@ -145,6 +153,14 @@ class AlignmentServer:
         arrivals have been observed.
     max_pending:
         Backpressure bound: maximum requests queued or in flight at once.
+    cache:
+        Content-addressed result cache
+        (:class:`~repro.serving.cache.AlignmentCache`): pass an instance,
+        ``True`` for a default-sized private cache, or ``None``/``False``
+        (default) for no caching. A hit answers before the request is
+        queued — no slot taken, no engine call — and every engine result
+        is written back keyed on a digest of
+        ``(task, text, pattern, k, config)``.
     adaptive_flush:
         Treat the deadline as an idle timeout sized from an EWMA of
         observed inter-arrival gaps: every arrival re-arms the flush timer
@@ -177,6 +193,7 @@ class AlignmentServer:
         batch_size: int = 64,
         flush_interval: float = 0.005,
         max_pending: int = 1024,
+        cache: "AlignmentCache | bool | None" = None,
         adaptive_flush: bool = False,
         min_flush_interval: float | None = None,
         max_flush_interval: float | None = None,
@@ -225,6 +242,13 @@ class AlignmentServer:
         self.flush_interval = flush_interval
         self.max_pending = max_pending
         self.alphabet = alphabet
+        self.cache = make_cache(cache)
+        # Results depend on the request payload plus the serving config
+        # that shapes them: the alphabet (symbol set + wildcard). Engine
+        # identity is deliberately excluded — the conformance suite pins
+        # every backend bit-identical, so results are engine-independent
+        # and survive replica rebuilds onto different backends.
+        self._cache_config = (alphabet.name, alphabet.symbols, alphabet.wildcard)
         self.stats = ServingStats()
         self._aligner = GenAsmAligner(engine=self.engine, alphabet=alphabet)
         self._queue: list[_Request] = []
@@ -366,6 +390,14 @@ class AlignmentServer:
         if self._closed:
             raise ServerClosedError("server is stopped")
         submitted = time.monotonic()
+        digest: str | None = None
+        if self.cache is not None:
+            # Content-addressed fast path: a hit answers immediately —
+            # no pending slot, no queue wait, no engine call.
+            digest = request_digest(kind, key, payload, self._cache_config)
+            hit = self.cache.get(digest)
+            if hit is not MISS:
+                return hit
         await self._slots.acquire()
         self._pending_total += 1
         try:
@@ -374,7 +406,9 @@ class AlignmentServer:
             loop = asyncio.get_running_loop()
             if self.adaptive_flush:
                 self._observe_arrival()
-            request = _Request(kind=kind, key=key, payload=payload)
+            request = _Request(
+                kind=kind, key=key, payload=payload, digest=digest
+            )
             request.future = loop.create_future()
             if not self._queue:
                 self._first_enqueued = time.monotonic()
@@ -432,8 +466,15 @@ class AlignmentServer:
 
     async def _dispatch(self, batch: list[_Request]) -> None:
         """Run one engine call per (kind, key) group; resolve futures."""
+        # A request cancelled while queued (its hedge won on another
+        # replica, its client went away) is dropped *before* the engine
+        # call — the batch shrinks instead of computing a discarded
+        # answer. One cancelled after the engine call starts still
+        # computes, but its done future below ignores the late result.
+        live = [request for request in batch if not request.future.done()]
+        self.stats.cancelled += len(batch) - len(live)
         groups: dict[tuple, list[_Request]] = {}
-        for request in batch:
+        for request in live:
             groups.setdefault((request.kind, *request.key), []).append(request)
         loop = asyncio.get_running_loop()
         for group in groups.values():
@@ -456,6 +497,8 @@ class AlignmentServer:
             for request, result in zip(group, results):
                 if not request.future.done():
                     request.future.set_result(result)
+                if self.cache is not None and request.digest is not None:
+                    self.cache.put(request.digest, result)
             self.stats.served += len(group)
 
     def _observe_service(self, seconds: float) -> None:
@@ -481,7 +524,7 @@ class AlignmentServer:
 
     def stats_payload(self) -> dict[str, Any]:
         """Serving counters and flush policy for ``GET /v1/stats``."""
-        return {
+        payload = {
             "engine": self.engine_name,
             "serving": self.stats.to_dict(),
             "flush": {
@@ -490,6 +533,9 @@ class AlignmentServer:
                 "batch_size": self.batch_size,
             },
         }
+        if self.cache is not None:
+            payload["cache"] = self.cache.stats.to_dict()
+        return payload
 
     def _run_group(
         self, kind: str, key: tuple, payloads: list[Any]

@@ -6,7 +6,6 @@ deletion-heavy ONT mixes), ambiguous bases, and boundary conditions at the
 very start/end of the matched region.
 """
 
-import pytest
 
 from repro.core.aligner import GenAsmAligner, genasm_align
 from repro.core.bitap import bitap_edit_distance, bitap_scan

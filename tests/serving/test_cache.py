@@ -1,0 +1,212 @@
+"""Content-addressed result cache: digests, budgets, server integration."""
+
+import asyncio
+
+import pytest
+
+from repro.engine import PurePythonEngine
+from repro.serving import AlignmentCache, AlignmentServer, make_cache
+from repro.serving.cache import MISS, approx_size, request_digest
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestRequestDigest:
+    def test_stable_across_calls(self):
+        a = request_digest("scan", "ACGT", "AC", 1)
+        b = request_digest("scan", "ACGT", "AC", 1)
+        assert a == b
+        assert len(a) == 32  # 16-byte blake2b, hex
+
+    def test_every_part_matters(self):
+        base = request_digest("scan", "ACGT", "AC", 1)
+        assert request_digest("align", "ACGT", "AC", 1) != base
+        assert request_digest("scan", "ACGG", "AC", 1) != base
+        assert request_digest("scan", "ACGT", "AG", 1) != base
+        assert request_digest("scan", "ACGT", "AC", 2) != base
+
+    def test_length_prefix_blocks_boundary_collisions(self):
+        # Same concatenated character stream, different part split.
+        assert request_digest("scan", "ABC", "D") != request_digest(
+            "scan", "AB", "CD"
+        )
+
+    def test_config_tuple_participates(self):
+        with_config = request_digest("scan", "ACGT", ("dna", "ACGT", "N"))
+        other_config = request_digest("scan", "ACGT", ("dna", "ACGT", "X"))
+        assert with_config != other_config
+
+
+class TestApproxSize:
+    def test_bigger_payloads_report_bigger(self):
+        assert approx_size("A" * 10_000) > approx_size("A")
+        assert approx_size(list(range(1000))) > approx_size([1])
+
+    def test_object_attributes_counted(self):
+        class Holder:
+            def __init__(self, payload):
+                self.payload = payload
+
+        assert approx_size(Holder("A" * 10_000)) > approx_size(Holder("A"))
+
+    def test_large_lists_extrapolate_not_crawl(self):
+        # A million-element list must still be sized (sampled), and the
+        # estimate must scale with the length.
+        big = ["x" * 50] * 100_000
+        small = ["x" * 50] * 1_000
+        assert approx_size(big) > approx_size(small) * 10
+
+
+class TestAlignmentCacheBudgets:
+    def test_get_miss_then_hit(self):
+        cache = AlignmentCache()
+        assert cache.get("k") is MISS
+        assert cache.put("k", [1, 2, 3])
+        assert cache.get("k") == [1, 2, 3]
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_cached_none_is_not_a_miss(self):
+        cache = AlignmentCache()
+        cache.put("k", None)  # edit_distance legitimately caches None
+        assert cache.get("k") is None
+        assert cache.stats.hits == 1
+
+    def test_entry_count_eviction_is_lru(self):
+        cache = AlignmentCache(max_entries=2, max_bytes=1 << 30)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"; "b" is now LRU
+        cache.put("c", 3)
+        assert cache.get("b") is MISS
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_byte_budget_evicts_until_under(self):
+        one = approx_size("x" * 1000)
+        cache = AlignmentCache(max_entries=1000, max_bytes=int(one * 2.5))
+        cache.put("a", "x" * 1000)
+        cache.put("b", "y" * 1000)
+        cache.put("c", "z" * 1000)  # over budget -> evict "a"
+        assert cache.get("a") is MISS
+        assert cache.get("b") is not MISS
+        assert cache.get("c") is not MISS
+        assert cache.bytes_used <= cache.max_bytes
+
+    def test_oversize_value_rejected_not_stored(self):
+        cache = AlignmentCache(max_entries=10, max_bytes=256)
+        cache.put("small", 1)
+        assert not cache.put("huge", "x" * 10_000)
+        assert cache.get("huge") is MISS
+        assert cache.get("small") == 1  # rejection did not nuke the cache
+        assert cache.stats.rejected == 1
+
+    def test_replace_releases_old_size(self):
+        cache = AlignmentCache()
+        cache.put("k", "x" * 1000)
+        before = cache.bytes_used
+        cache.put("k", "y")
+        assert cache.bytes_used < before
+        assert len(cache) == 1
+
+    def test_occupancy_tracked_in_stats(self):
+        cache = AlignmentCache()
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.stats.entries == 2
+        assert cache.stats.bytes == cache.bytes_used > 0
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.bytes == 0
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            AlignmentCache(max_entries=0)
+        with pytest.raises(ValueError):
+            AlignmentCache(max_bytes=0)
+
+
+class TestMakeCache:
+    def test_spellings(self):
+        assert make_cache(None) is None
+        assert make_cache(False) is None
+        assert isinstance(make_cache(True), AlignmentCache)
+        mine = AlignmentCache(max_entries=7)
+        assert make_cache(mine) is mine
+        with pytest.raises(ValueError):
+            make_cache("yes")
+
+
+class CountingEngine(PurePythonEngine):
+    """Counts batch calls so cache hits are observable as absent work."""
+
+    def __init__(self):
+        self.batch_calls = 0
+
+    def scan_batch(self, pairs, k, **kwargs):
+        self.batch_calls += 1
+        return super().scan_batch(pairs, k, **kwargs)
+
+
+class TestServerCacheIntegration:
+    def test_repeat_requests_skip_the_engine(self):
+        async def main():
+            engine = CountingEngine()
+            async with AlignmentServer(
+                engine=engine, batch_size=4, flush_interval=0.001, cache=True
+            ) as server:
+                first = await server.scan("ACGTACGTACGT", "GTAC", 1)
+                for _ in range(5):
+                    assert await server.scan("ACGTACGTACGT", "GTAC", 1) == first
+                assert engine.batch_calls == 1
+                assert server.cache.stats.hits == 5
+                payload = server.stats_payload()
+                assert payload["cache"]["hits"] == 5
+
+        run(main())
+
+    def test_distinct_requests_all_computed(self):
+        async def main():
+            engine = CountingEngine()
+            async with AlignmentServer(
+                engine=engine, batch_size=64, flush_interval=0.001, cache=True
+            ) as server:
+                a = await server.scan("ACGTACGTACGT", "GTAC", 1)
+                b = await server.scan("ACGTACGTACGT", "GTAC", 2)  # k differs
+                c = await server.edit_distance("ACGTACGTACGT", "GTAC", 1)
+                assert server.cache.stats.misses == 3
+                assert a != b or c is not None  # all answered
+
+        run(main())
+
+    def test_correct_results_survive_eviction(self):
+        """A cache too small for the working set must stay *correct* —
+        evicted keys recompute to the same answer, never a stale one."""
+
+        async def main():
+            engine = CountingEngine()
+            cache = AlignmentCache(max_entries=2, max_bytes=1 << 30)
+            async with AlignmentServer(
+                engine=engine, batch_size=1, flush_interval=0.001, cache=cache
+            ) as server:
+                texts = ["ACGTACGTACGT", "TTTTACGTAAAA", "GGGGACGTCCCC"]
+                first = [await server.scan(t, "ACGT", 1) for t in texts]
+                # Cycle again: every key was evicted by the others.
+                second = [await server.scan(t, "ACGT", 1) for t in texts]
+                assert first == second
+                assert cache.stats.evictions >= 3
+                assert engine.batch_calls == 6  # recomputed, not stale
+
+        run(main())
+
+    def test_cache_off_by_default(self):
+        async def main():
+            async with AlignmentServer(engine=PurePythonEngine()) as server:
+                assert server.cache is None
+                assert "cache" not in server.stats_payload()
+
+        run(main())

@@ -1,11 +1,23 @@
 """Unit tests for the CI bench regression gate's comparison logic."""
 
+import json
 import sys
 from pathlib import Path
 
+import pytest
+
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
 
-from check_regression import config_key, find_regressions  # noqa: E402
+from check_regression import (  # noqa: E402
+    GATE_SPECS,
+    GateSpec,
+    Invariant,
+    check_invariants,
+    config_key,
+    find_metric_regressions,
+    find_regressions,
+    gate_artifact,
+)
 
 
 def row(task="align", backend="batched", rate=1000.0, batch=64, **kw):
@@ -84,3 +96,151 @@ class TestFindRegressions:
         ]
         keys = {config_key(base)} | {config_key(v) for v in variants}
         assert len(keys) == 6
+
+
+class TestInvariant:
+    def test_holds_and_violates(self):
+        doc = {"summary": {"speedup": 5.0}}
+        assert Invariant("summary.speedup", ">=", 2.0).check(doc) == (
+            True,
+            5.0,
+        )
+        assert Invariant("summary.speedup", ">=", 9.0).check(doc)[0] is False
+        assert Invariant("summary.speedup", "<=", 9.0).check(doc)[0] is True
+
+    def test_missing_path_fails_not_skips(self):
+        holds, observed = Invariant("summary.absent", ">=", 1.0).check(
+            {"summary": {}}
+        )
+        assert holds is False
+        assert observed is None
+
+    def test_non_numeric_value_fails(self):
+        doc = {"summary": {"speedup": "fast"}}
+        assert Invariant("summary.speedup", ">=", 1.0).check(doc)[0] is False
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            Invariant("summary.x", "==", 1.0).check({"summary": {"x": 1.0}})
+
+
+SPEC = GateSpec(
+    name="demo",
+    metric="goodput_per_sec",
+    key_fields=("workload", "policy"),
+    threshold=0.5,
+)
+
+
+def demo_row(workload="w", policy="p", rate=100.0):
+    return {"workload": workload, "policy": policy, "goodput_per_sec": rate}
+
+
+class TestFindMetricRegressions:
+    def test_spec_metric_and_keys_drive_comparison(self):
+        regs, compared = find_metric_regressions(
+            [demo_row(rate=100), demo_row(policy="q", rate=100)],
+            [demo_row(rate=90), demo_row(policy="q", rate=10)],
+            SPEC,
+        )
+        assert compared == 2
+        assert len(regs) == 1
+        assert regs[0]["key"] == {"workload": "w", "policy": "q"}
+        assert regs[0]["baseline_goodput_per_sec"] == 100
+
+    def test_row_filter_excludes_rows(self):
+        spec = GateSpec(
+            name="demo",
+            metric="goodput_per_sec",
+            key_fields=("workload", "policy"),
+            threshold=0.5,
+            row_filter=lambda r: r["workload"] != "tiny",
+        )
+        regs, compared = find_metric_regressions(
+            [demo_row("tiny", rate=100)], [demo_row("tiny", rate=1)], spec
+        )
+        assert regs == []
+        assert compared == 0
+
+    def test_rows_missing_the_metric_are_skipped(self):
+        regs, compared = find_metric_regressions(
+            [demo_row(rate=100)], [{"workload": "w", "policy": "p"}], SPEC
+        )
+        assert compared == 0
+
+
+class TestGateSpecs:
+    def test_all_five_families_registered(self):
+        assert set(GATE_SPECS) == {
+            "batch_engine",
+            "serving",
+            "http",
+            "cluster",
+            "elastic",
+        }
+
+    def test_every_committed_baseline_passes_its_gate(self):
+        """The gate as CI runs it (--all, pre-smoke) must pass on the
+        committed artifacts, including the elastic acceptance bars."""
+        for spec in GATE_SPECS.values():
+            assert gate_artifact(spec) == [], spec.name
+
+    def test_elastic_spec_encodes_the_acceptance_bars(self):
+        by_path = {
+            inv.path: inv for inv in GATE_SPECS["elastic"].invariants
+        }
+        hedged = by_path["summary.hedged_p99_vs_unhedged_p99"]
+        assert (hedged.op, hedged.value) == ("<=", 0.5)
+        cache = by_path["summary.cache_speedup_repeated"]
+        assert (cache.op, cache.value) == (">=", 5.0)
+
+
+class TestGateArtifact:
+    def test_missing_file_fails(self, tmp_path):
+        failures = gate_artifact(SPEC, tmp_path / "BENCH_demo.json")
+        assert failures and "missing" in failures[0]
+
+    def test_unparseable_file_fails(self, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        path.write_text("{not json")
+        failures = gate_artifact(SPEC, path)
+        assert failures and "unparseable" in failures[0]
+
+    def test_empty_results_fail(self, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        path.write_text(json.dumps({"results": []}))
+        failures = gate_artifact(SPEC, path)
+        assert any("no gated rows" in f for f in failures)
+
+    def test_nonpositive_metric_fails(self, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        path.write_text(json.dumps({"results": [demo_row(rate=0.0)]}))
+        failures = gate_artifact(SPEC, path)
+        assert any("invalid goodput_per_sec" in f for f in failures)
+
+    def test_invariant_violations_reported_with_observed(self, tmp_path):
+        spec = GateSpec(
+            name="demo",
+            metric="goodput_per_sec",
+            key_fields=("workload", "policy"),
+            invariants=(Invariant("summary.ratio", ">=", 0.5),),
+        )
+        path = tmp_path / "BENCH_demo.json"
+        path.write_text(
+            json.dumps(
+                {"results": [demo_row()], "summary": {"ratio": 0.1}}
+            )
+        )
+        failures = gate_artifact(spec, path)
+        assert len(failures) == 1
+        assert "0.1" in failures[0]
+
+    def test_check_invariants_passes_clean_doc(self):
+        spec = GATE_SPECS["cluster"]
+        doc = {
+            "summary": {
+                "degraded_2rep_vs_healthy_2rep": 0.95,
+                "single_degraded_vs_healthy_2rep": 0.1,
+            }
+        }
+        assert check_invariants(spec, doc) == []
