@@ -18,7 +18,10 @@ point of the adaptive window is robustness to a *mis-sized* fixed
 deadline: during a dense burst the EWMA gap collapses and the deadline
 shrinks toward the minimum (flush as soon as the burst has arrived,
 instead of idling out the full fixed window), while sparse traffic widens
-it back out toward the bound. Emits ``BENCH_http.json`` at the repo root
+it back out toward the bound. A final pair of rows re-runs the bursty
+workload with request tracing off (``untraced``) and on (``traced``);
+their ratio (``summary.tracing_req_s_ratio``) is the CI-gated bound on
+observability overhead. Emits ``BENCH_http.json`` at the repo root
 (tracked across PRs, uploaded as a CI artifact); the summary records
 adaptive-vs-fixed speedup per workload.
 
@@ -164,10 +167,12 @@ def run_config(
     workload: HttpWorkload,
     pairs: list[tuple[str, str]],
     *,
-    mode: str,  # "fixed" | "adaptive"
+    mode: str,  # "fixed" | "adaptive" | "untraced" | "traced"
     flush_ms: float,
     batch_size: int,
     engine: str | None,
+    adaptive: bool | None = None,
+    trace: bool = False,
 ) -> dict:
     async def main() -> dict:
         server = AlignmentServer(
@@ -175,11 +180,13 @@ def run_config(
             batch_size=batch_size,
             flush_interval=flush_ms / 1e3,
             max_pending=max(batch_size, 4 * workload.burst_size),
-            adaptive_flush=(mode == "adaptive"),
+            adaptive_flush=(
+                adaptive if adaptive is not None else mode == "adaptive"
+            ),
             min_flush_interval=flush_ms / 8e3,
             max_flush_interval=4 * flush_ms / 1e3,
         )
-        async with AlignmentHTTPServer(server) as front:
+        async with AlignmentHTTPServer(server, trace=trace) as front:
             await front.start(port=0)
             elapsed, latencies = await _drive(front, workload, pairs)
             stats = server.stats
@@ -285,11 +292,43 @@ def main() -> None:
         for r in results
         if r["mode"] == "adaptive"
     ]
+    # Tracing-overhead section (the observability gate): the bursty
+    # schedule at the first flush window, once with tracing off and once
+    # with the full per-request span/trace-buffer machinery on. Both
+    # sides use the fixed flush window so the only variable is tracing.
+    tracing_workload = workloads[0]
+    tracing_pairs = build_pairs(tracing_workload, seed=0xB0B)
+    tracing_rates: dict[str, float] = {}
+    for mode, trace in (("untraced", False), ("traced", True)):
+        best = None
+        for _ in range(repeats):
+            run = run_config(
+                tracing_workload,
+                tracing_pairs,
+                mode=mode,
+                flush_ms=flush_windows[0],
+                batch_size=batch_size,
+                engine=args.engine,
+                adaptive=False,
+                trace=trace,
+            )
+            if best is None or (
+                run["requests_per_sec"] > best["requests_per_sec"]
+            ):
+                best = run
+        results.append(best)
+        tracing_rates[mode] = best["requests_per_sec"]
+
     bursty = [s["adaptive_vs_fixed"] for s in speedups if s["workload"] == "bursty"]
     summary = {
         "best_adaptive_speedup_bursty": max(bursty, default=None),
         "worst_adaptive_speedup_bursty": min(bursty, default=None),
         "max_requests_per_sec": max(r["requests_per_sec"] for r in results),
+        # >= 0.95 is CI-gated: tracing must stay within 5% of untraced
+        # req/s on the bursty workload.
+        "tracing_req_s_ratio": (
+            tracing_rates["traced"] / tracing_rates["untraced"]
+        ),
     }
 
     emit_json(

@@ -174,6 +174,10 @@ GATE_SPECS: dict[str, GateSpec] = {
                 # Adaptive flush must not *lose* to fixed flush on the
                 # bursty workload it was built for.
                 Invariant("summary.best_adaptive_speedup_bursty", ">=", 0.9),
+                # Observability bound: per-request tracing (spans, trace
+                # ring buffer, id minting) must stay within 5% of
+                # tracing-off throughput on the bursty workload.
+                Invariant("summary.tracing_req_s_ratio", ">=", 0.95),
             ),
         ),
         GateSpec(

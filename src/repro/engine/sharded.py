@@ -30,6 +30,7 @@ import atexit
 import multiprocessing
 import os
 import threading
+import time
 from typing import Any, Callable, Sequence, TypeVar
 
 from repro.core.bitap import BitapMatch
@@ -96,46 +97,57 @@ def _init_map_worker(inner_name: str, spec: Any) -> None:
     _WORKER_MAPPER = spec.build(_WORKER_ENGINE)
 
 
-def _map_chunk(reads: list[tuple[str, str]]) -> tuple[list[Any], Any]:
+def _map_chunk(
+    reads: list[tuple[str, str]],
+) -> tuple[list[Any], Any, float]:
     """Run the full mapping pipeline for one chunk of reads.
 
-    Returns the chunk's results plus the stats *delta* it generated, so the
-    parent can fold worker counters into the caller's mapper.
+    Returns the chunk's results, the stats *delta* it generated (so the
+    parent can fold worker counters into the caller's mapper), and the
+    worker-side compute seconds — the only per-shard timing that can
+    cross the IPC boundary, since a parent-side clock would fold pool
+    queueing into every chunk.
     """
     from repro.mapping.pipeline import PipelineStats
 
+    started = time.perf_counter()
     _WORKER_MAPPER.stats = PipelineStats()
     results = _WORKER_MAPPER.map_reads(reads)
-    return results, _WORKER_MAPPER.stats
+    return results, _WORKER_MAPPER.stats, time.perf_counter() - started
 
 
 def _scan_chunk(
     args: tuple[list[tuple[str, str]], int, Alphabet, bool],
-) -> list[list[BitapMatch]]:
+) -> tuple[list[list[BitapMatch]], float]:
     pairs, k, alphabet, first_match_only = args
-    return _WORKER_ENGINE.scan_batch(
+    started = time.perf_counter()
+    results = _WORKER_ENGINE.scan_batch(
         pairs, k, alphabet=alphabet, first_match_only=first_match_only
     )
+    return results, time.perf_counter() - started
 
 
 def _dc_chunk(
     args: tuple[list[tuple[str, str]], Alphabet, int, str],
-) -> list[WindowData]:
+) -> tuple[list[WindowData], float]:
     jobs, alphabet, initial_budget, representation = args
-    return _WORKER_ENGINE.run_dc_windows(
+    started = time.perf_counter()
+    results = _WORKER_ENGINE.run_dc_windows(
         jobs,
         alphabet=alphabet,
         initial_budget=initial_budget,
         representation=representation,
     )
+    return results, time.perf_counter() - started
 
 
 def _align_chunk(
     args: tuple[list[tuple[str, str]], Alphabet, int, int, Any, str],
-) -> list[Any]:
+) -> tuple[list[Any], float]:
     pairs, alphabet, window_size, overlap, config, window_representation = args
     from repro.core.aligner import GenAsmAligner
 
+    started = time.perf_counter()
     aligner = GenAsmAligner(
         window_size=window_size,
         overlap=overlap,
@@ -144,7 +156,8 @@ def _align_chunk(
         engine=_WORKER_ENGINE,
         window_representation=window_representation,
     )
-    return aligner.align_batch(pairs)
+    results = aligner.align_batch(pairs)
+    return results, time.perf_counter() - started
 
 
 @register_engine
@@ -198,6 +211,7 @@ class ShardedEngine(AlignmentEngine):
         self._map_pool: multiprocessing.pool.Pool | None = None
         self._map_pool_token: str | None = None
         self._atexit_registered = False
+        self._shard_timings: list[dict[str, Any]] | None = None
 
     # ------------------------------------------------------------------
     # Availability / capability metadata
@@ -310,7 +324,7 @@ class ShardedEngine(AlignmentEngine):
     def _run_sharded(
         self,
         jobs: list[T],
-        worker_fn: Callable[..., list[Any]],
+        worker_fn: Callable[..., tuple[list[Any], float]],
         extra: tuple,
         local_fn: Callable[[list[T]], list[Any]],
     ) -> list[Any]:
@@ -319,8 +333,26 @@ class ShardedEngine(AlignmentEngine):
             # One chunk would serialize through one worker anyway; skip IPC.
             return local_fn(jobs)
         pool = self._ensure_pool()
-        results = pool.map(worker_fn, [(chunk, *extra) for chunk in chunks])
-        return [item for chunk_result in results for item in chunk_result]
+        outputs = pool.map(worker_fn, [(chunk, *extra) for chunk in chunks])
+        self._shard_timings = [
+            {"jobs": len(chunk), "seconds": seconds}
+            for chunk, (_, seconds) in zip(chunks, outputs)
+        ]
+        return [item for chunk_result, _ in outputs for item in chunk_result]
+
+    def pop_shard_timings(self) -> list[dict[str, Any]] | None:
+        """Per-shard worker timings of the last fan-out, then clear them.
+
+        Each entry is ``{"jobs": <chunk size>, "seconds": <worker-side
+        compute seconds>}``, in chunk submission order. Returns ``None``
+        when the last call took the in-process path (below ``min_batch``
+        or a single chunk). Return-and-clear semantics keep a stale
+        fan-out from being attributed to a later small-batch call; the
+        serving layer attaches the popped list to the request's
+        ``engine`` span.
+        """
+        timings, self._shard_timings = self._shard_timings, None
+        return timings
 
     def scan_batch(
         self,
@@ -479,10 +511,16 @@ class ShardedEngine(AlignmentEngine):
         chunks = self._shard(reads)
         outputs = pool.map(_map_chunk, chunks)
         results = [
-            result for chunk_results, _ in outputs for result in chunk_results
+            result
+            for chunk_results, _, _ in outputs
+            for result in chunk_results
         ]
-        for _, chunk_stats in outputs:
+        for _, chunk_stats, _ in outputs:
             total.merge(chunk_stats)
+        self._shard_timings = [
+            {"jobs": len(chunk), "seconds": seconds}
+            for chunk, (_, _, seconds) in zip(chunks, outputs)
+        ]
         return results, total
 
 

@@ -32,6 +32,13 @@ and ``/v1/stats`` — with request validation, load shedding, and graceful
 draining. Latency percentiles (p50/p90/p99) come from the mergeable
 log-bucket :class:`LatencyHistogram` (:mod:`repro.serving.histogram`) and
 appear per endpoint, per replica, and cluster-wide in ``/v1/stats``.
+
+:mod:`repro.serving.observability` threads the whole stack together:
+per-request traces (``X-Request-ID`` honored/echoed, span breakdowns at
+``GET /v1/trace/<id>`` and ``?debug=timing``), a pull-model
+:class:`MetricsRegistry` exposed in Prometheus text format at
+``GET /metrics``, and structured JSON event logging (sheds, hedges,
+autoscaler actions, slow requests) with per-event rate limiting.
 """
 
 from repro.serving.autoscaler import AutoscalerDecision, ClusterAutoscaler
@@ -56,6 +63,22 @@ from repro.serving.cluster import (
     register_policy,
 )
 from repro.serving.histogram import LatencyHistogram
+from repro.serving.observability import (
+    EventRateLimiter,
+    JsonFormatter,
+    MetricFamily,
+    MetricsRegistry,
+    Span,
+    Trace,
+    TraceBuffer,
+    configure_logging,
+    current_trace,
+    get_logger,
+    log_event,
+    new_trace_id,
+    parse_prometheus_text,
+    use_trace,
+)
 from repro.serving.http import (
     AlignmentHTTPServer,
     EndpointStats,
@@ -83,18 +106,32 @@ __all__ = [
     "ClusterSaturatedError",
     "ConsistentHashPolicy",
     "EndpointStats",
+    "EventRateLimiter",
     "HttpError",
+    "JsonFormatter",
     "LatencyEwmaPolicy",
     "LatencyHistogram",
     "LeastInFlightPolicy",
+    "MetricFamily",
+    "MetricsRegistry",
     "Replica",
     "RoundRobinPolicy",
     "RoutingPolicy",
     "ServerClosedError",
     "ServingStats",
+    "Span",
+    "Trace",
+    "TraceBuffer",
+    "configure_logging",
+    "current_trace",
+    "get_logger",
+    "log_event",
     "make_cache",
     "make_policy",
+    "new_trace_id",
+    "parse_prometheus_text",
     "register_policy",
     "serve_http",
     "serve_requests",
+    "use_trace",
 ]

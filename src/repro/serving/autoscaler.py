@@ -45,9 +45,19 @@ from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
+from repro.serving.observability import (
+    EventRateLimiter,
+    MetricFamily,
+    MetricsRegistry,
+    get_logger,
+    log_event,
+)
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.serving.cluster import AlignmentCluster
     from repro.serving.histogram import LatencyHistogram
+
+_LOGGER = get_logger("autoscaler")
 
 
 @dataclass
@@ -62,6 +72,9 @@ class AutoscalerDecision:
     shed_delta: int = 0
     window_p99_ms: float | None = None
     utilization: float = 0.0
+    #: Endpoint whose window p99 drove the latency signal (None when the
+    #: signal came from the replica-wide histogram).
+    p99_endpoint: str | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """Wire form for the decision log in ``/v1/stats``."""
@@ -74,6 +87,7 @@ class AutoscalerDecision:
             "shed_delta": self.shed_delta,
             "window_p99_ms": self.window_p99_ms,
             "utilization": self.utilization,
+            "p99_endpoint": self.p99_endpoint,
         }
 
 
@@ -83,6 +97,8 @@ class _Window:
 
     shed_delta: int = 0
     p99_ms: float | None = None
+    #: Endpoint the p99 came from (None for the replica-wide fallback).
+    p99_endpoint: str | None = None
     utilization: float = 0.0
     smoothed_utilization: float = 0.0
     samples: int = 0
@@ -121,6 +137,17 @@ class ClusterAutoscaler:
         tick (higher = reacts faster, oscillates easier).
     decision_log_size:
         Ticks kept in the decision log surfaced via :meth:`to_dict`.
+    registry:
+        Optional :class:`~repro.serving.observability.MetricsRegistry`
+        whose ``latency_family`` histograms drive the latency rule
+        **per endpoint**: the window p99 becomes the worst endpoint's
+        p99, so a burst of cheap ``/v1/scan`` traffic cannot dilute a
+        degraded ``/v1/align`` tail into looking healthy. Without a
+        registry (or before the family has series) the replica-wide
+        histogram is the fallback signal.
+    latency_family:
+        Histogram family name read from ``registry`` (default: the HTTP
+        front's per-endpoint request-duration family).
     """
 
     def __init__(
@@ -137,6 +164,8 @@ class ClusterAutoscaler:
         scale_down_utilization: float = 0.25,
         utilization_smoothing: float = 0.3,
         decision_log_size: int = 64,
+        registry: "MetricsRegistry | None" = None,
+        latency_family: str = "genasm_http_request_duration_seconds",
     ) -> None:
         if min_replicas < 1:
             raise ValueError("min_replicas must be at least 1")
@@ -167,10 +196,16 @@ class ClusterAutoscaler:
         )
         self.scale_ups = 0
         self.scale_downs = 0
+        self.registry = registry
+        self.latency_family = latency_family
         self._last_shed = cluster.shed
         self._latency_mark: "LatencyHistogram" = (
             cluster.stats.latency.snapshot()
         )
+        #: Per-endpoint snapshot marks for windowed registry histograms,
+        #: keyed by the family sample's sorted label tuple.
+        self._endpoint_marks: dict[tuple, "LatencyHistogram"] = {}
+        self._events = EventRateLimiter()
         self._smoothed_utilization = 0.0
         self._last_action_at: float | None = None
         self._pending_drain: Any = None
@@ -192,12 +227,10 @@ class ClusterAutoscaler:
         window.shed_delta = shed - self._last_shed
         self._last_shed = shed
 
-        latency = self.cluster.stats.latency
-        windowed = latency.since(self._latency_mark)
-        self._latency_mark = latency.snapshot()
-        window.samples = windowed.count
-        p99 = windowed.quantile(0.99)
+        p99, endpoint, samples = self._windowed_p99()
+        window.samples = samples
         window.p99_ms = None if p99 is None else p99 * 1000.0
+        window.p99_endpoint = endpoint
 
         budget = self.cluster.max_pending
         load = self.cluster.pending + self.cluster.in_flight
@@ -210,6 +243,47 @@ class ClusterAutoscaler:
         window.smoothed_utilization = self._smoothed_utilization
         window.live = sum(1 for r in self.cluster.replicas if r.live)
         return window
+
+    def _windowed_p99(self) -> tuple[float | None, str | None, int]:
+        """``(p99_seconds, endpoint, window_samples)`` for this tick.
+
+        With a registry: the window p99 of **each** series in the
+        configured latency family, and the worst one wins — per-endpoint
+        resolution means a flood of fast ``/v1/scan`` samples cannot
+        pull a degraded ``/v1/align`` p99 back under target, which is
+        exactly what happens when all endpoints share one histogram.
+        Falls back to the cluster-wide histogram when no registry is
+        attached or the family has no series yet.
+        """
+        if self.registry is not None:
+            histograms = self.registry.histogram_objects(self.latency_family)
+            if histograms:
+                worst: float | None = None
+                worst_endpoint: str | None = None
+                samples = 0
+                for labels, histogram in histograms.items():
+                    mark = self._endpoint_marks.get(labels)
+                    windowed = (
+                        histogram.since(mark)
+                        if mark is not None
+                        else histogram
+                    )
+                    self._endpoint_marks[labels] = histogram.snapshot()
+                    samples += windowed.count
+                    p99 = windowed.quantile(0.99)
+                    if p99 is not None and (worst is None or p99 > worst):
+                        worst = p99
+                        worst_endpoint = dict(labels).get(
+                            "endpoint", "/".join(v for _, v in labels)
+                        )
+                # Keep the replica-wide mark advancing so a later
+                # fallback window starts now, not at attach time.
+                self._latency_mark = self.cluster.stats.latency.snapshot()
+                return worst, worst_endpoint, samples
+        latency = self.cluster.stats.latency
+        windowed = latency.since(self._latency_mark)
+        self._latency_mark = latency.snapshot()
+        return windowed.quantile(0.99), None, windowed.count
 
     def _in_cooldown(self, now: float) -> bool:
         return (
@@ -229,8 +303,13 @@ class ClusterAutoscaler:
             and window.p99_ms is not None
             and window.p99_ms > self.target_p99_ms
         ):
+            where = (
+                f" on {window.p99_endpoint}"
+                if window.p99_endpoint is not None
+                else ""
+            )
             return (
-                f"window p99 {window.p99_ms:.1f}ms over target "
+                f"window p99 {window.p99_ms:.1f}ms{where} over target "
                 f"{self.target_p99_ms:.1f}ms"
             )
         if window.smoothed_utilization > self.scale_up_utilization:
@@ -261,7 +340,7 @@ class ClusterAutoscaler:
 
     def _decide(self, window: _Window, now: float) -> AutoscalerDecision:
         def verdict(action: str, reason: str) -> AutoscalerDecision:
-            return AutoscalerDecision(
+            decision = AutoscalerDecision(
                 at=now,
                 action=action,
                 reason=reason,
@@ -270,7 +349,22 @@ class ClusterAutoscaler:
                 shed_delta=window.shed_delta,
                 window_p99_ms=window.p99_ms,
                 utilization=window.smoothed_utilization,
+                p99_endpoint=window.p99_endpoint,
             )
+            if action != "hold":
+                log_event(
+                    _LOGGER,
+                    f"autoscaler.{action}",
+                    limiter=self._events,
+                    limit_key=action,
+                    reason=reason,
+                    replicas=decision.replicas,
+                    live=decision.live,
+                    shed_delta=decision.shed_delta,
+                    window_p99_ms=decision.window_p99_ms,
+                    utilization=decision.utilization,
+                )
+            return decision
 
         up_reason = self._wants_up(window)
         if self._in_cooldown(now):
@@ -355,6 +449,32 @@ class ClusterAutoscaler:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def collect_metrics(self) -> list[MetricFamily]:
+        """Metric families for this controller (registry surface)."""
+        actions = MetricFamily(
+            "genasm_autoscaler_actions_total",
+            "counter",
+            "Scale actions taken since start.",
+        )
+        actions.add(self.scale_ups, action="scale_up")
+        actions.add(self.scale_downs, action="scale_down")
+        decisions = MetricFamily(
+            "genasm_autoscaler_decisions_total",
+            "counter",
+            "Control-tick verdicts in the retained decision log.",
+        )
+        by_action: dict[str, int] = {}
+        for decision in self.decisions:
+            by_action[decision.action] = by_action.get(decision.action, 0) + 1
+        for action in ("scale_up", "scale_down", "hold"):
+            decisions.add(by_action.get(action, 0), action=action)
+        utilization = MetricFamily(
+            "genasm_autoscaler_utilization",
+            "gauge",
+            "Smoothed pending-slot utilization the controller sees.",
+        ).add(self._smoothed_utilization)
+        return [actions, decisions, utilization]
+
     def to_dict(self) -> dict[str, Any]:
         """The ``autoscaler`` block of the cluster's ``/v1/stats``."""
         return {

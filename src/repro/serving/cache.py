@@ -165,6 +165,35 @@ class CacheStats:
         self.bytes += other.bytes
         return self
 
+    def metric_families(self, **labels: Any) -> list:
+        """This cache's counters/gauges as registry metric families."""
+        from repro.serving.observability import MetricFamily
+
+        counters = MetricFamily(
+            "genasm_cache_events_total",
+            "counter",
+            "Cache lookup and lifecycle events by kind.",
+        )
+        for kind, value in (
+            ("hit", self.hits),
+            ("miss", self.misses),
+            ("eviction", self.evictions),
+            ("insertion", self.insertions),
+            ("rejected", self.rejected),
+        ):
+            counters.add(value, kind=kind, **labels)
+        entries = MetricFamily(
+            "genasm_cache_entries",
+            "gauge",
+            "Entries currently held in the result cache.",
+        ).add(self.entries, **labels)
+        size = MetricFamily(
+            "genasm_cache_bytes",
+            "gauge",
+            "Approximate bytes held by cached values.",
+        ).add(self.bytes, **labels)
+        return [counters, entries, size]
+
 
 class AlignmentCache:
     """LRU + byte-budget map from request digests to engine results.

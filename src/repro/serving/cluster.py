@@ -55,6 +55,7 @@ routes by request content digest so each replica's private result cache
 from __future__ import annotations
 
 import asyncio
+import logging
 import time
 from abc import ABC, abstractmethod
 from bisect import bisect_left
@@ -64,7 +65,16 @@ from typing import TYPE_CHECKING, Any, Callable, ClassVar, Sequence
 from repro.engine.registry import create_engine
 from repro.serving.cache import CacheStats, request_digest
 from repro.serving.histogram import LatencyHistogram
+from repro.serving.observability import (
+    EventRateLimiter,
+    MetricFamily,
+    current_trace,
+    get_logger,
+    log_event,
+)
 from repro.serving.server import AlignmentServer, ServerClosedError, ServingStats
+
+_LOGGER = get_logger("cluster")
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.aligner import Alignment
@@ -103,6 +113,10 @@ class Replica:
     ) -> None:
         self.name = name
         self.server = server
+        if server.name == "server":
+            # Spans and metric series from this server should carry the
+            # replica name; an explicitly named server keeps its name.
+            server.name = name
         self.latency = LatencyHistogram()
         self.ewma_latency: float | None = None
         self.latency_smoothing = latency_smoothing
@@ -414,6 +428,11 @@ class AlignmentCluster:
     hedge_quantile:
         Latency quantile deriving the hedge delay (default 0.99: only
         the slowest ~1% of requests hedge once histograms are warm).
+    trace:
+        Record routing spans (per-replica ``attempt``, ``hedge_wait``)
+        into the submitting context's current trace, and enable span
+        recording on every replica server. Off by default; the HTTP
+        front switches it on via :meth:`enable_tracing`.
     min_hedge_delay, max_hedge_delay:
         Clamp bounds (seconds) for :meth:`hedge_delay`; the max is also
         the delay used before any latency has been observed.
@@ -442,6 +461,7 @@ class AlignmentCluster:
         hedge_quantile: float = 0.99,
         min_hedge_delay: float = 0.001,
         max_hedge_delay: float = 1.0,
+        trace: bool = False,
         **server_kwargs: Any,
     ) -> None:
         if not 0.0 < hedge_quantile <= 1.0:
@@ -490,6 +510,7 @@ class AlignmentCluster:
         self._mapper_factory = mapper_factory
         self._server_kwargs = dict(server_kwargs)
         self._failure_cooldown = failure_cooldown
+        self.trace = bool(server_kwargs.get("trace", False)) or trace
         if self._buildable:
             built = [self._build_server(index) for index in range(replicas)]
         self._replicas = [
@@ -513,6 +534,9 @@ class AlignmentCluster:
         self.retries = 0
         self.hedges = 0
         self.hedge_wins = 0
+        self._events = EventRateLimiter()
+        if self.trace:
+            self.enable_tracing(True)
 
     def _build_server(self, index: int) -> AlignmentServer:
         """One fresh replica server from the stored construction recipe."""
@@ -545,10 +569,12 @@ class AlignmentCluster:
             )
         else:
             replica_mapper = None
+        kwargs = dict(self._server_kwargs)
+        kwargs.setdefault("trace", self.trace)
         return AlignmentServer(
             engine=replica_engine,
             mapper=replica_mapper,
-            **self._server_kwargs,
+            **kwargs,
         )
 
     # ------------------------------------------------------------------
@@ -688,6 +714,7 @@ class AlignmentCluster:
         )
         last_error: Exception | None = None
         require_mapper = method == "map_read"
+        trace = current_trace() if self.trace else None
         while budget > 0:
             replica = self._select(
                 tried, require_mapper=require_mapper, key=key
@@ -697,14 +724,25 @@ class AlignmentCluster:
             budget -= 1
             replica.dispatched += 1
             used.add(id(replica))
+            # One span per attempt: a retried request shows its full
+            # replica itinerary, each hop with its own outcome.
+            span = (
+                trace.begin("attempt", replica=replica.name, method=method)
+                if trace is not None
+                else None
+            )
             started = time.monotonic()
             try:
                 result = await getattr(replica.server, method)(*args, **kwargs)
             except asyncio.CancelledError:
+                if span is not None:
+                    span.finish("cancelled")
                 raise
             except ServerClosedError:
                 # Raced a drain/stop of that server: it never accepted the
                 # request, so trying elsewhere cannot duplicate anything.
+                if span is not None:
+                    span.finish("rerouted")
                 replica.stopped = True
                 tried.add(id(replica))
                 self.retries += 1
@@ -714,11 +752,15 @@ class AlignmentCluster:
                 # *request's* fault: every replica would refuse it the
                 # same way. Surface it untouched — no failure recorded,
                 # no retry burned.
+                if span is not None:
+                    span.finish("rejected")
                 raise
             except Exception as exc:  # noqa: BLE001 - judged per replica
                 # Engine calls are pure functions of the payload; the
                 # failed replica produced no result, so a retry on a
                 # different replica still answers the request exactly once.
+                if span is not None:
+                    span.finish("failed")
                 replica.record_failure(time.monotonic())
                 tried.add(id(replica))
                 last_error = exc
@@ -731,6 +773,8 @@ class AlignmentCluster:
                     raise
                 self.retries += 1
                 continue
+            if span is not None:
+                span.finish("ok")
             replica.record_success(time.monotonic() - started)
             return result
         if last_error is not None:
@@ -748,6 +792,15 @@ class AlignmentCluster:
                 "no live replica has a mapper to serve map_read"
             )
         self.shed += 1
+        log_event(
+            _LOGGER,
+            "cluster.shed",
+            level=logging.WARNING,
+            trace_id=trace.trace_id if trace is not None else None,
+            limiter=self._events,
+            live_replicas=len(live),
+            retry_after=self.suggested_retry_after(),
+        )
         raise ClusterSaturatedError(
             f"all {len(live)} replicas are at capacity",
             retry_after=self.suggested_retry_after(),
@@ -769,6 +822,7 @@ class AlignmentCluster:
         its server flushes it, and a result that raced past cancellation
         is discarded, so no request is ever answered twice.
         """
+        trace = current_trace() if self.trace else None
         primary = asyncio.ensure_future(
             self._attempt_chain(method, args, kwargs, key, used)
         )
@@ -776,6 +830,22 @@ class AlignmentCluster:
             done, _ = await asyncio.wait({primary}, timeout=self.hedge_delay())
             if done:
                 return primary.result()
+            # hedge_wait: the window between firing the duplicate and
+            # the race being decided — the cost the tail paid for a
+            # second chance.
+            hedge_span = (
+                trace.begin("hedge_wait", method=method)
+                if trace is not None
+                else None
+            )
+            log_event(
+                _LOGGER,
+                "cluster.hedge",
+                trace_id=trace.trace_id if trace is not None else None,
+                limiter=self._events,
+                method=method,
+                delay=self.hedge_delay(),
+            )
             hedge = asyncio.ensure_future(
                 self._hedge_once(method, args, kwargs, key, set(used))
             )
@@ -790,18 +860,26 @@ class AlignmentCluster:
                 # Primary is authoritative whenever it has finished —
                 # even if the hedge finished in the same event-loop step.
                 await self._reap(hedge)
+                if hedge_span is not None:
+                    hedge_span.finish("primary_won")
                 return primary.result()
             hedge_won, result = await hedge
             if hedge_won:
                 self.hedge_wins += 1
                 await self._reap(primary)
+                if hedge_span is not None:
+                    hedge_span.finish("hedge_won")
                 return result
             # The hedge could not help (no spare replica, or it failed);
             # the primary remains the request's one answer.
+            if hedge_span is not None:
+                hedge_span.finish("hedge_lost")
             return await primary
         except asyncio.CancelledError:
             await self._reap(primary)
             await self._reap(hedge)
+            if hedge_span is not None:
+                hedge_span.finish("cancelled")
             raise
 
     async def _hedge_once(
@@ -825,21 +903,42 @@ class AlignmentCluster:
             return False, None
         self.hedges += 1
         replica.dispatched += 1
+        trace = current_trace() if self.trace else None
+        # The duplicate's own attempt span, tagged hedge=True; when the
+        # primary wins the reap cancels this task and the span closes
+        # "cancelled" — the loser stays visible in the breakdown.
+        span = (
+            trace.begin(
+                "attempt", replica=replica.name, method=method, hedge=True
+            )
+            if trace is not None
+            else None
+        )
         started = time.monotonic()
         try:
             result = await getattr(replica.server, method)(*args, **kwargs)
         except asyncio.CancelledError:
+            if span is not None:
+                span.finish("cancelled")
             raise
         except ServerClosedError:
+            if span is not None:
+                span.finish("rerouted")
             replica.stopped = True
             return False, None
         except ValueError:
             # Input rejection: the primary will surface the same error;
             # cooling the replica for a poison request would be wrong.
+            if span is not None:
+                span.finish("rejected")
             return False, None
         except Exception:  # noqa: BLE001 - primary is authoritative
+            if span is not None:
+                span.finish("failed")
             replica.record_failure(time.monotonic())
             return False, None
+        if span is not None:
+            span.finish("ok")
         replica.record_success(time.monotonic() - started)
         return True, result
 
@@ -1043,6 +1142,72 @@ class AlignmentCluster:
     def attach_autoscaler(self, scaler: Any) -> None:
         """Surface ``scaler.to_dict()`` under ``autoscaler`` in stats."""
         self._autoscaler = scaler
+
+    def enable_tracing(self, enabled: bool = True) -> None:
+        """Switch span recording on/off, here and on every replica.
+
+        Replicas added later inherit the setting — the construction
+        recipe reads the live flag.
+        """
+        self.trace = enabled
+        for replica in self._replicas:
+            replica.server.enable_tracing(enabled)
+
+    def collect_metrics(self) -> list[MetricFamily]:
+        """Metric families for the cluster (registry collector surface).
+
+        Iterates the replica list at scrape time, so series appear and
+        disappear as the autoscaler grows and drains the cluster; the
+        attached autoscaler's own families ride along.
+        """
+        membership = MetricFamily(
+            "genasm_cluster_replicas",
+            "gauge",
+            "Replica count by liveness.",
+        )
+        membership.add(len(self._replicas), state="total")
+        membership.add(
+            sum(1 for r in self._replicas if r.live), state="live"
+        )
+        events = MetricFamily(
+            "genasm_cluster_events_total",
+            "counter",
+            "Routing events: sheds, retries, hedges, hedge wins.",
+        )
+        for kind, value in (
+            ("shed", self.shed),
+            ("retry", self.retries),
+            ("hedge", self.hedges),
+            ("hedge_win", self.hedge_wins),
+        ):
+            events.add(value, kind=kind)
+        dispatch = MetricFamily(
+            "genasm_cluster_replica_requests_total",
+            "counter",
+            "Per-replica dispatch outcomes seen by the router.",
+        )
+        latency = MetricFamily(
+            "genasm_cluster_replica_latency_seconds",
+            "histogram",
+            "Router-observed per-replica request latency.",
+        )
+        families = [membership, events, dispatch, latency]
+        for replica in self._replicas:
+            for outcome, value in (
+                ("dispatched", replica.dispatched),
+                ("completed", replica.completed),
+                ("failed", replica.failed),
+            ):
+                dispatch.add(value, replica=replica.name, outcome=outcome)
+            latency.add_histogram(replica.latency, replica=replica.name)
+            families.extend(replica.server.collect_metrics())
+        if self._autoscaler is not None:
+            autoscaler_metrics = getattr(
+                self._autoscaler, "collect_metrics", None
+            )
+            if autoscaler_metrics is not None:
+                families.extend(autoscaler_metrics())
+        return families
 
     async def stop(self) -> None:
         """Drain every replica concurrently; reject later submissions."""

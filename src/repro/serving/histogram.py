@@ -158,6 +158,25 @@ class LatencyHistogram:
         """A copy of the raw bucket counts (tests and debugging)."""
         return list(self._counts)
 
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_edge_seconds, cumulative_count)`` for occupied buckets.
+
+        The Prometheus-histogram view of the counts: each entry is a
+        ``le`` boundary with the number of samples at or below it. Only
+        boundaries whose own bucket holds samples are emitted — buckets
+        are cumulative, so any boundary subset is a faithful exposition,
+        and eliding the empty ones keeps the 100+-bucket log spacing from
+        bloating every scrape. The overflow bucket has no finite edge;
+        callers emit the mandatory ``+Inf`` bucket from :attr:`count`.
+        """
+        out: list[tuple[float, int]] = []
+        seen = 0
+        for i, bucket in enumerate(self._counts[:_N_BOUNDS]):
+            seen += bucket
+            if bucket:
+                out.append((_BOUNDS[i], seen))
+        return out
+
     @staticmethod
     def bucket_bounds() -> Sequence[float]:
         """The shared bucket upper edges (seconds)."""

@@ -45,15 +45,31 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import math
 import socket
 import time
 from dataclasses import dataclass, field
 from typing import Any, Awaitable, Callable, Union
+from urllib.parse import parse_qsl
 
 from repro.serving.cluster import AlignmentCluster, ClusterSaturatedError
 from repro.serving.histogram import LatencyHistogram
+from repro.serving.observability import (
+    EventRateLimiter,
+    MetricFamily,
+    MetricsRegistry,
+    Trace,
+    TraceBuffer,
+    current_trace,
+    get_logger,
+    log_event,
+    new_trace_id,
+    use_trace,
+)
 from repro.serving.server import AlignmentServer, ServerClosedError
+
+_LOGGER = get_logger("http")
 
 #: What the front can mount: one batching server or a replicated cluster.
 #: Both expose the same surface (request methods, ``saturated``,
@@ -69,6 +85,20 @@ DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
 _MAX_LINE_BYTES = 16 * 1024
 
 _JSON_CONTENT_TYPE = "application/json"
+
+#: Prometheus text exposition format 0.0.4 — what ``GET /metrics`` serves.
+_METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Path prefix for per-request trace lookups (``GET /v1/trace/<id>``).
+_TRACE_PREFIX = "/v1/trace/"
+
+
+@dataclass(frozen=True)
+class _RawResponse:
+    """A non-JSON response body (the ``/metrics`` exposition)."""
+
+    body: bytes
+    content_type: str
 
 
 class HttpError(Exception):
@@ -139,6 +169,8 @@ class _ParsedRequest:
     path: str
     headers: dict[str, str]
     body: bytes
+    #: Decoded query parameters (``?debug=timing``); last value wins.
+    query: dict[str, str] = field(default_factory=dict)
 
     @property
     def keep_alive(self) -> bool:
@@ -160,6 +192,25 @@ class AlignmentHTTPServer:
         Request bodies above this are rejected with 413 without being read.
     own_server:
         Whether :meth:`stop` drains and stops ``server`` too.
+    trace:
+        Create a :class:`~repro.serving.observability.Trace` per request
+        (honoring/echoing ``X-Request-ID``, generating an id otherwise),
+        propagate it through the backend, retain it in the ring buffer
+        behind ``GET /v1/trace/<id>``, and honor ``?debug=timing``. On
+        by default — the network front is where per-stage breakdowns
+        earn their keep; switches the backend's span recording on too.
+    trace_buffer:
+        Completed/in-flight traces retained for ``/v1/trace/<id>``.
+    metrics:
+        A shared :class:`~repro.serving.observability.MetricsRegistry`
+        to expose at ``GET /metrics`` (one is created when omitted).
+        The front registers itself and the backend as collectors; pass
+        the same registry to a
+        :class:`~repro.serving.autoscaler.ClusterAutoscaler` to give it
+        per-endpoint latency signals.
+    slow_request_threshold:
+        Requests slower than this (seconds) emit a rate-limited
+        ``http.slow_request`` JSON log event carrying the trace id.
     """
 
     def __init__(
@@ -168,16 +219,36 @@ class AlignmentHTTPServer:
         *,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         own_server: bool = True,
+        trace: bool = True,
+        trace_buffer: int = 256,
+        metrics: MetricsRegistry | None = None,
+        slow_request_threshold: float = 0.5,
     ) -> None:
         if max_body_bytes < 1:
             raise ValueError("max_body_bytes must be positive")
         self.server = server
         self.max_body_bytes = max_body_bytes
         self.own_server = own_server
+        self.trace = trace
+        self.traces = TraceBuffer(trace_buffer)
+        self.slow_request_threshold = slow_request_threshold
+        self._events = EventRateLimiter()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics.add_collector(self.collect_metrics)
+        backend_collector = getattr(server, "collect_metrics", None)
+        if backend_collector is not None:
+            self.metrics.add_collector(backend_collector)
+        if trace:
+            enable = getattr(server, "enable_tracing", None)
+            if enable is not None:
+                enable(True)
         self._route_table = self._routes()
         self.stats: dict[str, EndpointStats] = {
             path: EndpointStats() for path in self._route_table
         }
+        # Trace lookups are prefix-routed (the id is in the path), so
+        # their counters get a stats slot outside the route table.
+        self.stats["/v1/trace"] = EndpointStats()
         self._tcp_server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.StreamWriter] = set()
         self._handler_tasks: set[asyncio.Task] = set()
@@ -192,6 +263,7 @@ class AlignmentHTTPServer:
         """Route table: path -> (allowed method, handler coroutine)."""
         return {
             "/healthz": ("GET", self._handle_healthz),
+            "/metrics": ("GET", self._handle_metrics),
             "/v1/stats": ("GET", self._handle_stats),
             "/v1/scan": ("POST", self._handle_scan),
             "/v1/edit_distance": ("POST", self._handle_edit_distance),
@@ -276,15 +348,44 @@ class AlignmentHTTPServer:
                 self._busy += 1
                 self._idle.clear()
                 try:
-                    status, payload, retry_after = await self._dispatch(request)
+                    # A client-supplied X-Request-ID is honored (and
+                    # echoed) even with tracing off; with tracing on an
+                    # id is minted for every request.
+                    request_id = request.headers.get("x-request-id") or (
+                        new_trace_id() if self.trace else None
+                    )
+                    trace: Trace | None = None
+                    if self.trace:
+                        trace = Trace(
+                            request_id, path=request.path, method=request.method
+                        )
+                        # Inserted now, not at completion: an in-flight
+                        # request is already queryable by its id.
+                        self.traces.add(trace)
+                    with use_trace(trace):
+                        status, payload, retry_after = await self._dispatch(
+                            request
+                        )
+                    self._annotate_response(
+                        request, status, payload, request_id, trace
+                    )
                     keep_alive = request.keep_alive and not self._closed
+                    serialize = (
+                        trace.begin("serialize") if trace is not None else None
+                    )
                     await self._write_response(
                         writer,
                         status,
                         payload,
                         keep_alive,
                         retry_after=retry_after,
+                        request_id=request_id,
                     )
+                    if serialize is not None:
+                        serialize.finish()
+                    if trace is not None:
+                        trace.finish()
+                        self._log_slow_request(request, status, trace)
                 finally:
                     self._busy -= 1
                     if self._busy == 0:
@@ -354,16 +455,19 @@ class AlignmentHTTPServer:
                 f"{self.max_body_bytes}-byte limit",
             )
         body = await reader.readexactly(length) if length else b""
-        path = target.split("?", 1)[0]
+        path, _, query_string = target.partition("?")
+        query = dict(parse_qsl(query_string)) if query_string else {}
         return _ParsedRequest(
-            method=method, path=path, headers=headers, body=body
+            method=method, path=path, headers=headers, body=body, query=query
         )
 
     async def _dispatch(
         self, request: _ParsedRequest
-    ) -> tuple[int, dict[str, Any], float | None]:
+    ) -> tuple[int, Any, float | None]:
         """Route one parsed request; always returns a JSON-able response
         plus the Retry-After hint for 503s (None elsewhere)."""
+        if request.path.startswith(_TRACE_PREFIX):
+            return self._dispatch_trace_lookup(request)
         route = self._route_table.get(request.path)
         if route is None:
             return 404, {"error": f"unknown path {request.path!r}"}, None
@@ -382,7 +486,18 @@ class AlignmentHTTPServer:
         retry_after: float | None = None
         started = time.monotonic()
         try:
-            payload = self._decode_body(request) if method == "POST" else {}
+            if method == "POST":
+                trace = current_trace()
+                parse = (
+                    trace.begin("parse", bytes=len(request.body))
+                    if trace is not None
+                    else None
+                )
+                payload = self._decode_body(request)
+                if parse is not None:
+                    parse.finish()
+            else:
+                payload = {}
             result = await handler(payload)
             status = 200
         except HttpError as exc:
@@ -409,6 +524,74 @@ class AlignmentHTTPServer:
         endpoint.record(status, time.monotonic() - started)
         return status, result, retry_after
 
+    def _dispatch_trace_lookup(
+        self, request: _ParsedRequest
+    ) -> tuple[int, dict[str, Any], None]:
+        """``GET /v1/trace/<id>``: one retained trace's span breakdown."""
+        endpoint = self.stats["/v1/trace"]
+        if request.method != "GET":
+            endpoint.record(405)
+            return (
+                405,
+                {"error": f"{request.path} requires GET, got {request.method}"},
+                None,
+            )
+        started = time.monotonic()
+        trace_id = request.path[len(_TRACE_PREFIX) :]
+        found = self.traces.get(trace_id)
+        if found is None:
+            endpoint.record(404)
+            return (
+                404,
+                {"error": f"no retained trace {trace_id!r} (evicted or never seen)"},
+                None,
+            )
+        endpoint.record(200, time.monotonic() - started)
+        return 200, found.to_dict(), None
+
+    def _annotate_response(
+        self,
+        request: _ParsedRequest,
+        status: int,
+        payload: Any,
+        request_id: str | None,
+        trace: Trace | None,
+    ) -> None:
+        """Fold the request id and optional timing into a JSON response.
+
+        ``/healthz`` and 503 bodies always carry the id (so a shed
+        request is attributable from the client side alone), and
+        ``?debug=timing`` inlines the span breakdown recorded so far
+        (everything but this response's own serialization — the full
+        breakdown stays at ``/v1/trace/<id>``).
+        """
+        if not isinstance(payload, dict):
+            return
+        if request_id is not None and (
+            request.path == "/healthz" or status == 503
+        ):
+            payload.setdefault("request_id", request_id)
+        if trace is not None and request.query.get("debug") == "timing":
+            payload["timing"] = trace.to_dict()
+
+    def _log_slow_request(
+        self, request: _ParsedRequest, status: int, trace: Trace
+    ) -> None:
+        duration = trace.duration
+        if duration is None or duration < self.slow_request_threshold:
+            return
+        log_event(
+            _LOGGER,
+            "http.slow_request",
+            level=logging.WARNING,
+            trace_id=trace.trace_id,
+            limiter=self._events,
+            limit_key=f"slow:{request.path}",
+            path=request.path,
+            status=status,
+            duration_ms=duration * 1e3,
+        )
+
     def _decode_body(self, request: _ParsedRequest) -> dict[str, Any]:
         if not request.body:
             raise HttpError(400, "request body must be a JSON object")
@@ -424,19 +607,25 @@ class AlignmentHTTPServer:
         self,
         writer: asyncio.StreamWriter,
         status: int,
-        payload: dict[str, Any],
+        payload: Any,
         keep_alive: bool,
         *,
         retry_after: float | None = None,
+        request_id: str | None = None,
     ) -> None:
-        body = json.dumps(payload).encode()
+        if isinstance(payload, _RawResponse):
+            body, content_type = payload.body, payload.content_type
+        else:
+            body, content_type = json.dumps(payload).encode(), _JSON_CONTENT_TYPE
         reason = _REASONS.get(status, "Unknown")
         headers = [
             f"HTTP/1.1 {status} {reason}",
-            f"Content-Type: {_JSON_CONTENT_TYPE}",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             f"Connection: {'keep-alive' if keep_alive else 'close'}",
         ]
+        if request_id is not None:
+            headers.append(f"X-Request-ID: {request_id}")
         if status == 503:
             # Retry-After is delay-seconds (an integer) on the wire; the
             # precise float estimate travels in the JSON body.
@@ -541,6 +730,40 @@ class AlignmentHTTPServer:
         }
         return payload
 
+    async def _handle_metrics(self, _payload: dict[str, Any]) -> _RawResponse:
+        # Pull model: every registered collector (this front, the backend
+        # and whatever it aggregates — replicas, caches, autoscaler) is
+        # invoked at scrape time, so the page is always current.
+        return _RawResponse(
+            self.metrics.render().encode(), _METRICS_CONTENT_TYPE
+        )
+
+    def collect_metrics(self) -> list[MetricFamily]:
+        """The front's own metric families (per-endpoint HTTP counters)."""
+        requests = MetricFamily(
+            "genasm_http_requests_total",
+            "counter",
+            "HTTP requests received, by endpoint.",
+        )
+        errors = MetricFamily(
+            "genasm_http_errors_total",
+            "counter",
+            "HTTP error responses, by endpoint and status code.",
+        )
+        duration = MetricFamily(
+            "genasm_http_request_duration_seconds",
+            "histogram",
+            "Wall time of successful requests, parse to handler return.",
+        )
+        for path, stats in sorted(self.stats.items()):
+            if not stats.requests:
+                continue
+            requests.add(stats.requests, endpoint=path)
+            for code, count in sorted(stats.errors.items()):
+                errors.add(count, endpoint=path, code=str(code))
+            duration.add_histogram(stats.latency, endpoint=path)
+        return [requests, errors, duration]
+
 
 # ----------------------------------------------------------------------
 # Field validation helpers
@@ -607,21 +830,26 @@ async def serve_http(
     host: str = "127.0.0.1",
     port: int = 8777,
     server: ServingBackend | None = None,
+    trace: bool = True,
+    metrics: MetricsRegistry | None = None,
     **server_kwargs: Any,
 ) -> AlignmentHTTPServer:
     """Start an HTTP front (building an :class:`AlignmentServer` if needed).
 
     ``server`` may also be an :class:`~repro.serving.cluster.AlignmentCluster`
-    — the front mounts either. Extra keyword arguments construct a single
-    alignment server (``engine=``, ``batch_size=``, ``adaptive_flush=``,
-    ...). The returned front is already listening; stop it with
-    :meth:`AlignmentHTTPServer.stop`.
+    — the front mounts either. ``trace`` and ``metrics`` pass through to
+    :class:`AlignmentHTTPServer`. Extra keyword arguments construct a
+    single alignment server (``engine=``, ``batch_size=``,
+    ``adaptive_flush=``, ...). The returned front is already listening;
+    stop it with :meth:`AlignmentHTTPServer.stop`.
     """
     own = server is None
     if server is None:
         server = AlignmentServer(**server_kwargs)
     elif server_kwargs:
         raise ValueError("pass server_kwargs only when server is None")
-    front = AlignmentHTTPServer(server, own_server=own)
+    front = AlignmentHTTPServer(
+        server, own_server=own, trace=trace, metrics=metrics
+    )
     await front.start(host=host, port=port)
     return front

@@ -1,0 +1,747 @@
+"""Cross-cutting observability for the serving stack.
+
+When a request through the cluster is slow, the end-to-end latency
+histogram can only say *that* it was slow — not whether the time went to
+queue wait, batch assembly, engine compute, a hedge race, or the cache
+path. This module is the decomposition layer the rest of
+:mod:`repro.serving` wires through, in three pieces that deliberately
+share one design rule: **zero new bookkeeping on the hot path unless it
+is switched on** (tracing) or **read only at scrape time** (metrics).
+
+Request tracing
+---------------
+A :class:`Trace` is created at the network front (honoring a client
+``X-Request-ID`` header, generating an id otherwise) and travels through
+the cluster router, hedge/retry attempts, the batching server's queue,
+and the engine call via a :mod:`contextvars` context variable —
+``asyncio`` copies the context into every task it spawns, so hedge
+duplicates and retry chains inherit the trace with no explicit plumbing.
+Each stage records a :class:`Span` (``parse``, ``cache_lookup``,
+``queue_wait``, ``batch_assembly``, ``engine``, ``hedge_wait``,
+``serialize``, per-replica ``attempt``) with monotonic timestamps and
+stage attributes (replica, batch size, outcome, per-shard timings).
+Completed traces land in a bounded :class:`TraceBuffer` ring, queryable
+via ``GET /v1/trace/<id>``; passing ``?debug=timing`` on any request
+inlines the same breakdown into its response.
+
+Tracing is *off* for bare servers (``trace=False`` default) and on for
+the HTTP front. When off, the per-request cost is a single attribute
+check — no context lookup, no allocation.
+
+Metrics
+-------
+:class:`MetricsRegistry` is a pull-model registry: subsystems register
+*collector callables* that are invoked only when ``GET /metrics`` is
+scraped and read the live stats objects (:class:`~repro.serving.server.\
+ServingStats`, :class:`~repro.serving.http.EndpointStats`,
+:class:`~repro.serving.cache.CacheStats`, cluster routing/hedging
+counters, autoscaler decisions) the serving layer already keeps — no
+double counting, no write-path overhead. The registry renders Prometheus
+text exposition (``# HELP`` / ``# TYPE``, counters, gauges, and
+histograms whose buckets are the log-spaced
+:class:`~repro.serving.histogram.LatencyHistogram` boundaries), and
+:func:`parse_prometheus_text` is the matching parser the tests and the
+CI smoke gate assert with — format validity is checked by parsing, not
+by grep.
+
+Structured event logging
+------------------------
+One stdlib :mod:`logging` logger per subsystem
+(``repro.serving.<name>``), a :class:`JsonFormatter` that renders each
+record as one JSON object per line, and :func:`log_event` +
+:class:`EventRateLimiter` for the events worth a line in production —
+slow requests, sheds, hedges, scale decisions — rate-limited per event
+key (with a ``suppressed`` count carried on the next emitted line) and
+carrying the trace id so a log line and a trace cross-reference.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import logging
+import re
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.serving.histogram import LatencyHistogram
+
+__all__ = [
+    "EventRateLimiter",
+    "JsonFormatter",
+    "MetricFamily",
+    "MetricsRegistry",
+    "Span",
+    "Trace",
+    "TraceBuffer",
+    "configure_logging",
+    "current_trace",
+    "get_logger",
+    "log_event",
+    "new_trace_id",
+    "parse_prometheus_text",
+    "use_trace",
+]
+
+
+# ----------------------------------------------------------------------
+# Request tracing
+# ----------------------------------------------------------------------
+def new_trace_id() -> str:
+    """A fresh 32-hex-char request/trace id."""
+    return uuid.uuid4().hex
+
+
+@dataclass
+class Span:
+    """One timed stage of a request: name, interval, outcome, attributes.
+
+    Timestamps are ``time.monotonic()`` seconds; :meth:`finish` is
+    idempotent (the first outcome wins), so a span raced by cancellation
+    cannot be overwritten by a late completion.
+    """
+
+    name: str
+    start: float
+    end: float | None = None
+    outcome: str = "ok"
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float | None:
+        """Span length in seconds (None while still open)."""
+        return None if self.end is None else self.end - self.start
+
+    def finish(self, outcome: str = "ok", **attrs: Any) -> "Span":
+        """Close the span (first close wins) and fold in attributes."""
+        if self.end is None:
+            self.end = time.monotonic()
+            self.outcome = outcome
+            if attrs:
+                self.attrs.update(attrs)
+        return self
+
+    def to_dict(self, origin: float) -> dict[str, Any]:
+        """Wire form with millisecond offsets relative to ``origin``."""
+        out: dict[str, Any] = {
+            "name": self.name,
+            "start_ms": (self.start - origin) * 1e3,
+            "end_ms": None if self.end is None else (self.end - origin) * 1e3,
+            "duration_ms": (
+                None if self.duration is None else self.duration * 1e3
+            ),
+            "outcome": self.outcome if self.end is not None else "open",
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        return out
+
+
+class Trace:
+    """Per-request span collection, shared by every stage of one request.
+
+    Spans are appended from the event loop only (worker threads never
+    touch a trace; the server records engine spans from the loop around
+    the executor call), so a plain list append is safe and cheap.
+    """
+
+    __slots__ = ("trace_id", "started", "ended", "spans", "meta")
+
+    def __init__(self, trace_id: str | None = None, **meta: Any) -> None:
+        self.trace_id = trace_id or new_trace_id()
+        self.started = time.monotonic()
+        self.ended: float | None = None
+        self.spans: list[Span] = []
+        self.meta = dict(meta)
+
+    def begin(self, name: str, **attrs: Any) -> Span:
+        """Open (and record) a new span starting now."""
+        span = Span(name=name, start=time.monotonic(), attrs=dict(attrs))
+        self.spans.append(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Context-managed span: closes ``ok`` on exit, ``error`` on raise."""
+        span = self.begin(name, **attrs)
+        try:
+            yield span
+        except BaseException:
+            span.finish("error")
+            raise
+        span.finish()
+
+    def finish(self) -> "Trace":
+        """Mark the request complete (first call wins)."""
+        if self.ended is None:
+            self.ended = time.monotonic()
+        return self
+
+    @property
+    def duration(self) -> float | None:
+        """End-to-end seconds (None while the request is in flight)."""
+        return None if self.ended is None else self.ended - self.started
+
+    def accounted_fraction(self) -> float:
+        """Fraction of the end-to-end interval covered by >=1 span.
+
+        The union of closed span intervals (overlapping spans — an
+        ``attempt`` covering its ``queue_wait`` — count once), clamped
+        to the trace window. This is the "where did the time go"
+        completeness measure: near 1.0 means the breakdown explains the
+        latency; a low value means an uninstrumented stage is hiding.
+        """
+        end = self.ended if self.ended is not None else time.monotonic()
+        total = end - self.started
+        if total <= 0:
+            return 1.0
+        intervals = sorted(
+            (max(span.start, self.started), min(span.end, end))
+            for span in self.spans
+            if span.end is not None and span.end > self.started
+        )
+        covered = 0.0
+        cursor = self.started
+        for lo, hi in intervals:
+            lo = max(lo, cursor)
+            if hi > lo:
+                covered += hi - lo
+                cursor = hi
+        return min(1.0, covered / total)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Wire form for ``/v1/trace/<id>`` and ``?debug=timing``."""
+        duration = self.duration
+        out: dict[str, Any] = {
+            "trace_id": self.trace_id,
+            "complete": self.ended is not None,
+            "duration_ms": None if duration is None else duration * 1e3,
+            "accounted_fraction": self.accounted_fraction(),
+            "spans": [span.to_dict(self.started) for span in self.spans],
+        }
+        if self.meta:
+            out["meta"] = dict(self.meta)
+        return out
+
+
+#: The trace of the request currently being served on this logical
+#: context. asyncio copies the context into every spawned task, so hedge
+#: duplicates and retry chains see the same trace without plumbing.
+_CURRENT_TRACE: "contextvars.ContextVar[Trace | None]" = (
+    contextvars.ContextVar("repro_serving_trace", default=None)
+)
+
+
+def current_trace() -> Trace | None:
+    """The trace propagated to this context, or None."""
+    return _CURRENT_TRACE.get()
+
+
+@contextmanager
+def use_trace(trace: Trace | None) -> Iterator[Trace | None]:
+    """Make ``trace`` the context's current trace for the block."""
+    token = _CURRENT_TRACE.set(trace)
+    try:
+        yield trace
+    finally:
+        _CURRENT_TRACE.reset(token)
+
+
+class TraceBuffer:
+    """Bounded ring of recent traces, keyed by trace id.
+
+    Traces are inserted when their request *starts* (so an in-flight
+    request is already queryable) and evicted oldest-first past
+    ``capacity``. Lock-guarded: inserts come from the event loop,
+    lookups can come from anywhere.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._traces: "OrderedDict[str, Trace]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def add(self, trace: Trace) -> None:
+        """Insert (or refresh) one trace, evicting the oldest past capacity."""
+        with self._lock:
+            self._traces.pop(trace.trace_id, None)
+            self._traces[trace.trace_id] = trace
+            while len(self._traces) > self.capacity:
+                self._traces.popitem(last=False)
+
+    def get(self, trace_id: str) -> Trace | None:
+        """The trace under ``trace_id``, or None if unknown/evicted."""
+        with self._lock:
+            return self._traces.get(trace_id)
+
+    def trace_ids(self) -> list[str]:
+        """Known ids, oldest first."""
+        with self._lock:
+            return list(self._traces)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+
+# ----------------------------------------------------------------------
+# Metrics registry and Prometheus text exposition
+# ----------------------------------------------------------------------
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_METRIC_KINDS = ("counter", "gauge", "histogram")
+
+
+class MetricFamily:
+    """One named metric family: kind, help text, and labeled samples.
+
+    Collectors build these fresh at scrape time; the registry merges
+    families with the same name (a cluster collector and an HTTP
+    collector may both contribute to one family) and renders them as one
+    exposition block. For histograms the *sample value is the live*
+    :class:`~repro.serving.histogram.LatencyHistogram` — rendering
+    converts it to cumulative buckets, and
+    :meth:`MetricsRegistry.histogram_objects` hands the live references
+    to consumers like the autoscaler.
+    """
+
+    __slots__ = ("name", "kind", "help", "samples")
+
+    def __init__(self, name: str, kind: str, help: str = "") -> None:
+        if not _METRIC_NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        if kind not in _METRIC_KINDS:
+            raise ValueError(f"kind must be one of {_METRIC_KINDS}")
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.samples: list[tuple[dict[str, str], Any]] = []
+
+    def add(self, value: float, **labels: Any) -> "MetricFamily":
+        """Append one counter/gauge sample (labels stringified)."""
+        self.samples.append(
+            ({name: str(val) for name, val in labels.items()}, float(value))
+        )
+        return self
+
+    def add_histogram(
+        self, histogram: LatencyHistogram, **labels: Any
+    ) -> "MetricFamily":
+        """Append one histogram sample holding the live histogram."""
+        if self.kind != "histogram":
+            raise ValueError(f"{self.name} is a {self.kind}, not a histogram")
+        self.samples.append(
+            ({name: str(val) for name, val in labels.items()}, histogram)
+        )
+        return self
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class MetricsRegistry:
+    """Pull-model metric registry with Prometheus text rendering.
+
+    Subsystems register collector callables
+    (``() -> Iterable[MetricFamily]``) once at wiring time; every scrape
+    invokes them and merges the families they return. Because collectors
+    read the live stats objects the serving layer already maintains,
+    registration adds **zero** work to the request path.
+    """
+
+    def __init__(self) -> None:
+        self._collectors: list[Callable[[], Iterable[MetricFamily]]] = []
+        self._lock = threading.Lock()
+
+    def add_collector(
+        self, collector: Callable[[], Iterable[MetricFamily]]
+    ) -> Callable[[], Iterable[MetricFamily]]:
+        """Register one collector (usable as a decorator); returns it."""
+        with self._lock:
+            self._collectors.append(collector)
+        return collector
+
+    def collect(self) -> "OrderedDict[str, MetricFamily]":
+        """Invoke every collector and merge same-named families."""
+        with self._lock:
+            collectors = list(self._collectors)
+        merged: "OrderedDict[str, MetricFamily]" = OrderedDict()
+        for collector in collectors:
+            for family in collector():
+                existing = merged.get(family.name)
+                if existing is None:
+                    merged[family.name] = family
+                    continue
+                if existing.kind != family.kind:
+                    raise ValueError(
+                        f"metric {family.name!r} registered as both "
+                        f"{existing.kind} and {family.kind}"
+                    )
+                existing.samples.extend(family.samples)
+        return merged
+
+    def histogram_objects(
+        self, name: str
+    ) -> dict[tuple[tuple[str, str], ...], LatencyHistogram]:
+        """Live histogram references for family ``name`` keyed by labels.
+
+        This is how a consumer that needs *windowed* quantiles — the
+        autoscaler's per-endpoint p99 — reaches the actual mergeable
+        histograms behind a family instead of rendered bucket text.
+        """
+        family = self.collect().get(name)
+        if family is None or family.kind != "histogram":
+            return {}
+        return {
+            tuple(sorted(labels.items())): histogram
+            for labels, histogram in family.samples
+            if isinstance(histogram, LatencyHistogram)
+        }
+
+    def render(self) -> str:
+        """The full Prometheus text exposition (format 0.0.4)."""
+        lines: list[str] = []
+        for family in self.collect().values():
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for labels, value in family.samples:
+                if family.kind == "histogram":
+                    lines.extend(_render_histogram(family.name, labels, value))
+                else:
+                    lines.append(
+                        f"{family.name}{_format_labels(labels)} "
+                        f"{_format_value(value)}"
+                    )
+        return "\n".join(lines) + "\n"
+
+
+def _render_histogram(
+    name: str, labels: dict[str, str], histogram: LatencyHistogram
+) -> list[str]:
+    """Cumulative ``_bucket``/``_sum``/``_count`` lines for one sample.
+
+    Only boundaries whose bucket holds samples are emitted (plus the
+    mandatory ``+Inf``): buckets are cumulative, so any boundary subset
+    is a valid exposition, and eliding the empty ones keeps 100+-bucket
+    log-spaced histograms from dominating the scrape body.
+    """
+    lines = []
+    for bound, cumulative in histogram.cumulative_buckets():
+        bucket_labels = dict(labels)
+        bucket_labels["le"] = f"{bound:.9g}"
+        lines.append(
+            f"{name}_bucket{_format_labels(bucket_labels)} {cumulative}"
+        )
+    inf_labels = dict(labels)
+    inf_labels["le"] = "+Inf"
+    lines.append(
+        f"{name}_bucket{_format_labels(inf_labels)} {histogram.count}"
+    )
+    lines.append(
+        f"{name}_sum{_format_labels(labels)} {_format_value(histogram.total)}"
+    )
+    lines.append(f"{name}_count{_format_labels(labels)} {histogram.count}")
+    return lines
+
+
+# ----------------------------------------------------------------------
+# Exposition parser (tests and the CI smoke gate assert by parsing)
+# ----------------------------------------------------------------------
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+_LABEL_RE = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+
+
+def _parse_labels(text: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    pos = 0
+    while pos < len(text):
+        match = _LABEL_RE.match(text, pos)
+        if match is None:
+            raise ValueError(f"malformed label pair at {text[pos:]!r}")
+        raw = match.group("value")
+        labels[match.group("name")] = (
+            raw.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+        )
+        pos = match.end()
+        if pos < len(text) and text[pos] == ",":
+            pos += 1
+    return labels
+
+
+def _parse_sample_value(raw: str) -> float:
+    if raw == "+Inf":
+        return float("inf")
+    if raw == "-Inf":
+        return float("-inf")
+    return float(raw)  # raises ValueError on garbage — the parser's job
+
+
+def parse_prometheus_text(text: str) -> dict[str, dict[str, Any]]:
+    """Parse (and validate) one Prometheus text exposition.
+
+    Returns ``{family_name: {"type", "help", "samples"}}`` where samples
+    are ``(metric_name, labels_dict, value)`` tuples. Raises
+    :class:`ValueError` on any malformed line, a sample for an
+    undeclared family, or a histogram whose cumulative buckets decrease
+    or whose ``+Inf`` bucket disagrees with ``_count`` — the structural
+    assertions the CI smoke gate relies on instead of grepping.
+    """
+    families: dict[str, dict[str, Any]] = {}
+
+    def family_of(sample_name: str) -> str | None:
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = sample_name.removesuffix(suffix)
+            if base != sample_name and base in families:
+                if families[base]["type"] == "histogram":
+                    return base
+        return sample_name if sample_name in families else None
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP ") :].split(None, 1)
+            if not parts or not _METRIC_NAME_RE.match(parts[0]):
+                raise ValueError(f"line {line_number}: malformed HELP {line!r}")
+            entry = families.setdefault(
+                parts[0], {"type": None, "help": "", "samples": []}
+            )
+            entry["help"] = parts[1] if len(parts) > 1 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE ") :].split()
+            if len(parts) != 2 or parts[1] not in _METRIC_KINDS:
+                raise ValueError(f"line {line_number}: malformed TYPE {line!r}")
+            entry = families.setdefault(
+                parts[0], {"type": None, "help": "", "samples": []}
+            )
+            if entry["type"] is not None:
+                raise ValueError(
+                    f"line {line_number}: duplicate TYPE for {parts[0]!r}"
+                )
+            entry["type"] = parts[1]
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {line_number}: malformed sample {line!r}")
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels") or "")
+        for label_name in labels:
+            if not _LABEL_NAME_RE.match(label_name):
+                raise ValueError(
+                    f"line {line_number}: bad label name {label_name!r}"
+                )
+        try:
+            value = _parse_sample_value(match.group("value"))
+        except ValueError:
+            raise ValueError(
+                f"line {line_number}: bad sample value {line!r}"
+            ) from None
+        base = family_of(name)
+        if base is None:
+            raise ValueError(
+                f"line {line_number}: sample {name!r} has no TYPE declaration"
+            )
+        families[base]["samples"].append((name, labels, value))
+
+    for name, entry in families.items():
+        if entry["type"] is None:
+            raise ValueError(f"family {name!r} has HELP but no TYPE")
+        if entry["type"] == "histogram":
+            _validate_histogram_family(name, entry["samples"])
+    return families
+
+
+def _validate_histogram_family(
+    name: str, samples: list[tuple[str, dict[str, str], float]]
+) -> None:
+    """Cumulative-bucket and count consistency for one histogram family."""
+    series: dict[tuple, dict[str, Any]] = {}
+    for sample_name, labels, value in samples:
+        key = tuple(
+            sorted((k, v) for k, v in labels.items() if k != "le")
+        )
+        entry = series.setdefault(key, {"buckets": [], "count": None})
+        if sample_name == f"{name}_bucket":
+            if "le" not in labels:
+                raise ValueError(f"{name}: bucket sample without le label")
+            entry["buckets"].append(
+                (_parse_sample_value(labels["le"]), value)
+            )
+        elif sample_name == f"{name}_count":
+            entry["count"] = value
+    for key, entry in series.items():
+        buckets = sorted(entry["buckets"])
+        if not buckets or buckets[-1][0] != float("inf"):
+            raise ValueError(f"{name}{dict(key)}: histogram missing +Inf bucket")
+        cumulative = [count for _, count in buckets]
+        if any(b > a for a, b in zip(cumulative[1:], cumulative)):
+            raise ValueError(
+                f"{name}{dict(key)}: bucket counts are not cumulative"
+            )
+        if entry["count"] is not None and buckets[-1][1] != entry["count"]:
+            raise ValueError(
+                f"{name}{dict(key)}: +Inf bucket {buckets[-1][1]} != "
+                f"_count {entry['count']}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Structured JSON event logging
+# ----------------------------------------------------------------------
+#: Root of the serving logger hierarchy; configure_logging attaches here.
+LOGGER_ROOT = "repro.serving"
+
+
+class JsonFormatter(logging.Formatter):
+    """Render each log record as one JSON object per line.
+
+    Standard fields: ``ts`` (epoch seconds), ``level``, ``logger``,
+    ``event`` (the short machine-readable name, falling back to the
+    message), and ``message``. Structured payloads attached by
+    :func:`log_event` ride in flat keys; exceptions land under
+    ``exception``. Values that are not JSON-serializable degrade to
+    ``str`` rather than raising — a log formatter must never throw.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": getattr(record, "event", None) or record.getMessage(),
+            "message": record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if isinstance(fields, dict):
+            for key, value in fields.items():
+                payload.setdefault(key, value)
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def get_logger(subsystem: str) -> logging.Logger:
+    """The logger for one serving subsystem (``repro.serving.<name>``)."""
+    return logging.getLogger(f"{LOGGER_ROOT}.{subsystem}")
+
+
+def configure_logging(
+    level: int = logging.INFO, stream: Any = None
+) -> logging.Handler:
+    """Attach a JSON-lines handler to the serving logger hierarchy.
+
+    Idempotent: a handler previously installed by this function is
+    replaced, not duplicated. Library code never calls this — emitting
+    handlers is the application's decision — but every subsystem logger
+    works the moment it runs.
+    """
+    root = logging.getLogger(LOGGER_ROOT)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_json_handler", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonFormatter())
+    handler._repro_json_handler = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.setLevel(level)
+    return handler
+
+
+class EventRateLimiter:
+    """Per-key minimum-interval limiter for high-frequency events.
+
+    A saturated cluster sheds thousands of requests per second; logging
+    each one would melt the very server the log is diagnosing. Each key
+    emits at most once per ``min_interval`` seconds; suppressed
+    occurrences are counted and reported with the next emitted event.
+    """
+
+    def __init__(self, min_interval: float = 1.0) -> None:
+        if min_interval < 0:
+            raise ValueError("min_interval must be non-negative")
+        self.min_interval = min_interval
+        self._last: dict[str, float] = {}
+        self._suppressed: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def ready(self, key: str, now: float | None = None) -> tuple[bool, int]:
+        """``(emit, suppressed_since_last_emit)`` for one occurrence."""
+        if now is None:
+            now = time.monotonic()
+        with self._lock:
+            last = self._last.get(key)
+            if last is not None and now - last < self.min_interval:
+                self._suppressed[key] = self._suppressed.get(key, 0) + 1
+                return False, 0
+            self._last[key] = now
+            suppressed = self._suppressed.pop(key, 0)
+            return True, suppressed
+
+
+def log_event(
+    logger: logging.Logger,
+    event: str,
+    *,
+    level: int = logging.INFO,
+    trace_id: str | None = None,
+    limiter: EventRateLimiter | None = None,
+    limit_key: str | None = None,
+    **fields: Any,
+) -> bool:
+    """Emit one structured event line; returns whether it was emitted.
+
+    With ``limiter``, occurrences past the per-key rate are counted but
+    not emitted; the next emitted line carries ``suppressed`` so volume
+    is never silently lost. The enabled-check runs before any payload
+    work, so disabled loggers cost one comparison.
+    """
+    if not logger.isEnabledFor(level):
+        return False
+    if limiter is not None:
+        emit, suppressed = limiter.ready(limit_key or event)
+        if not emit:
+            return False
+        if suppressed:
+            fields["suppressed"] = suppressed
+    if trace_id is not None:
+        fields["trace_id"] = trace_id
+    logger.log(level, event, extra={"event": event, "fields": fields})
+    return True

@@ -50,6 +50,7 @@ from repro.core.bitap import BitapMatch
 from repro.engine.registry import get_engine
 from repro.serving.cache import MISS, AlignmentCache, make_cache, request_digest
 from repro.serving.histogram import LatencyHistogram
+from repro.serving.observability import MetricFamily, Span, Trace, current_trace
 from repro.sequences.alphabet import DNA, Alphabet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -119,6 +120,43 @@ class ServingStats:
         self.latency.merge(other.latency)
         return self
 
+    def metric_families(self, **labels: Any) -> list[MetricFamily]:
+        """These counters and the latency histogram as metric families."""
+        outcomes = MetricFamily(
+            "genasm_serving_requests_total",
+            "counter",
+            "Requests by final serving outcome.",
+        )
+        for outcome, value in (
+            ("received", self.requests),
+            ("served", self.served),
+            ("failed", self.failed),
+            ("cancelled", self.cancelled),
+        ):
+            outcomes.add(value, outcome=outcome, **labels)
+        flushes = MetricFamily(
+            "genasm_serving_flushes_total",
+            "counter",
+            "Batch flushes by trigger reason.",
+        )
+        for reason, value in (
+            ("size", self.size_flushes),
+            ("deadline", self.deadline_flushes),
+            ("final", self.final_flushes),
+        ):
+            flushes.add(value, reason=reason, **labels)
+        engine_calls = MetricFamily(
+            "genasm_serving_engine_calls_total",
+            "counter",
+            "Synchronous engine batch calls dispatched.",
+        ).add(self.engine_calls, **labels)
+        latency = MetricFamily(
+            "genasm_serving_request_latency_seconds",
+            "histogram",
+            "Submit-to-result latency observed by callers.",
+        ).add_histogram(self.latency, **labels)
+        return [outcomes, flushes, engine_calls, latency]
+
 
 @dataclass
 class _Request:
@@ -130,6 +168,12 @@ class _Request:
     future: "asyncio.Future[Any]" = field(repr=False, default=None)
     #: Content digest for the result cache (None when caching is off).
     digest: str | None = None
+    #: The request's trace, carried explicitly because a flush handles
+    #: many requests at once — one context variable cannot name them all.
+    trace: Trace | None = field(repr=False, default=None)
+    #: Open ``queue_wait`` span, closed when the flush takes the batch
+    #: (or the request is dropped as cancelled).
+    queue_span: Span | None = field(repr=False, default=None)
 
 
 class AlignmentServer:
@@ -180,6 +224,15 @@ class AlignmentServer:
         larger values adapt faster but track noise.
     alphabet:
         Alphabet handed to every engine call.
+    trace:
+        Record per-stage spans (``cache_lookup``, ``queue_wait``,
+        ``batch_assembly``, ``engine``) into the submitting context's
+        current :class:`~repro.serving.observability.Trace`. Off by
+        default for bare servers — when off, the whole machinery is one
+        attribute check per request. The HTTP front turns it on.
+    name:
+        Label for this server in spans and metrics (the cluster sets it
+        to the replica name; a bare server is just ``"server"``).
 
     Use as an async context manager (``async with AlignmentServer(...)``)
     or call :meth:`stop` explicitly; both drain the queue before returning.
@@ -200,6 +253,8 @@ class AlignmentServer:
         gap_factor: float = 4.0,
         arrival_smoothing: float = 0.25,
         alphabet: Alphabet = DNA,
+        trace: bool = False,
+        name: str = "server",
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
@@ -242,6 +297,8 @@ class AlignmentServer:
         self.flush_interval = flush_interval
         self.max_pending = max_pending
         self.alphabet = alphabet
+        self.trace = trace
+        self.name = name
         self.cache = make_cache(cache)
         # Results depend on the request payload plus the serving config
         # that shapes them: the alphabet (symbol set + wildcard). Engine
@@ -390,15 +447,34 @@ class AlignmentServer:
         if self._closed:
             raise ServerClosedError("server is stopped")
         submitted = time.monotonic()
+        # Tracing cost when disabled: this one attribute check.
+        trace = current_trace() if self.trace else None
         digest: str | None = None
         if self.cache is not None:
             # Content-addressed fast path: a hit answers immediately —
             # no pending slot, no queue wait, no engine call.
             digest = request_digest(kind, key, payload, self._cache_config)
+            lookup = (
+                trace.begin("cache_lookup", replica=self.name)
+                if trace is not None
+                else None
+            )
             hit = self.cache.get(digest)
+            if lookup is not None:
+                lookup.finish("hit" if hit is not MISS else "miss")
             if hit is not MISS:
                 return hit
-        await self._slots.acquire()
+        queue_span = (
+            trace.begin("queue_wait", replica=self.name, kind=kind)
+            if trace is not None
+            else None
+        )
+        try:
+            await self._slots.acquire()
+        except BaseException:
+            if queue_span is not None:
+                queue_span.finish("cancelled")
+            raise
         self._pending_total += 1
         try:
             if self._closed:
@@ -407,7 +483,12 @@ class AlignmentServer:
             if self.adaptive_flush:
                 self._observe_arrival()
             request = _Request(
-                kind=kind, key=key, payload=payload, digest=digest
+                kind=kind,
+                key=key,
+                payload=payload,
+                digest=digest,
+                trace=trace,
+                queue_span=queue_span,
             )
             request.future = loop.create_future()
             if not self._queue:
@@ -442,6 +523,11 @@ class AlignmentServer:
         finally:
             self._pending_total -= 1
             self._slots.release()
+            if queue_span is not None:
+                # Already closed on every served path (finish is first-
+                # close-wins); this closes the cancellation/shutdown
+                # exits, where the request never reached a flush.
+                queue_span.finish("cancelled")
 
     def _flush(self, reason: str) -> None:
         """Take the queue as one batch and dispatch it off-loop."""
@@ -473,14 +559,39 @@ class AlignmentServer:
         # computes, but its done future below ignores the late result.
         live = [request for request in batch if not request.future.done()]
         self.stats.cancelled += len(batch) - len(live)
+        for request in batch:
+            if request.queue_span is not None:
+                request.queue_span.finish(
+                    "ok" if not request.future.done() else "cancelled",
+                    batch=len(batch),
+                )
         groups: dict[tuple, list[_Request]] = {}
         for request in live:
             groups.setdefault((request.kind, *request.key), []).append(request)
         loop = asyncio.get_running_loop()
+        assembled = time.monotonic()
         for group in groups.values():
             payloads = [request.payload for request in group]
             kind = group[0].kind
             key = group[0].key
+            engine_spans = []
+            for request in group:
+                if request.trace is not None:
+                    # batch_assembly: batch taken -> this group's engine
+                    # call submitted (grouping plus waiting out earlier
+                    # groups of the same flush).
+                    request.trace.spans.append(
+                        Span("batch_assembly", start=assembled).finish()
+                    )
+                    engine_spans.append(
+                        request.trace.begin(
+                            "engine",
+                            replica=self.name,
+                            kind=kind,
+                            batch=len(group),
+                            engine=self.engine_name,
+                        )
+                    )
             started = time.monotonic()
             try:
                 self.stats.engine_calls += 1
@@ -489,11 +600,21 @@ class AlignmentServer:
                 )
                 self._observe_service(time.monotonic() - started)
             except Exception as exc:  # noqa: BLE001 - forwarded to callers
+                for span in engine_spans:
+                    span.finish("error")
                 for request in group:
                     if not request.future.done():
                         request.future.set_exception(exc)
                 self.stats.failed += len(group)
                 continue
+            if engine_spans:
+                shards = getattr(self.engine, "pop_shard_timings", None)
+                timings = shards() if shards is not None else None
+                for span in engine_spans:
+                    if timings is not None:
+                        span.finish(shards=timings)
+                    else:
+                        span.finish()
             for request, result in zip(group, results):
                 if not request.future.done():
                     request.future.set_result(result)
@@ -536,6 +657,33 @@ class AlignmentServer:
         if self.cache is not None:
             payload["cache"] = self.cache.stats.to_dict()
         return payload
+
+    def enable_tracing(self, enabled: bool = True) -> None:
+        """Switch span recording on/off for subsequent submissions."""
+        self.trace = enabled
+
+    def collect_metrics(self) -> list[MetricFamily]:
+        """Metric families for this server (registry collector surface).
+
+        Counters/histogram come straight from the live :attr:`stats`;
+        queue occupancy gauges are read at scrape time. Labeled with
+        ``replica`` so cluster replicas land as distinct series in the
+        same families.
+        """
+        families = self.stats.metric_families(replica=self.name)
+        occupancy = MetricFamily(
+            "genasm_serving_pending_requests",
+            "gauge",
+            "Requests queued or in flight against max_pending.",
+        )
+        occupancy.add(self.pending, state="queued", replica=self.name)
+        occupancy.add(self.in_flight, state="in_flight", replica=self.name)
+        families.append(occupancy)
+        if self.cache is not None:
+            families.extend(
+                self.cache.stats.metric_families(replica=self.name)
+            )
+        return families
 
     def _run_group(
         self, kind: str, key: tuple, payloads: list[Any]

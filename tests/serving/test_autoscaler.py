@@ -15,6 +15,9 @@ from repro.serving import (
     AlignmentCluster,
     AlignmentServer,
     ClusterAutoscaler,
+    LatencyHistogram,
+    MetricFamily,
+    MetricsRegistry,
 )
 
 
@@ -316,5 +319,115 @@ class TestLifecycleAndIntrospection:
                         scale_up_utilization=0.2,
                         scale_down_utilization=0.3,
                     )
+
+        run(main())
+
+
+class TestPerEndpointSignals:
+    """The registry-backed latency signal: per-endpoint p99, worst wins.
+
+    The failure mode this guards: endpoints sharing one histogram let a
+    flood of cheap fast requests (``/v1/scan``) statistically bury a
+    degraded expensive endpoint (``/v1/align``) — the merged p99 stays
+    under target while align users suffer. With a registry attached the
+    autoscaler windows each endpoint's series separately.
+    """
+
+    @staticmethod
+    def _mixed_load(scan_hist, align_hist, cluster=None):
+        # 1000 fast scans vs 10 slow aligns: merged, the p99 sits in the
+        # fast mass; per-endpoint, align's p99 is unmistakably degraded.
+        merged = (
+            cluster.replicas[0].server.stats.latency
+            if cluster is not None
+            else None
+        )
+        for _ in range(1000):
+            scan_hist.record(0.001)
+            if merged is not None:
+                merged.record(0.001)
+        for _ in range(10):
+            align_hist.record(0.4)
+            if merged is not None:
+                merged.record(0.4)
+
+    @staticmethod
+    def _endpoint_registry(scan_hist, align_hist):
+        registry = MetricsRegistry()
+        registry.add_collector(
+            lambda: [
+                MetricFamily(
+                    "genasm_http_request_duration_seconds", "histogram"
+                )
+                .add_histogram(scan_hist, endpoint="/v1/scan")
+                .add_histogram(align_hist, endpoint="/v1/align")
+            ]
+        )
+        return registry
+
+    def test_scan_burst_cannot_mask_a_degraded_align_p99(self):
+        async def main():
+            scan_hist, align_hist = LatencyHistogram(), LatencyHistogram()
+            async with make_cluster() as cluster:
+                registry = self._endpoint_registry(scan_hist, align_hist)
+                scaler = ClusterAutoscaler(
+                    cluster,
+                    registry=registry,
+                    target_p99_ms=50.0,
+                    max_replicas=4,
+                    cooldown=0.0,
+                    scale_down_utilization=0.0,
+                )
+                self._mixed_load(scan_hist, align_hist, cluster)
+                decision = await scaler.step()
+                assert decision.action == "scale_up"
+                assert decision.p99_endpoint == "/v1/align"
+                assert "/v1/align" in decision.reason
+                assert decision.window_p99_ms > 50.0
+                # The window advanced per endpoint: no new samples means
+                # the same burst cannot trigger again forever.
+                decision = await scaler.step()
+                assert decision.action == "hold"
+
+        run(main())
+
+    def test_the_same_load_is_masked_without_a_registry(self):
+        """Contrast case proving the masking is real: the identical
+        traffic through the merged cluster-wide histogram stays under
+        target, so the fallback signal holds."""
+
+        async def main():
+            scan_hist, align_hist = LatencyHistogram(), LatencyHistogram()
+            async with make_cluster() as cluster:
+                scaler = ClusterAutoscaler(
+                    cluster,
+                    target_p99_ms=50.0,
+                    max_replicas=4,
+                    cooldown=0.0,
+                    scale_down_utilization=0.0,
+                )
+                self._mixed_load(scan_hist, align_hist, cluster)
+                decision = await scaler.step()
+                assert decision.action == "hold"
+                assert decision.window_p99_ms < 50.0
+
+        run(main())
+
+    def test_registry_without_series_falls_back_to_cluster_histogram(self):
+        async def main():
+            async with make_cluster() as cluster:
+                scaler = ClusterAutoscaler(
+                    cluster,
+                    registry=MetricsRegistry(),  # no collectors yet
+                    target_p99_ms=50.0,
+                    max_replicas=4,
+                    cooldown=0.0,
+                    scale_down_utilization=0.0,
+                )
+                for _ in range(20):
+                    cluster.replicas[0].server.stats.latency.record(0.2)
+                decision = await scaler.step()
+                assert decision.action == "scale_up"
+                assert decision.p99_endpoint is None
 
         run(main())

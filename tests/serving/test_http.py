@@ -18,9 +18,14 @@ from repro.mapping.pipeline import make_genasm_mapper
 from repro.sequences.genome import synthesize_genome
 from repro.sequences.read_simulator import illumina_profile, simulate_reads
 from repro.serving import (
+    AlignmentCluster,
     AlignmentHTTPServer,
     AlignmentServer,
+    ClusterAutoscaler,
+    MetricFamily,
+    MetricsRegistry,
     open_memory_connection,
+    parse_prometheus_text,
     serve_http,
 )
 
@@ -565,3 +570,162 @@ class TestShutdown:
             await front.stop()
 
         run(main())
+
+
+class TestMetricsEndpoint:
+    """``GET /metrics`` must serve *valid* Prometheus text exposition —
+    asserted by parsing with the strict parser, never by grepping — and
+    the family set must widen with the mounted backend (server-only vs
+    cluster + cache + autoscaler)."""
+
+    @staticmethod
+    async def scrape(client):
+        # /metrics is not JSON, so read the body raw instead of going
+        # through HttpClient.read_response.
+        client.writer.write(b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n")
+        await client.writer.drain()
+        status_line = await client.reader.readline()
+        status = int(status_line.split()[1])
+        headers = {}
+        while True:
+            line = await client.reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode().partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = await client.reader.readexactly(
+            int(headers.get("content-length", "0"))
+        )
+        return status, headers, body.decode()
+
+    def test_server_front_serves_parseable_exposition(self):
+        async def main():
+            front = await make_front(cache=True)
+            async with front:
+                client = await HttpClient.connect(front)
+                for _ in range(3):
+                    await client.request(
+                        "POST",
+                        "/v1/scan",
+                        {"text": "ACGTACGT", "pattern": "ACGT", "k": 1},
+                    )
+                status, headers, text = await self.scrape(client)
+                client.close()
+                return status, headers, text
+
+        status, headers, text = run(main())
+        assert status == 200
+        assert headers["content-type"].startswith("text/plain; version=0.0.4")
+        families = parse_prometheus_text(text)  # raises on invalid output
+        for name in (
+            "genasm_http_requests_total",
+            "genasm_http_request_duration_seconds",
+            "genasm_serving_requests_total",
+            "genasm_serving_flushes_total",
+            "genasm_serving_request_latency_seconds",
+            "genasm_serving_pending_requests",
+            "genasm_cache_events_total",
+            "genasm_cache_entries",
+        ):
+            assert name in families, f"{name} missing from /metrics"
+        scan_series = [
+            labels
+            for _, labels, _ in families["genasm_http_requests_total"]["samples"]
+            if labels.get("endpoint") == "/v1/scan"
+        ]
+        assert scan_series, "per-endpoint labels missing"
+
+    def test_cluster_front_adds_cluster_and_autoscaler_families(self):
+        async def main():
+            cluster = AlignmentCluster(
+                replicas=2,
+                engine="pure",
+                batch_size=4,
+                flush_interval=0.002,
+            )
+            scaler = ClusterAutoscaler(cluster, cooldown=0.0)
+            async with AlignmentHTTPServer(cluster) as front:
+                client = await HttpClient.connect(front)
+                await client.request(
+                    "POST",
+                    "/v1/scan",
+                    {"text": "ACGTACGT", "pattern": "ACGT", "k": 1},
+                )
+                scaler.evaluate()
+                status, _, text = await self.scrape(client)
+                client.close()
+                return status, text
+
+        status, text = run(main())
+        assert status == 200
+        families = parse_prometheus_text(text)
+        for name in (
+            "genasm_cluster_replicas",
+            "genasm_cluster_events_total",
+            "genasm_cluster_replica_requests_total",
+            "genasm_cluster_replica_latency_seconds",
+            "genasm_autoscaler_actions_total",
+            "genasm_autoscaler_decisions_total",
+            "genasm_autoscaler_utilization",
+        ):
+            assert name in families, f"{name} missing from /metrics"
+        # Per-replica labels: both replicas report dispatch series.
+        replicas = {
+            labels["replica"]
+            for _, labels, _ in families[
+                "genasm_cluster_replica_requests_total"
+            ]["samples"]
+        }
+        assert len(replicas) == 2
+
+    def test_histograms_expose_log_spaced_cumulative_buckets(self):
+        async def main():
+            front = await make_front()
+            async with front:
+                client = await HttpClient.connect(front)
+                for _ in range(5):
+                    await client.request(
+                        "POST",
+                        "/v1/scan",
+                        {"text": "ACGTACGT", "pattern": "ACGT", "k": 1},
+                    )
+                _, _, text = await self.scrape(client)
+                client.close()
+                return text
+
+        families = parse_prometheus_text(run(main()))
+        samples = families["genasm_http_request_duration_seconds"]["samples"]
+        buckets = [
+            (labels, value)
+            for name, labels, value in samples
+            if name.endswith("_bucket") and labels.get("endpoint") == "/v1/scan"
+        ]
+        # The parser already enforced cumulativity and +Inf == _count;
+        # here: at least one finite boundary survived the empty-bucket
+        # elision, so the series is a usable histogram, not a bare count.
+        finite = [labels["le"] for labels, _ in buckets if labels["le"] != "+Inf"]
+        assert finite
+
+    def test_shared_registry_merges_front_and_custom_collectors(self):
+        async def main():
+            registry = MetricsRegistry()
+            registry.add_collector(
+                lambda: [
+                    MetricFamily("genasm_custom_total", "counter").add(42)
+                ]
+            )
+            server = AlignmentServer(
+                engine="pure", batch_size=4, flush_interval=0.002
+            )
+            async with AlignmentHTTPServer(server, metrics=registry) as front:
+                client = await HttpClient.connect(front)
+                await client.request("GET", "/healthz")
+                _, _, text = await self.scrape(client)
+                client.close()
+                return text
+
+        families = parse_prometheus_text(run(main()))
+        assert families["genasm_custom_total"]["samples"] == [
+            ("genasm_custom_total", {}, 42.0)
+        ]
+        assert "genasm_http_requests_total" in families

@@ -1,0 +1,428 @@
+"""Unit tests for the observability primitives.
+
+The tracing, metrics, and logging pieces are cross-cutting — every
+serving module leans on them — so their local contracts are pinned here
+in isolation: span idempotence, interval-union accounting, ring-buffer
+eviction, registry merging, *round-trip* validity of the Prometheus
+exposition (rendered text must satisfy our own strict parser), JSON log
+formatting, and rate-limiter suppression counting. Integration through
+the wire lives in ``test_trace_propagation.py``.
+"""
+
+import asyncio
+import io
+import json
+import logging
+
+import pytest
+
+from repro.serving.histogram import LatencyHistogram
+from repro.serving.observability import (
+    EventRateLimiter,
+    JsonFormatter,
+    MetricFamily,
+    MetricsRegistry,
+    Span,
+    Trace,
+    TraceBuffer,
+    configure_logging,
+    current_trace,
+    get_logger,
+    log_event,
+    new_trace_id,
+    parse_prometheus_text,
+    use_trace,
+)
+
+
+class TestSpan:
+    def test_finish_is_idempotent_first_outcome_wins(self):
+        span = Span(name="engine", start=0.0)
+        span.finish("cancelled", replica="r0")
+        end = span.end
+        span.finish("ok", replica="r9")  # a late completion must not win
+        assert span.outcome == "cancelled"
+        assert span.end == end
+        assert span.attrs == {"replica": "r0"}
+
+    def test_open_span_has_no_duration_and_reports_open(self):
+        span = Span(name="queue_wait", start=5.0)
+        assert span.duration is None
+        assert span.to_dict(origin=5.0)["outcome"] == "open"
+
+    def test_to_dict_offsets_are_millisecond_relative(self):
+        span = Span(name="engine", start=10.0, end=10.25)
+        wire = span.to_dict(origin=9.9)
+        assert wire["start_ms"] == pytest.approx(100.0)
+        assert wire["end_ms"] == pytest.approx(350.0)
+        assert wire["duration_ms"] == pytest.approx(250.0)
+
+
+class TestTrace:
+    def test_ids_are_generated_or_honored(self):
+        assert Trace("client-id").trace_id == "client-id"
+        generated = Trace()
+        assert len(generated.trace_id) == 32
+        assert new_trace_id() != new_trace_id()
+
+    def test_span_contextmanager_marks_errors(self):
+        trace = Trace()
+        with pytest.raises(RuntimeError):
+            with trace.span("engine"):
+                raise RuntimeError("boom")
+        assert trace.spans[0].outcome == "error"
+        with trace.span("parse"):
+            pass
+        assert trace.spans[1].outcome == "ok"
+
+    def test_accounted_fraction_unions_overlapping_spans(self):
+        # Overlap (attempt covering queue_wait) must count once, and the
+        # uninstrumented tail must show up as missing coverage.
+        trace = Trace()
+        origin = trace.started
+        trace.spans.append(Span("attempt", origin, origin + 0.6))
+        trace.spans.append(Span("queue_wait", origin + 0.1, origin + 0.5))
+        trace.spans.append(Span("serialize", origin + 0.8, origin + 0.9))
+        trace.ended = origin + 1.0
+        assert trace.accounted_fraction() == pytest.approx(0.7)
+
+    def test_accounted_fraction_clamps_to_window(self):
+        trace = Trace()
+        origin = trace.started
+        trace.spans.append(Span("engine", origin - 1.0, origin + 2.0))
+        trace.ended = origin + 1.0
+        assert trace.accounted_fraction() == 1.0
+
+    def test_finish_first_call_wins(self):
+        trace = Trace()
+        trace.finish()
+        ended = trace.ended
+        trace.finish()
+        assert trace.ended == ended
+
+    def test_to_dict_carries_meta_and_completion(self):
+        trace = Trace("abc", path="/v1/scan", method="POST")
+        trace.begin("parse").finish()
+        wire = trace.to_dict()
+        assert wire["complete"] is False and wire["duration_ms"] is None
+        trace.finish()
+        wire = trace.to_dict()
+        assert wire["complete"] is True
+        assert wire["meta"] == {"path": "/v1/scan", "method": "POST"}
+        assert [span["name"] for span in wire["spans"]] == ["parse"]
+
+
+class TestTracePropagationPrimitive:
+    def test_use_trace_scopes_the_context(self):
+        assert current_trace() is None
+        trace = Trace()
+        with use_trace(trace):
+            assert current_trace() is trace
+            with use_trace(None):
+                assert current_trace() is None
+            assert current_trace() is trace
+        assert current_trace() is None
+
+    def test_spawned_tasks_inherit_the_trace(self):
+        # The propagation mechanism the whole design rests on: asyncio
+        # copies the context at task creation, so hedges/retries inherit.
+        async def main():
+            trace = Trace()
+            with use_trace(trace):
+                seen = await asyncio.ensure_future(_read_current())
+            return trace, seen
+
+        async def _read_current():
+            return current_trace()
+
+        trace, seen = asyncio.run(main())
+        assert seen is trace
+
+
+class TestTraceBuffer:
+    def test_evicts_oldest_past_capacity(self):
+        ring = TraceBuffer(capacity=2)
+        traces = [Trace(f"t{i}") for i in range(3)]
+        for trace in traces:
+            ring.add(trace)
+        assert len(ring) == 2
+        assert ring.get("t0") is None
+        assert ring.get("t2") is traces[2]
+        assert ring.trace_ids() == ["t1", "t2"]
+
+    def test_refresh_moves_a_trace_to_newest(self):
+        ring = TraceBuffer(capacity=2)
+        first, second, third = Trace("a"), Trace("b"), Trace("c")
+        ring.add(first)
+        ring.add(second)
+        ring.add(first)  # refreshed: now newest
+        ring.add(third)  # evicts "b", not "a"
+        assert ring.get("a") is first
+        assert ring.get("b") is None
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            TraceBuffer(capacity=0)
+
+
+class TestMetricFamily:
+    def test_rejects_bad_names_and_kinds(self):
+        with pytest.raises(ValueError):
+            MetricFamily("0bad", "counter")
+        with pytest.raises(ValueError):
+            MetricFamily("fine_name", "summary")
+
+    def test_histogram_samples_only_on_histogram_kind(self):
+        with pytest.raises(ValueError):
+            MetricFamily("x_total", "counter").add_histogram(
+                LatencyHistogram()
+            )
+
+
+class TestMetricsRegistry:
+    def test_merges_same_named_families_across_collectors(self):
+        registry = MetricsRegistry()
+        registry.add_collector(
+            lambda: [
+                MetricFamily("genasm_x_total", "counter").add(1, shard="a")
+            ]
+        )
+        registry.add_collector(
+            lambda: [
+                MetricFamily("genasm_x_total", "counter").add(2, shard="b")
+            ]
+        )
+        merged = registry.collect()
+        assert [value for _, value in merged["genasm_x_total"].samples] == [
+            1.0,
+            2.0,
+        ]
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.add_collector(
+            lambda: [MetricFamily("genasm_x", "counter").add(1)]
+        )
+        registry.add_collector(
+            lambda: [MetricFamily("genasm_x", "gauge").add(1)]
+        )
+        with pytest.raises(ValueError, match="registered as both"):
+            registry.collect()
+
+    def test_render_round_trips_through_the_parser(self):
+        histogram = LatencyHistogram()
+        for value in (0.001, 0.002, 0.01, 0.5, 0.5):
+            histogram.record(value)
+        registry = MetricsRegistry()
+        registry.add_collector(
+            lambda: [
+                MetricFamily(
+                    "genasm_reqs_total", "counter", "Requests."
+                ).add(7, endpoint="/v1/scan"),
+                MetricFamily("genasm_load", "gauge").add(0.25),
+                MetricFamily(
+                    "genasm_latency_seconds", "histogram", "Latency."
+                ).add_histogram(histogram, endpoint="/v1/scan"),
+            ]
+        )
+        families = parse_prometheus_text(registry.render())
+        assert families["genasm_reqs_total"]["type"] == "counter"
+        assert families["genasm_reqs_total"]["help"] == "Requests."
+        assert families["genasm_reqs_total"]["samples"] == [
+            ("genasm_reqs_total", {"endpoint": "/v1/scan"}, 7.0)
+        ]
+        latency = families["genasm_latency_seconds"]["samples"]
+        by_name = {}
+        for sample_name, labels, value in latency:
+            by_name.setdefault(sample_name, []).append((labels, value))
+        (sum_labels, sum_value), = by_name["genasm_latency_seconds_sum"]
+        assert sum_value == pytest.approx(histogram.total)
+        (_, count_value), = by_name["genasm_latency_seconds_count"]
+        assert count_value == 5.0
+        inf_buckets = [
+            value
+            for labels, value in by_name["genasm_latency_seconds_bucket"]
+            if labels["le"] == "+Inf"
+        ]
+        assert inf_buckets == [5.0]
+
+    def test_label_values_escape_and_round_trip(self):
+        registry = MetricsRegistry()
+        tricky = 'quote " slash \\ newline \n end'
+        registry.add_collector(
+            lambda: [MetricFamily("genasm_x_total", "counter").add(1, name=tricky)]
+        )
+        families = parse_prometheus_text(registry.render())
+        ((_, labels, _),) = families["genasm_x_total"]["samples"]
+        assert labels["name"] == tricky
+
+    def test_histogram_objects_hands_back_live_references(self):
+        histogram = LatencyHistogram()
+        registry = MetricsRegistry()
+        registry.add_collector(
+            lambda: [
+                MetricFamily("genasm_lat_seconds", "histogram").add_histogram(
+                    histogram, endpoint="/v1/align"
+                )
+            ]
+        )
+        objects = registry.histogram_objects("genasm_lat_seconds")
+        assert objects[(("endpoint", "/v1/align"),)] is histogram
+        assert registry.histogram_objects("genasm_missing") == {}
+
+
+class TestCumulativeBuckets:
+    def test_matches_count_and_is_monotone(self):
+        histogram = LatencyHistogram()
+        for value in (1e-5, 0.003, 0.003, 1.5, 250.0):
+            histogram.record(value)
+        buckets = histogram.cumulative_buckets()
+        counts = [count for _, count in buckets]
+        assert counts == sorted(counts)
+        assert counts[-1] == histogram.count
+        bounds = [bound for bound, _ in buckets]
+        assert bounds == sorted(bounds)
+
+    def test_empty_histogram_has_no_buckets(self):
+        assert LatencyHistogram().cumulative_buckets() == []
+
+
+class TestExpositionParser:
+    def test_sample_without_type_declaration_is_rejected(self):
+        with pytest.raises(ValueError, match="no TYPE"):
+            parse_prometheus_text("genasm_x_total 3\n")
+
+    def test_malformed_sample_line_is_rejected(self):
+        with pytest.raises(ValueError, match="malformed sample"):
+            parse_prometheus_text(
+                "# TYPE genasm_x counter\ngenasm_x{oops 3\n"
+            )
+
+    def test_garbage_value_is_rejected(self):
+        with pytest.raises(ValueError, match="bad sample value"):
+            parse_prometheus_text(
+                "# TYPE genasm_x counter\ngenasm_x notanumber\n"
+            )
+
+    def test_duplicate_type_is_rejected(self):
+        with pytest.raises(ValueError, match="duplicate TYPE"):
+            parse_prometheus_text(
+                "# TYPE genasm_x counter\n# TYPE genasm_x gauge\n"
+            )
+
+    def test_noncumulative_histogram_buckets_are_rejected(self):
+        text = (
+            "# TYPE genasm_h histogram\n"
+            'genasm_h_bucket{le="0.1"} 5\n'
+            'genasm_h_bucket{le="1"} 3\n'
+            'genasm_h_bucket{le="+Inf"} 5\n'
+            "genasm_h_count 5\n"
+        )
+        with pytest.raises(ValueError, match="not cumulative"):
+            parse_prometheus_text(text)
+
+    def test_inf_bucket_must_agree_with_count(self):
+        text = (
+            "# TYPE genasm_h histogram\n"
+            'genasm_h_bucket{le="+Inf"} 5\n'
+            "genasm_h_count 7\n"
+        )
+        with pytest.raises(ValueError, match="!= _count"):
+            parse_prometheus_text(text)
+
+    def test_histogram_missing_inf_bucket_is_rejected(self):
+        text = (
+            "# TYPE genasm_h histogram\n"
+            'genasm_h_bucket{le="0.1"} 5\n'
+            "genasm_h_count 5\n"
+        )
+        with pytest.raises(ValueError, match="missing \\+Inf"):
+            parse_prometheus_text(text)
+
+
+class TestJsonLogging:
+    def _capture(self, level=logging.INFO):
+        stream = io.StringIO()
+        handler = configure_logging(level=level, stream=stream)
+        return stream, handler
+
+    def test_log_event_emits_one_json_object_per_line(self):
+        stream, _ = self._capture()
+        logger = get_logger("cluster")
+        emitted = log_event(
+            logger,
+            "cluster.shed",
+            level=logging.WARNING,
+            trace_id="abc123",
+            live_replicas=2,
+        )
+        assert emitted
+        record = json.loads(stream.getvalue().strip())
+        assert record["event"] == "cluster.shed"
+        assert record["level"] == "warning"
+        assert record["logger"] == "repro.serving.cluster"
+        assert record["trace_id"] == "abc123"
+        assert record["live_replicas"] == 2
+
+    def test_configure_logging_is_idempotent(self):
+        stream, _ = self._capture()
+        configure_logging(stream=stream)  # must replace, not duplicate
+        log_event(get_logger("http"), "http.slow_request")
+        assert len(stream.getvalue().strip().splitlines()) == 1
+
+    def test_disabled_level_short_circuits(self):
+        stream, _ = self._capture(level=logging.ERROR)
+        assert not log_event(get_logger("http"), "http.slow_request")
+        assert stream.getvalue() == ""
+
+    def test_unserializable_fields_degrade_to_str(self):
+        stream, _ = self._capture()
+        log_event(get_logger("http"), "weird", payload=object())
+        record = json.loads(stream.getvalue().strip())
+        assert "object object" in record["payload"]
+
+    def teardown_method(self):
+        # Drop the captured-stream handler so later tests (and suites)
+        # never write into a closed StringIO.
+        root = logging.getLogger("repro.serving")
+        for handler in list(root.handlers):
+            if getattr(handler, "_repro_json_handler", False):
+                root.removeHandler(handler)
+
+
+class TestEventRateLimiter:
+    def test_suppresses_within_interval_and_counts(self):
+        limiter = EventRateLimiter(min_interval=1.0)
+        assert limiter.ready("shed", now=0.0) == (True, 0)
+        assert limiter.ready("shed", now=0.2) == (False, 0)
+        assert limiter.ready("shed", now=0.8) == (False, 0)
+        # The next emitted event reports how many lines it swallowed.
+        assert limiter.ready("shed", now=1.5) == (True, 2)
+        assert limiter.ready("shed", now=3.0) == (True, 0)
+
+    def test_keys_are_independent(self):
+        limiter = EventRateLimiter(min_interval=1.0)
+        assert limiter.ready("shed", now=0.0) == (True, 0)
+        assert limiter.ready("hedge", now=0.1) == (True, 0)
+
+    def test_suppressed_count_reaches_the_log_line(self):
+        stream = io.StringIO()
+        configure_logging(stream=stream)
+        try:
+            limiter = EventRateLimiter(min_interval=10.0)
+            logger = get_logger("cluster")
+            assert log_event(logger, "shed", limiter=limiter)
+            assert not log_event(logger, "shed", limiter=limiter)
+            assert not log_event(logger, "shed", limiter=limiter)
+            limiter._last["shed"] = -100.0  # force the window open
+            assert log_event(logger, "shed", limiter=limiter)
+            lines = [
+                json.loads(line)
+                for line in stream.getvalue().strip().splitlines()
+            ]
+            assert lines[-1]["suppressed"] == 2
+        finally:
+            root = logging.getLogger("repro.serving")
+            for handler in list(root.handlers):
+                if getattr(handler, "_repro_json_handler", False):
+                    root.removeHandler(handler)

@@ -1,0 +1,435 @@
+"""Trace propagation through the full serving stack.
+
+These tests assert the *propagation* claims — the part of tracing that
+can silently rot: the id minted (or honored) at the HTTP front must be
+the same trace every downstream stage appends to, across the cluster
+router, hedge duplicates, retry chains, the batching queue, the cache
+path, and sharded engine workers on the other side of an IPC boundary.
+Each scenario drives the real wire path via ``open_memory_connection``
+and then inspects the retained trace by id.
+"""
+
+import asyncio
+import json
+import threading
+import time
+from collections import deque
+
+import pytest
+
+from repro.engine import PurePythonEngine
+from repro.engine.sharded import ShardedEngine
+from repro.serving import (
+    AlignmentCluster,
+    AlignmentHTTPServer,
+    AlignmentServer,
+    open_memory_connection,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class HttpClient:
+    """Minimal HTTP/1.1 client over one stream pair (keep-alive capable)."""
+
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+
+    @classmethod
+    async def connect(cls, front):
+        return cls(*await open_memory_connection(front))
+
+    async def request(self, method, path, body=None, *, headers=None):
+        payload = b"" if body is None else json.dumps(body).encode()
+        lines = [f"{method} {path} HTTP/1.1", "Host: test"]
+        if payload:
+            lines.append(f"Content-Length: {len(payload)}")
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        self.writer.write(("\r\n".join(lines) + "\r\n\r\n").encode() + payload)
+        await self.writer.drain()
+        status_line = await self.reader.readline()
+        assert status_line, "connection closed before a response arrived"
+        status = int(status_line.split()[1])
+        response_headers = {}
+        while True:
+            line = await self.reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode().partition(":")
+            response_headers[name.strip().lower()] = value.strip()
+        length = int(response_headers.get("content-length", "0"))
+        body = await self.reader.readexactly(length) if length else b""
+        return status, (json.loads(body) if body else None), response_headers
+
+    def close(self):
+        self.writer.close()
+
+
+class ScriptableEngine(PurePythonEngine):
+    """Engine double with scriptable per-call latency, errors, and hangs."""
+
+    def __init__(self, *, delay=0.0):
+        self.delay = delay
+        self.failures = deque()
+        self.hang: threading.Event | None = None
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def scan_batch(self, pairs, k, **kwargs):
+        with self._lock:
+            self.calls += 1
+            scripted = self.failures.popleft() if self.failures else None
+        if self.hang is not None:
+            assert self.hang.wait(timeout=10.0), "test forgot to release hang"
+        if self.delay:
+            time.sleep(self.delay)
+        if scripted is not None:
+            raise scripted
+        return super().scan_batch(pairs, k, **kwargs)
+
+
+def make_cluster_front(engines, **kwargs):
+    kwargs.setdefault("policy", "round_robin")
+    kwargs.setdefault("batch_size", 1)
+    kwargs.setdefault("flush_interval", 0.001)
+    cluster = AlignmentCluster(
+        replicas=len(engines),
+        engine_factory=lambda i: engines[i],
+        **kwargs,
+    )
+    return AlignmentHTTPServer(cluster)
+
+
+SCAN = {"text": "ACGTACGT", "pattern": "ACGT", "k": 1}
+
+
+def spans_named(trace_body, name):
+    return [s for s in trace_body["spans"] if s["name"] == name]
+
+
+class TestRequestIds:
+    def test_every_response_carries_a_generated_id(self):
+        async def main():
+            front = AlignmentHTTPServer(
+                AlignmentServer(engine="pure", batch_size=1, flush_interval=0.001)
+            )
+            async with front:
+                client = await HttpClient.connect(front)
+                _, _, first = await client.request("POST", "/v1/scan", SCAN)
+                _, _, second = await client.request("POST", "/v1/scan", SCAN)
+                client.close()
+                return first, second
+
+        first, second = run(main())
+        assert len(first["x-request-id"]) == 32
+        assert first["x-request-id"] != second["x-request-id"]
+
+    def test_client_supplied_id_is_honored_and_queryable(self):
+        async def main():
+            front = AlignmentHTTPServer(
+                AlignmentServer(engine="pure", batch_size=1, flush_interval=0.001)
+            )
+            async with front:
+                client = await HttpClient.connect(front)
+                _, _, headers = await client.request(
+                    "POST", "/v1/scan", SCAN,
+                    headers={"X-Request-ID": "req-from-client-7"},
+                )
+                status, trace, _ = await client.request(
+                    "GET", "/v1/trace/req-from-client-7"
+                )
+                client.close()
+                return headers, status, trace
+
+        headers, status, trace = run(main())
+        assert headers["x-request-id"] == "req-from-client-7"
+        assert status == 200
+        assert trace["trace_id"] == "req-from-client-7"
+        assert trace["complete"] is True
+
+    def test_unknown_trace_id_is_404(self):
+        async def main():
+            front = AlignmentHTTPServer(
+                AlignmentServer(engine="pure", batch_size=1, flush_interval=0.001)
+            )
+            async with front:
+                client = await HttpClient.connect(front)
+                status, body, _ = await client.request(
+                    "GET", "/v1/trace/nope"
+                )
+                client.close()
+                return status, body
+
+        status, body = run(main())
+        assert status == 404
+        assert "nope" in body["error"]
+
+    def test_debug_timing_inlines_the_breakdown(self):
+        async def main():
+            front = AlignmentHTTPServer(
+                AlignmentServer(engine="pure", batch_size=1, flush_interval=0.001)
+            )
+            async with front:
+                client = await HttpClient.connect(front)
+                _, body, _ = await client.request(
+                    "POST", "/v1/scan?debug=timing", SCAN
+                )
+                client.close()
+                return body
+
+        body = run(main())
+        assert body["matches"]
+        names = [span["name"] for span in body["timing"]["spans"]]
+        for expected in ("parse", "queue_wait", "batch_assembly", "engine"):
+            assert expected in names
+
+    def test_healthz_and_503_carry_the_request_id(self):
+        async def main():
+            server = AlignmentServer(
+                engine=ScriptableEngine(delay=0.2),
+                batch_size=1,
+                flush_interval=0.001,
+                max_pending=1,
+            )
+            async with AlignmentHTTPServer(server) as front:
+                busy = await HttpClient.connect(front)
+                probe = await HttpClient.connect(front)
+                slow = asyncio.create_task(
+                    busy.request("POST", "/v1/scan", SCAN)
+                )
+                for _ in range(200):
+                    await asyncio.sleep(0.005)
+                    if server.saturated:
+                        break
+                assert server.saturated
+                _, health, health_headers = await probe.request(
+                    "GET", "/healthz"
+                )
+                shed_status, shed_body, shed_headers = await probe.request(
+                    "POST", "/v1/scan", SCAN
+                )
+                await slow
+                busy.close()
+                probe.close()
+                return health, health_headers, shed_status, shed_body, shed_headers
+
+        health, health_headers, shed_status, shed_body, shed_headers = run(main())
+        assert health["request_id"] == health_headers["x-request-id"]
+        assert shed_status == 503
+        assert shed_body["request_id"] == shed_headers["x-request-id"]
+
+    def test_retry_after_rounds_up_never_to_zero(self):
+        """A 0.4s backend estimate must surface as Retry-After: 1 — an
+        integer 0 would tell clients to hammer a saturated server."""
+
+        async def main():
+            server = AlignmentServer(
+                engine=ScriptableEngine(delay=0.2),
+                batch_size=1,
+                flush_interval=0.001,
+                max_pending=1,
+            )
+            server.suggested_retry_after = lambda: 0.4
+            async with AlignmentHTTPServer(server) as front:
+                busy = await HttpClient.connect(front)
+                probe = await HttpClient.connect(front)
+                slow = asyncio.create_task(
+                    busy.request("POST", "/v1/scan", SCAN)
+                )
+                for _ in range(200):
+                    await asyncio.sleep(0.005)
+                    if server.saturated:
+                        break
+                status, body, headers = await probe.request(
+                    "POST", "/v1/scan", SCAN
+                )
+                await slow
+                busy.close()
+                probe.close()
+                return status, body, headers
+
+        status, body, headers = run(main())
+        assert status == 503
+        assert headers["retry-after"] == "1"
+        assert body["retry_after"] == pytest.approx(0.4)
+
+
+class TestCachePath:
+    def test_cache_hit_records_no_engine_span(self):
+        async def main():
+            server = AlignmentServer(
+                engine="pure",
+                batch_size=1,
+                flush_interval=0.001,
+                cache=True,
+            )
+            async with AlignmentHTTPServer(server) as front:
+                client = await HttpClient.connect(front)
+                _, _, first = await client.request("POST", "/v1/scan", SCAN)
+                _, _, second = await client.request("POST", "/v1/scan", SCAN)
+                _, cold, _ = await client.request(
+                    "GET", f"/v1/trace/{first['x-request-id']}"
+                )
+                _, warm, _ = await client.request(
+                    "GET", f"/v1/trace/{second['x-request-id']}"
+                )
+                client.close()
+                return cold, warm
+
+        cold, warm = run(main())
+        (cold_lookup,) = spans_named(cold, "cache_lookup")
+        assert cold_lookup["outcome"] == "miss"
+        assert spans_named(cold, "engine")
+        (warm_lookup,) = spans_named(warm, "cache_lookup")
+        assert warm_lookup["outcome"] == "hit"
+        # The hit never reached the batch queue or the engine.
+        assert not spans_named(warm, "engine")
+        assert not spans_named(warm, "queue_wait")
+
+
+class TestHedgedTraces:
+    def test_hedge_attempts_share_one_trace_and_loser_is_cancelled(self):
+        async def main():
+            hung = ScriptableEngine()
+            hung.hang = threading.Event()
+            healthy = ScriptableEngine()
+            front = make_cluster_front(
+                [hung, healthy], hedge=True, max_hedge_delay=0.05
+            )
+            async with front:
+                client = await HttpClient.connect(front)
+                status, _, headers = await client.request(
+                    "POST", "/v1/scan", SCAN
+                )
+                hung.hang.set()
+                # Give the loser's reap a tick to close its span.
+                await asyncio.sleep(0.05)
+                _, trace, _ = await client.request(
+                    "GET", f"/v1/trace/{headers['x-request-id']}"
+                )
+                client.close()
+                return status, trace
+
+        status, trace = run(main())
+        assert status == 200
+        attempts = spans_named(trace, "attempt")
+        assert len(attempts) == 2
+        outcomes = sorted(span["outcome"] for span in attempts)
+        assert outcomes == ["cancelled", "ok"]
+        replicas = {span["attrs"]["replica"] for span in attempts}
+        assert len(replicas) == 2  # two distinct replicas, one trace
+        (hedge_wait,) = spans_named(trace, "hedge_wait")
+        assert hedge_wait["outcome"] == "hedge_won"
+
+    def test_slow_hedged_request_breakdown_accounts_for_the_latency(self):
+        """Acceptance: the trace of a deliberately slow hedged request
+        must explain >= 95% of its end-to-end wall time."""
+
+        async def main():
+            slow = ScriptableEngine(delay=0.25)
+            hedge = ScriptableEngine(delay=0.05)
+            front = make_cluster_front(
+                [slow, hedge], hedge=True, max_hedge_delay=0.05
+            )
+            async with front:
+                client = await HttpClient.connect(front)
+                started = time.monotonic()
+                status, _, headers = await client.request(
+                    "POST", "/v1/scan", SCAN
+                )
+                elapsed = time.monotonic() - started
+                await asyncio.sleep(0.3)  # let the loser finish reaping
+                _, trace, _ = await client.request(
+                    "GET", f"/v1/trace/{headers['x-request-id']}"
+                )
+                client.close()
+                return status, elapsed, trace
+
+        status, elapsed, trace = run(main())
+        assert status == 200
+        assert trace["complete"] is True
+        assert trace["accounted_fraction"] >= 0.95
+        # The trace's own clock must agree with the observed latency.
+        assert trace["duration_ms"] == pytest.approx(
+            elapsed * 1e3, rel=0.5
+        )
+
+
+class TestRetriedTraces:
+    def test_one_attempt_span_per_retry_and_exactly_one_answer(self):
+        async def main():
+            flaky = ScriptableEngine()
+            flaky.failures.append(RuntimeError("transient"))
+            backup = ScriptableEngine()
+            front = make_cluster_front(
+                [flaky, backup], hedge=False, max_attempts=2
+            )
+            async with front:
+                client = await HttpClient.connect(front)
+                status, body, headers = await client.request(
+                    "POST", "/v1/scan", SCAN
+                )
+                _, trace, _ = await client.request(
+                    "GET", f"/v1/trace/{headers['x-request-id']}"
+                )
+                client.close()
+                return status, body, trace, flaky.calls + backup.calls
+
+        status, body, trace, total_calls = run(main())
+        assert status == 200
+        assert body["matches"]
+        attempts = spans_named(trace, "attempt")
+        assert [span["outcome"] for span in attempts] == ["failed", "ok"]
+        assert total_calls == 2  # retried exactly once, answered once
+
+
+class TestShardedTraces:
+    def test_per_shard_timings_ride_the_engine_span(self):
+        async def main():
+            engine = ShardedEngine(workers=2, inner="pure", min_batch=1)
+            server = AlignmentServer(
+                engine=engine, batch_size=4, flush_interval=0.01
+            )
+            async with AlignmentHTTPServer(server) as front:
+                clients = [await HttpClient.connect(front) for _ in range(4)]
+                responses = await asyncio.gather(
+                    *(
+                        client.request(
+                            "POST",
+                            "/v1/scan",
+                            {"text": "ACGTACGTACGT", "pattern": "ACGT", "k": 1},
+                        )
+                        for client in clients
+                    )
+                )
+                traces = []
+                for _, _, headers in responses:
+                    _, trace, _ = await clients[0].request(
+                        "GET", f"/v1/trace/{headers['x-request-id']}"
+                    )
+                    traces.append(trace)
+                for client in clients:
+                    client.close()
+                return responses, traces
+
+        responses, traces = run(main())
+        assert all(status == 200 for status, _, _ in responses)
+        sharded = [
+            span
+            for trace in traces
+            for span in spans_named(trace, "engine")
+            if "shards" in span.get("attrs", {})
+        ]
+        assert sharded, "no engine span carried per-shard timings"
+        for span in sharded:
+            timings = span["attrs"]["shards"]
+            # Per-shard wall times crossed the IPC boundary and merged:
+            # every shard reports its job count and compute seconds, and
+            # the shards together cover the whole batch.
+            assert all(t["seconds"] >= 0.0 for t in timings)
+            assert all(t["jobs"] >= 1 for t in timings)
+            assert sum(t["jobs"] for t in timings) == span["attrs"]["batch"]
