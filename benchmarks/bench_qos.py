@@ -1,0 +1,342 @@
+"""QoS isolation benchmark: an abusive tenant vs an honest one.
+
+Proves the multi-tenant QoS layer's headline bound on the real wire
+path — HTTP parsing, admission control, the deficit-round-robin pending
+queue, a replicated cluster — rather than on a simulated clock (the
+fault-injection suite covers that): with one tenant offering **10x its
+fair share**, an honest tenant's p99 must stay within 2x its solo
+baseline and its goodput within 0.8x.
+
+Two phases over identical open-loop honest schedules:
+
+* ``solo``  — the honest tenant alone, measuring its baseline p99 and
+  goodput (fraction of requests answered 200 within the run);
+* ``abuse`` — the same honest schedule while an abuser fires ten times
+  its admitted rate, opening with a burst deep enough to pile a real
+  backlog into the pending queue. Admission clips the abuser to its
+  bucket (429s, counted), and the fair queue keeps the honest tenant's
+  lane draining at its weighted share through the backlog.
+
+The engine is a sleep-padded pure-Python backend so service capacity is
+set by the benchmark, not by host-dependent alignment throughput. Emits
+``BENCH_qos.json`` at the repo root; ``check_regression.py`` gates
+``summary.honest_p99_abuse_vs_solo <= 2.0``,
+``summary.honest_goodput_abuse_vs_solo >= 0.8``, and
+``summary.abuser_throttled_requests >= 1``.
+
+Run:  PYTHONPATH=src python benchmarks/bench_qos.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import time
+from pathlib import Path
+
+from _common import REPO_ROOT, emit_json, emit_table
+from bench_serving import percentile
+
+from repro.engine import PurePythonEngine
+from repro.serving import (
+    AlignmentCluster,
+    AlignmentHTTPServer,
+    QosPolicy,
+    TenantConfig,
+)
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_qos.json"
+
+HONEST = "honest"
+ABUSER = "abuser"
+
+
+class SleepEngine(PurePythonEngine):
+    """Pure backend with a fixed per-batch service cost.
+
+    The sleep pins batch service time, so queueing behavior — the thing
+    under test — dominates the measurement instead of alignment speed.
+    """
+
+    def __init__(self, delay: float):
+        self.delay = delay
+
+    def scan_batch(self, pairs, k, **kwargs):
+        time.sleep(self.delay)
+        return super().scan_batch(pairs, k, **kwargs)
+
+
+def build_payloads(count: int, seed: int) -> list[dict]:
+    rng = random.Random(seed)
+    payloads = []
+    for _ in range(count):
+        text = "".join(rng.choice("ACGT") for _ in range(48))
+        start = rng.randrange(0, 32)
+        payloads.append(
+            {"text": text, "pattern": text[start : start + 12], "k": 1}
+        )
+    return payloads
+
+
+async def _http_request(reader, writer, payload: dict, api_key: str) -> int:
+    """One POST /v1/scan; returns the status (429/503 are data, not errors)."""
+    body = json.dumps(payload).encode()
+    writer.write(
+        (
+            "POST /v1/scan HTTP/1.1\r\nHost: bench\r\n"
+            f"X-API-Key: {api_key}\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        ).encode()
+        + body
+    )
+    await writer.drain()
+    status_line = await reader.readline()
+    status = int(status_line.split()[1])
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode().partition(":")
+        headers[name.strip().lower()] = value.strip()
+    await reader.readexactly(int(headers.get("content-length", "0")))
+    return status
+
+
+async def _drive_tenant(
+    front: AlignmentHTTPServer,
+    api_key: str,
+    payloads: list[dict],
+    *,
+    rate: float,
+    group: int,
+    connections: int,
+) -> list[tuple[float, int]]:
+    """Open-loop schedule: fire ``group`` requests every ``group/rate``
+    seconds across a keep-alive connection pool; returns
+    ``(latency_seconds, status)`` per request, latency measured from the
+    scheduled fire time (queue wait included)."""
+    queues: list[asyncio.Queue] = [asyncio.Queue() for _ in range(connections)]
+
+    async def worker(queue: asyncio.Queue) -> list[tuple[float, int]]:
+        reader, writer = await asyncio.open_connection("127.0.0.1", front.port)
+        own: list[tuple[float, int]] = []
+        while True:
+            item = await queue.get()
+            if item is None:
+                break
+            fired_at, payload = item
+            status = await _http_request(reader, writer, payload, api_key)
+            own.append((time.perf_counter() - fired_at, status))
+        writer.close()
+        return own
+
+    workers = [asyncio.ensure_future(worker(queue)) for queue in queues]
+    gap = group / rate
+    slot = 0
+    for offset in range(0, len(payloads), group):
+        fired_at = time.perf_counter()
+        for payload in payloads[offset : offset + group]:
+            queues[slot % connections].put_nowait((fired_at, payload))
+            slot += 1
+        await asyncio.sleep(gap)
+    for queue in queues:
+        queue.put_nowait(None)
+    per_worker = await asyncio.gather(*workers)
+    return [sample for samples in per_worker for sample in samples]
+
+
+def run_phase(
+    *,
+    phase: str,  # "solo" | "abuse"
+    honest_payloads: list[dict],
+    abuse_payloads: list[dict],
+    honest_rate: float,
+    abuse_rate: float,
+    qos_config: dict,
+    engine_delay: float,
+    batch_size: int,
+) -> dict:
+    async def main() -> dict:
+        qos = QosPolicy(
+            [
+                TenantConfig(HONEST, **qos_config[HONEST]),
+                TenantConfig(ABUSER, **qos_config[ABUSER]),
+            ]
+        )
+        cluster = AlignmentCluster(
+            replicas=2,
+            engine_factory=lambda i: SleepEngine(engine_delay),
+            policy="least_in_flight",
+            batch_size=batch_size,
+            flush_interval=0.025,
+            max_pending=8192,
+            qos=qos,
+        )
+        async with AlignmentHTTPServer(cluster, trace=False, qos=qos) as front:
+            await front.start(port=0)
+            start = time.perf_counter()
+            tasks = [
+                _drive_tenant(
+                    front,
+                    HONEST,
+                    honest_payloads,
+                    rate=honest_rate,
+                    group=2,
+                    connections=16,
+                )
+            ]
+            if phase == "abuse":
+                tasks.append(
+                    _drive_tenant(
+                        front,
+                        ABUSER,
+                        abuse_payloads,
+                        rate=abuse_rate,
+                        group=16,
+                        connections=32,
+                    )
+                )
+            outcomes = await asyncio.gather(*tasks)
+            elapsed = time.perf_counter() - start
+            honest_samples = outcomes[0]
+            abuse_samples = outcomes[1] if phase == "abuse" else []
+            honest_ok = [lat for lat, status in honest_samples if status == 200]
+            tenants = qos.stats_payload()
+            return {
+                "phase": phase,
+                "seconds": elapsed,
+                "honest_requests": len(honest_samples),
+                "honest_ok": len(honest_ok),
+                "honest_goodput": len(honest_ok) / len(honest_samples),
+                "honest_p50_ms": percentile(honest_ok, 50) * 1e3,
+                "honest_p99_ms": percentile(honest_ok, 99) * 1e3,
+                "abuser_requests": len(abuse_samples),
+                "abuser_admitted": sum(
+                    1 for _lat, status in abuse_samples if status == 200
+                ),
+                "abuser_throttled": tenants[ABUSER]["throttled"],
+                "abuser_shed": tenants[ABUSER]["shed"],
+                "honest_throttled": tenants[HONEST]["throttled"],
+                "honest_shed": tenants[HONEST]["shed"],
+            }
+
+    return asyncio.run(main())
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload for CI: short phases, few requests",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help="where to write the JSON artifact",
+    )
+    args = parser.parse_args()
+
+    # Capacity model: 2 replicas x batch/delay ~ 8k req/s ceiling; the
+    # abuser's quota (its "fair share") is its bucket rate, and it offers
+    # 10x that, opening with a burst that piles a real backlog into the
+    # pending queues.
+    engine_delay = 0.002
+    batch_size = 8
+    if args.smoke:
+        honest_requests, honest_rate = 120, 200.0
+        abuse_rate = 4000.0  # 10x the abuser's 400/s quota
+        abuse_requests = 1200
+        abuser_burst = 600.0
+    else:
+        honest_requests, honest_rate = 500, 200.0
+        abuse_rate = 4000.0
+        abuse_requests = 8000
+        abuser_burst = 2000.0
+
+    qos_config = {
+        HONEST: {"rate": 1000.0, "burst": 2000.0, "weight": 1.0},
+        ABUSER: {"rate": 400.0, "burst": abuser_burst, "weight": 1.0},
+    }
+    honest_payloads = build_payloads(honest_requests, seed=0x90C)
+    abuse_payloads = build_payloads(abuse_requests, seed=0xABCDE)
+
+    results = []
+    for phase in ("solo", "abuse"):
+        results.append(
+            run_phase(
+                phase=phase,
+                honest_payloads=honest_payloads,
+                abuse_payloads=abuse_payloads,
+                honest_rate=honest_rate,
+                abuse_rate=abuse_rate,
+                qos_config=qos_config,
+                engine_delay=engine_delay,
+                batch_size=batch_size,
+            )
+        )
+
+    solo, abuse = results
+    summary = {
+        # CI-gated isolation bounds (see check_regression.py "qos" gates).
+        "honest_p99_abuse_vs_solo": abuse["honest_p99_ms"] / solo["honest_p99_ms"],
+        "honest_goodput_abuse_vs_solo": (
+            abuse["honest_goodput"] / solo["honest_goodput"]
+        ),
+        "abuser_throttled_requests": abuse["abuser_throttled"],
+        "solo_p99_ms": solo["honest_p99_ms"],
+        "abuse_p99_ms": abuse["honest_p99_ms"],
+        "abuser_admitted": abuse["abuser_admitted"],
+    }
+
+    emit_json(
+        args.output,
+        "qos",
+        {
+            "smoke": args.smoke,
+            "engine_delay": engine_delay,
+            "batch_size": batch_size,
+            "qos_config": qos_config,
+            "results": results,
+            "summary": summary,
+        },
+    )
+
+    rows = [
+        [
+            r["phase"],
+            r["honest_requests"],
+            f"{r['honest_goodput']:.3f}",
+            f"{r['honest_p50_ms']:.1f}",
+            f"{r['honest_p99_ms']:.1f}",
+            r["abuser_requests"],
+            r["abuser_admitted"],
+            r["abuser_throttled"],
+            r["abuser_shed"],
+        ]
+        for r in results
+    ]
+    emit_table(
+        "bench_qos",
+        [
+            "phase", "honest req", "goodput", "p50 ms", "p99 ms",
+            "abuse req", "admitted", "429s", "503s",
+        ],
+        rows,
+        title="Honest-tenant latency with and without a 10x abusive tenant",
+    )
+    print(f"\nwrote {args.output}")
+    print(
+        f"honest p99 abuse/solo: {summary['honest_p99_abuse_vs_solo']:.2f}x "
+        f"(gate <= 2.0); goodput ratio "
+        f"{summary['honest_goodput_abuse_vs_solo']:.3f} (gate >= 0.8); "
+        f"abuser 429s: {summary['abuser_throttled_requests']}"
+    )
+
+
+if __name__ == "__main__":
+    main()

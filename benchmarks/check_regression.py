@@ -221,6 +221,25 @@ GATE_SPECS: dict[str, GateSpec] = {
                 Invariant("summary.autoscaler_final_replicas", "<=", 1.0),
             ),
         ),
+        GateSpec(
+            name="qos",
+            metric="honest_goodput",
+            key_fields=("phase",),
+            threshold=0.50,
+            invariants=(
+                # The multi-tenant isolation acceptance bound: one tenant
+                # saturating the cluster at 10x its fair share moves the
+                # honest tenant's p99 by at most 2x its solo baseline...
+                Invariant("summary.honest_p99_abuse_vs_solo", "<=", 2.0),
+                # ...and leaves it >= 0.8 of its solo goodput...
+                Invariant(
+                    "summary.honest_goodput_abuse_vs_solo", ">=", 0.8
+                ),
+                # ...while admission control really was doing the
+                # clipping (the abuse phase produced 429s, not sheds).
+                Invariant("summary.abuser_throttled_requests", ">=", 1.0),
+            ),
+        ),
     )
 }
 

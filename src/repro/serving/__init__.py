@@ -33,6 +33,16 @@ draining. Latency percentiles (p50/p90/p99) come from the mergeable
 log-bucket :class:`LatencyHistogram` (:mod:`repro.serving.histogram`) and
 appear per endpoint, per replica, and cluster-wide in ``/v1/stats``.
 
+:mod:`repro.serving.qos` adds multi-tenant quality of service: a
+:class:`QosPolicy` maps each request's ``X-API-Key`` to a tenant (with an
+``anonymous`` fallback), charges a per-tenant :class:`TokenBucket` at
+admission (429 + refill-derived ``Retry-After`` when empty), replaces the
+server's FIFO pending queue with a deficit-round-robin :class:`FairQueue`
+(per-tenant lanes weighted by :class:`TenantConfig`, interactive
+``scan``/``edit_distance`` ahead of bulk work within a lane), and
+propagates client deadlines (``timeout_ms`` / ``X-Request-Deadline``)
+so expired work is dropped before the engine call (504).
+
 :mod:`repro.serving.observability` threads the whole stack together:
 per-request traces (``X-Request-ID`` honored/echoed, span breakdowns at
 ``GET /v1/trace/<id>`` and ``?debug=timing``), a pull-model
@@ -86,6 +96,19 @@ from repro.serving.http import (
     open_memory_connection,
     serve_http,
 )
+from repro.serving.qos import (
+    DEFAULT_TENANT,
+    INTERACTIVE_KINDS,
+    AdmissionError,
+    DeadlineExceededError,
+    FairQueue,
+    FifoQueue,
+    QosPolicy,
+    TenantConfig,
+    TenantState,
+    TenantStats,
+    TokenBucket,
+)
 from repro.serving.server import (
     AlignmentServer,
     ServerClosedError,
@@ -94,8 +117,11 @@ from repro.serving.server import (
 )
 
 __all__ = [
+    "DEFAULT_TENANT",
+    "INTERACTIVE_KINDS",
     "MISS",
     "ROUTING_POLICIES",
+    "AdmissionError",
     "AlignmentCache",
     "AlignmentCluster",
     "AlignmentHTTPServer",
@@ -105,8 +131,11 @@ __all__ = [
     "ClusterAutoscaler",
     "ClusterSaturatedError",
     "ConsistentHashPolicy",
+    "DeadlineExceededError",
     "EndpointStats",
     "EventRateLimiter",
+    "FairQueue",
+    "FifoQueue",
     "HttpError",
     "JsonFormatter",
     "LatencyEwmaPolicy",
@@ -114,12 +143,17 @@ __all__ = [
     "LeastInFlightPolicy",
     "MetricFamily",
     "MetricsRegistry",
+    "QosPolicy",
     "Replica",
     "RoundRobinPolicy",
     "RoutingPolicy",
     "ServerClosedError",
     "ServingStats",
     "Span",
+    "TenantConfig",
+    "TenantState",
+    "TenantStats",
+    "TokenBucket",
     "Trace",
     "TraceBuffer",
     "configure_logging",

@@ -72,6 +72,7 @@ from repro.serving.observability import (
     get_logger,
     log_event,
 )
+from repro.serving.qos import DeadlineExceededError
 from repro.serving.server import AlignmentServer, ServerClosedError, ServingStats
 
 _LOGGER = get_logger("cluster")
@@ -587,29 +588,65 @@ class AlignmentCluster:
         k: int,
         *,
         first_match_only: bool = False,
+        tenant: str | None = None,
+        deadline: float | None = None,
     ) -> "list[BitapMatch]":
         """Bitap-scan one (text, pattern) pair on some replica."""
         return await self._submit(
-            "scan", (text, pattern, k), {"first_match_only": first_match_only}
+            "scan",
+            (text, pattern, k),
+            {"first_match_only": first_match_only},
+            tenant=tenant,
+            deadline=deadline,
         )
 
     async def edit_distance(
-        self, text: str, pattern: str, k: int
+        self,
+        text: str,
+        pattern: str,
+        k: int,
+        *,
+        tenant: str | None = None,
+        deadline: float | None = None,
     ) -> int | None:
         """Minimum semi-global edit distance (None above ``k``)."""
-        return await self._submit("edit_distance", (text, pattern, k), {})
+        return await self._submit(
+            "edit_distance",
+            (text, pattern, k),
+            {},
+            tenant=tenant,
+            deadline=deadline,
+        )
 
-    async def align(self, text: str, pattern: str) -> "Alignment":
+    async def align(
+        self,
+        text: str,
+        pattern: str,
+        *,
+        tenant: str | None = None,
+        deadline: float | None = None,
+    ) -> "Alignment":
         """Full GenASM alignment of one pair on some replica."""
-        return await self._submit("align", (text, pattern), {})
+        return await self._submit(
+            "align", (text, pattern), {}, tenant=tenant, deadline=deadline
+        )
 
-    async def map_read(self, name: str, read: str) -> "MappingResult":
+    async def map_read(
+        self,
+        name: str,
+        read: str,
+        *,
+        tenant: str | None = None,
+        deadline: float | None = None,
+    ) -> "MappingResult":
         """Map one read through some replica's attached mapper."""
         if self.mapper is None:
             raise RuntimeError(
                 "map_read requires a cluster constructed with mapper=..."
             )
-        return await self._submit("map_read", (name, read), {})
+        return await self._submit(
+            "map_read", (name, read), {}, tenant=tenant, deadline=deadline
+        )
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -684,10 +721,29 @@ class AlignmentCluster:
             self.max_hedge_delay, max(self.min_hedge_delay, min(per_replica))
         )
 
-    async def _submit(self, method: str, args: tuple, kwargs: dict) -> Any:
+    async def _submit(
+        self,
+        method: str,
+        args: tuple,
+        kwargs: dict,
+        *,
+        tenant: str | None = None,
+        deadline: float | None = None,
+    ) -> Any:
         if self._closed:
             raise ServerClosedError("cluster is stopped")
+        # The routing key is computed from content only: tenancy and
+        # deadline are request *metadata*, and folding them in would
+        # scatter identical payloads across consistent-hash arcs (and
+        # their replica-affine cache entries) per caller.
         key = self._routing_key(method, args, kwargs)
+        if tenant is not None or deadline is not None:
+            # Tenant context rides the kwargs through every retry and
+            # hedge attempt below — the same identity lands on whichever
+            # replica answers. Admission was already charged (once) at
+            # the network front, so a hedge duplicate or a retry can
+            # never double-charge the tenant's bucket.
+            kwargs = dict(kwargs, tenant=tenant, deadline=deadline)
         used: set[int] = set()
         if not self.hedge or len(self._replicas) < 2:
             return await self._attempt_chain(method, args, kwargs, key, used)
@@ -754,6 +810,13 @@ class AlignmentCluster:
                 # no retry burned.
                 if span is not None:
                     span.finish("rejected")
+                raise
+            except DeadlineExceededError:
+                # The request ran out of *its own* time budget while
+                # queued — the replica did nothing wrong, and a retry
+                # would arrive even later. Surface it untouched.
+                if span is not None:
+                    span.finish("expired")
                 raise
             except Exception as exc:  # noqa: BLE001 - judged per replica
                 # Engine calls are pure functions of the payload; the
@@ -931,6 +994,12 @@ class AlignmentCluster:
             # cooling the replica for a poison request would be wrong.
             if span is not None:
                 span.finish("rejected")
+            return False, None
+        except DeadlineExceededError:
+            # The duplicate's queued copy outlived the request's budget;
+            # the primary is the authoritative answer (or expiry).
+            if span is not None:
+                span.finish("expired")
             return False, None
         except Exception:  # noqa: BLE001 - primary is authoritative
             if span is not None:

@@ -30,6 +30,20 @@ against another replica. Engine ``ValueError``s (bad symbols, negative
 ``k``) are client errors (400); anything else is a 500 with the exception
 name, never a dropped connection.
 
+With a :class:`~repro.serving.qos.QosPolicy` mounted (``qos=``), each
+POST is accounted to the tenant named by its ``X-API-Key`` header
+(missing/unknown keys share the ``anonymous`` tenant) and charged against
+that tenant's token bucket *before* anything else: an empty bucket is 429
+Too Many Requests with a ``Retry-After`` derived from the bucket's own
+refill time — the client's quota, not server load, sets the wait — and
+never a 503, which remains the server-side saturation signal. A request
+may bound its own wait with ``timeout_ms`` in the JSON body (or an
+``X-Request-Deadline`` header, also milliseconds); work still queued when
+the budget runs out is dropped before the engine call and answered 504
+Gateway Timeout. A client that disconnects while its request is queued
+has the queued work cancelled (it counts toward ``stats.cancelled``, and
+the engine never computes it).
+
 Shutdown is graceful: :meth:`AlignmentHTTPServer.stop` stops accepting,
 lets every in-flight request finish and be written back, closes idle
 keep-alive connections, then drains the underlying alignment server.
@@ -66,6 +80,12 @@ from repro.serving.observability import (
     log_event,
     new_trace_id,
     use_trace,
+)
+from repro.serving.qos import (
+    AdmissionError,
+    DeadlineExceededError,
+    QosPolicy,
+    TenantState,
 )
 from repro.serving.server import AlignmentServer, ServerClosedError
 
@@ -155,10 +175,16 @@ _REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     501: "Not Implemented",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
+
+#: Statuses whose responses carry a ``Retry-After`` header: 429 (the
+#: tenant's bucket refill time) and 503 (the backend's load estimate).
+_RETRYABLE_STATUSES = (429, 503)
 
 
 @dataclass(frozen=True)
@@ -175,6 +201,20 @@ class _ParsedRequest:
     @property
     def keep_alive(self) -> bool:
         return self.headers.get("connection", "").lower() != "close"
+
+
+@dataclass(frozen=True)
+class _RequestContext:
+    """Per-request QoS context threaded from the front into the backend."""
+
+    #: Tenant name the request is accounted to (None when QoS is off).
+    tenant: str | None = None
+    #: Absolute ``time.monotonic()`` deadline parsed from ``timeout_ms``
+    #: or ``X-Request-Deadline`` (None when the client set no budget).
+    deadline: float | None = None
+
+
+_EMPTY_CONTEXT = _RequestContext()
 
 
 class AlignmentHTTPServer:
@@ -211,6 +251,19 @@ class AlignmentHTTPServer:
     slow_request_threshold:
         Requests slower than this (seconds) emit a rate-limited
         ``http.slow_request`` JSON log event carrying the trace id.
+    qos:
+        A :class:`~repro.serving.qos.QosPolicy` turning on multi-tenant
+        admission control: every POST resolves its ``X-API-Key`` header
+        to a tenant and is charged against that tenant's token bucket
+        before validation or capacity checks (an empty bucket is 429
+        with a refill-derived ``Retry-After``). Per-tenant outcome/
+        latency blocks appear in ``/v1/stats`` and tenant-labeled
+        ``genasm_qos_*`` families in ``/metrics``. Pass the same policy
+        to the backend's ``qos=`` for weighted-fair queueing under it.
+    disconnect_poll:
+        Seconds between checks for a client that hung up while its
+        request is in flight; on disconnect the queued work is cancelled
+        (dropped before the engine call) instead of computed for nobody.
     """
 
     def __init__(
@@ -223,18 +276,29 @@ class AlignmentHTTPServer:
         trace_buffer: int = 256,
         metrics: MetricsRegistry | None = None,
         slow_request_threshold: float = 0.5,
+        qos: QosPolicy | None = None,
+        disconnect_poll: float = 0.05,
     ) -> None:
         if max_body_bytes < 1:
             raise ValueError("max_body_bytes must be positive")
+        if disconnect_poll <= 0:
+            raise ValueError("disconnect_poll must be positive")
         self.server = server
         self.max_body_bytes = max_body_bytes
         self.own_server = own_server
         self.trace = trace
         self.traces = TraceBuffer(trace_buffer)
         self.slow_request_threshold = slow_request_threshold
+        self.qos = qos
+        self.disconnect_poll = disconnect_poll
+        #: Requests abandoned by their client mid-flight (the queued
+        #: work was cancelled; the backend counts it under cancelled).
+        self.client_disconnects = 0
         self._events = EventRateLimiter()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.metrics.add_collector(self.collect_metrics)
+        if qos is not None:
+            self.metrics.add_collector(qos.collect_metrics)
         backend_collector = getattr(server, "collect_metrics", None)
         if backend_collector is not None:
             self.metrics.add_collector(backend_collector)
@@ -259,7 +323,7 @@ class AlignmentHTTPServer:
 
     def _routes(
         self,
-    ) -> dict[str, tuple[str, Callable[[dict], Awaitable[dict]]]]:
+    ) -> dict[str, tuple[str, Callable[[dict, _RequestContext], Awaitable[dict]]]]:
         """Route table: path -> (allowed method, handler coroutine)."""
         return {
             "/healthz": ("GET", self._handle_healthz),
@@ -363,9 +427,15 @@ class AlignmentHTTPServer:
                         # request is already queryable by its id.
                         self.traces.add(trace)
                     with use_trace(trace):
-                        status, payload, retry_after = await self._dispatch(
-                            request
+                        dispatch = asyncio.ensure_future(
+                            self._dispatch(request)
                         )
+                        disconnected = await self._watch_dispatch(
+                            reader, dispatch
+                        )
+                    if disconnected:
+                        return  # nobody left to answer
+                    status, payload, retry_after = dispatch.result()
                     self._annotate_response(
                         request, status, payload, request_id, trace
                     )
@@ -403,6 +473,36 @@ class AlignmentHTTPServer:
                 await writer.wait_closed()
             except (ConnectionError, OSError):  # pragma: no cover
                 pass
+
+    async def _watch_dispatch(
+        self, reader: asyncio.StreamReader, dispatch: "asyncio.Future"
+    ) -> bool:
+        """Await ``dispatch`` while watching for the client hanging up.
+
+        asyncio eagerly feeds the peer's bytes (and EOF) into the stream
+        buffer, so ``reader.at_eof()`` flips on a disconnect without
+        consuming any pipelined request data. On disconnect the dispatch
+        task is cancelled — for work still queued that cancels the
+        request future, so the engine never computes it and the backend
+        counts it under ``stats.cancelled`` — and True is returned: there
+        is nobody left to write a response to.
+        """
+        while True:
+            done, _ = await asyncio.wait(
+                {dispatch}, timeout=self.disconnect_poll
+            )
+            if done:
+                return False
+            if reader.at_eof():
+                dispatch.cancel()
+                try:
+                    await dispatch
+                except asyncio.CancelledError:
+                    pass
+                except Exception:  # noqa: BLE001 - abandoned anyway
+                    pass
+                self.client_disconnects += 1
+                return True
 
     async def _read_request(
         self, reader: asyncio.StreamReader
@@ -484,8 +584,10 @@ class AlignmentHTTPServer:
                 None,
             )
         retry_after: float | None = None
+        tenant_state: TenantState | None = None
         started = time.monotonic()
         try:
+            ctx = _EMPTY_CONTEXT
             if method == "POST":
                 trace = current_trace()
                 parse = (
@@ -496,10 +598,37 @@ class AlignmentHTTPServer:
                 payload = self._decode_body(request)
                 if parse is not None:
                     parse.finish()
+                if self.qos is not None:
+                    # Admission happens exactly once, here at the front —
+                    # charged before validation or capacity checks so an
+                    # abusive tenant cannot burn 400s for free, and never
+                    # inside the backend, where retries and hedges would
+                    # double-charge the bucket.
+                    tenant_state = self.qos.resolve(
+                        request.headers.get("x-api-key")
+                    )
+                    self.qos.admit(tenant_state)
+                    ctx = _RequestContext(
+                        tenant=tenant_state.name,
+                        deadline=_request_deadline(request, payload),
+                    )
+                    if trace is not None:
+                        trace.meta["tenant"] = tenant_state.name
+                else:
+                    ctx = _RequestContext(
+                        deadline=_request_deadline(request, payload)
+                    )
             else:
                 payload = {}
-            result = await handler(payload)
+            result = await handler(payload, ctx)
             status = 200
+        except AdmissionError as exc:
+            # Over-quota is the tenant's problem, not the server's: 429
+            # with the bucket's own refill time, never a 503.
+            status, result = 429, {"error": str(exc)}
+            retry_after = exc.retry_after
+        except DeadlineExceededError as exc:
+            status, result = 504, {"error": str(exc)}
         except HttpError as exc:
             status, result = exc.status, {"error": exc.message}
             retry_after = exc.retry_after
@@ -517,11 +646,14 @@ class AlignmentHTTPServer:
         except Exception as exc:  # noqa: BLE001 - wire boundary
             status = 500
             result = {"error": f"{type(exc).__name__}: {exc}"}
-        if status == 503 and retry_after is not None:
+        if status in _RETRYABLE_STATUSES and retry_after is not None:
             # Mirror the header in the body: the header is integer-rounded
             # per RFC 9110, the body keeps the precise estimate.
             result["retry_after"] = round(retry_after, 3)
-        endpoint.record(status, time.monotonic() - started)
+        elapsed = time.monotonic() - started
+        endpoint.record(status, elapsed)
+        if tenant_state is not None:
+            self.qos.record(tenant_state, status, elapsed)
         return status, result, retry_after
 
     def _dispatch_trace_lookup(
@@ -626,7 +758,7 @@ class AlignmentHTTPServer:
         ]
         if request_id is not None:
             headers.append(f"X-Request-ID: {request_id}")
-        if status == 503:
+        if status in _RETRYABLE_STATUSES:
             # Retry-After is delay-seconds (an integer) on the wire; the
             # precise float estimate travels in the JSON body.
             headers.append(
@@ -656,14 +788,21 @@ class AlignmentHTTPServer:
         if self._closed:
             raise HttpError(503, "server is shutting down")
 
-    async def _handle_scan(self, payload: dict[str, Any]) -> dict[str, Any]:
+    async def _handle_scan(
+        self, payload: dict[str, Any], ctx: _RequestContext
+    ) -> dict[str, Any]:
         text = _string_field(payload, "text")
         pattern = _string_field(payload, "pattern", non_empty=True)
         k = _int_field(payload, "k", minimum=0)
         first_match_only = _bool_field(payload, "first_match_only", False)
         self._check_capacity()
         matches = await self.server.scan(
-            text, pattern, k, first_match_only=first_match_only
+            text,
+            pattern,
+            k,
+            first_match_only=first_match_only,
+            tenant=ctx.tenant,
+            deadline=ctx.deadline,
         )
         return {
             "matches": [
@@ -673,20 +812,26 @@ class AlignmentHTTPServer:
         }
 
     async def _handle_edit_distance(
-        self, payload: dict[str, Any]
+        self, payload: dict[str, Any], ctx: _RequestContext
     ) -> dict[str, Any]:
         text = _string_field(payload, "text")
         pattern = _string_field(payload, "pattern", non_empty=True)
         k = _int_field(payload, "k", minimum=0)
         self._check_capacity()
-        distance = await self.server.edit_distance(text, pattern, k)
+        distance = await self.server.edit_distance(
+            text, pattern, k, tenant=ctx.tenant, deadline=ctx.deadline
+        )
         return {"distance": distance}
 
-    async def _handle_align(self, payload: dict[str, Any]) -> dict[str, Any]:
+    async def _handle_align(
+        self, payload: dict[str, Any], ctx: _RequestContext
+    ) -> dict[str, Any]:
         text = _string_field(payload, "text")
         pattern = _string_field(payload, "pattern")
         self._check_capacity()
-        alignment = await self.server.align(text, pattern)
+        alignment = await self.server.align(
+            text, pattern, tenant=ctx.tenant, deadline=ctx.deadline
+        )
         return {
             "cigar": alignment.cigar.to_sam(),
             "edit_distance": alignment.edit_distance,
@@ -694,7 +839,9 @@ class AlignmentHTTPServer:
             "text_consumed": alignment.text_consumed,
         }
 
-    async def _handle_map(self, payload: dict[str, Any]) -> dict[str, Any]:
+    async def _handle_map(
+        self, payload: dict[str, Any], ctx: _RequestContext
+    ) -> dict[str, Any]:
         if self.server.mapper is None:
             raise HttpError(
                 501, "mapping is not configured on this server (no mapper)"
@@ -702,7 +849,9 @@ class AlignmentHTTPServer:
         name = _string_field(payload, "name", non_empty=True)
         read = _string_field(payload, "read", non_empty=True)
         self._check_capacity()
-        result = await self.server.map_read(name, read)
+        result = await self.server.map_read(
+            name, read, tenant=ctx.tenant, deadline=ctx.deadline
+        )
         record = result.record
         return {
             "sam": record.to_line(),
@@ -712,7 +861,9 @@ class AlignmentHTTPServer:
             "cigar": record.cigar.to_sam() if record.cigar is not None else None,
         }
 
-    async def _handle_healthz(self, _payload: dict[str, Any]) -> dict[str, Any]:
+    async def _handle_healthz(
+        self, _payload: dict[str, Any], _ctx: _RequestContext
+    ) -> dict[str, Any]:
         # Served inline — never behind the batch queue — so load balancers
         # get an answer even when the engine is saturated with work. The
         # backend (server or cluster) contributes its own load fields.
@@ -720,7 +871,9 @@ class AlignmentHTTPServer:
         payload["status"] = "draining" if self._closed else "ok"
         return payload
 
-    async def _handle_stats(self, _payload: dict[str, Any]) -> dict[str, Any]:
+    async def _handle_stats(
+        self, _payload: dict[str, Any], _ctx: _RequestContext
+    ) -> dict[str, Any]:
         # The backend describes itself (a cluster adds per-replica blocks
         # and cluster counters); the front adds its per-endpoint HTTP
         # counters and latency percentiles on top.
@@ -728,9 +881,15 @@ class AlignmentHTTPServer:
         payload["endpoints"] = {
             path: stats.to_dict() for path, stats in self.stats.items()
         }
+        if self.qos is not None:
+            payload["tenants"] = self.qos.stats_payload()
+        if self.client_disconnects:
+            payload["client_disconnects"] = self.client_disconnects
         return payload
 
-    async def _handle_metrics(self, _payload: dict[str, Any]) -> _RawResponse:
+    async def _handle_metrics(
+        self, _payload: dict[str, Any], _ctx: _RequestContext
+    ) -> _RawResponse:
         # Pull model: every registered collector (this front, the backend
         # and whatever it aggregates — replicas, caches, autoscaler) is
         # invoked at scrape time, so the page is always current.
@@ -755,6 +914,12 @@ class AlignmentHTTPServer:
             "histogram",
             "Wall time of successful requests, parse to handler return.",
         )
+        disconnects = MetricFamily(
+            "genasm_http_client_disconnects_total",
+            "counter",
+            "Requests abandoned mid-flight by a disconnecting client.",
+        )
+        disconnects.add(self.client_disconnects)
         for path, stats in sorted(self.stats.items()):
             if not stats.requests:
                 continue
@@ -762,7 +927,7 @@ class AlignmentHTTPServer:
             for code, count in sorted(stats.errors.items()):
                 errors.add(count, endpoint=path, code=str(code))
             duration.add_histogram(stats.latency, endpoint=path)
-        return [requests, errors, duration]
+        return [requests, errors, duration, disconnects]
 
 
 # ----------------------------------------------------------------------
@@ -799,6 +964,38 @@ def _bool_field(payload: dict[str, Any], name: str, default: bool) -> bool:
     return value
 
 
+def _request_deadline(
+    request: _ParsedRequest, payload: dict[str, Any]
+) -> float | None:
+    """Absolute monotonic deadline from the client's latency budget.
+
+    ``timeout_ms`` in the JSON body wins over an ``X-Request-Deadline``
+    header; both are milliseconds of *remaining* budget (a relative
+    duration survives clock skew between client and server, an absolute
+    wall-clock timestamp would not). None when the client set neither.
+    """
+    raw: Any = payload.get("timeout_ms")
+    source = "timeout_ms"
+    if raw is None:
+        header = request.headers.get("x-request-deadline")
+        if header is None:
+            return None
+        source = "X-Request-Deadline"
+        try:
+            raw = float(header)
+        except ValueError:
+            raise HttpError(
+                400, f"bad X-Request-Deadline {header!r}: not a number"
+            ) from None
+    if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+        raise HttpError(400, f"{source} must be a number of milliseconds")
+    if not math.isfinite(raw) or raw <= 0:
+        raise HttpError(
+            400, f"{source} must be a positive finite number of milliseconds"
+        )
+    return time.monotonic() + raw / 1e3
+
+
 async def open_memory_connection(
     http_server: AlignmentHTTPServer,
 ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
@@ -832,24 +1029,30 @@ async def serve_http(
     server: ServingBackend | None = None,
     trace: bool = True,
     metrics: MetricsRegistry | None = None,
+    qos: QosPolicy | None = None,
     **server_kwargs: Any,
 ) -> AlignmentHTTPServer:
     """Start an HTTP front (building an :class:`AlignmentServer` if needed).
 
     ``server`` may also be an :class:`~repro.serving.cluster.AlignmentCluster`
     — the front mounts either. ``trace`` and ``metrics`` pass through to
-    :class:`AlignmentHTTPServer`. Extra keyword arguments construct a
+    :class:`AlignmentHTTPServer`. ``qos`` mounts a
+    :class:`~repro.serving.qos.QosPolicy` on the front (admission
+    control) and — when the backend is built here — on the server too
+    (weighted-fair queueing). Extra keyword arguments construct a
     single alignment server (``engine=``, ``batch_size=``,
     ``adaptive_flush=``, ...). The returned front is already listening;
     stop it with :meth:`AlignmentHTTPServer.stop`.
     """
     own = server is None
     if server is None:
+        if qos is not None:
+            server_kwargs.setdefault("qos", qos)
         server = AlignmentServer(**server_kwargs)
     elif server_kwargs:
         raise ValueError("pass server_kwargs only when server is None")
     front = AlignmentHTTPServer(
-        server, own_server=own, trace=trace, metrics=metrics
+        server, own_server=own, trace=trace, metrics=metrics, qos=qos
     )
     await front.start(host=host, port=port)
     return front

@@ -35,7 +35,9 @@ Metrics
 scraped and read the live stats objects (:class:`~repro.serving.server.\
 ServingStats`, :class:`~repro.serving.http.EndpointStats`,
 :class:`~repro.serving.cache.CacheStats`, cluster routing/hedging
-counters, autoscaler decisions) the serving layer already keeps — no
+counters, autoscaler decisions, and per-tenant
+:class:`~repro.serving.qos.TenantStats` exposed as tenant-labeled
+``genasm_qos_*`` families) the serving layer already keeps — no
 double counting, no write-path overhead. The registry renders Prometheus
 text exposition (``# HELP`` / ``# TYPE``, counters, gauges, and
 histograms whose buckets are the log-spaced
@@ -50,7 +52,8 @@ One stdlib :mod:`logging` logger per subsystem
 (``repro.serving.<name>``), a :class:`JsonFormatter` that renders each
 record as one JSON object per line, and :func:`log_event` +
 :class:`EventRateLimiter` for the events worth a line in production —
-slow requests, sheds, hedges, scale decisions — rate-limited per event
+slow requests, sheds, hedges, scale decisions, per-tenant
+``qos.tenant_throttled`` admission rejections — rate-limited per event
 key (with a ``suppressed`` count carried on the next emitted line) and
 carrying the trace id so a log line and a trace cross-reference.
 """

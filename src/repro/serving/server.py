@@ -51,6 +51,14 @@ from repro.engine.registry import get_engine
 from repro.serving.cache import MISS, AlignmentCache, make_cache, request_digest
 from repro.serving.histogram import LatencyHistogram
 from repro.serving.observability import MetricFamily, Span, Trace, current_trace
+from repro.serving.qos import (
+    DEFAULT_TENANT,
+    INTERACTIVE_KINDS,
+    DeadlineExceededError,
+    FairQueue,
+    FifoQueue,
+    QosPolicy,
+)
 from repro.sequences.alphabet import DNA, Alphabet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -72,6 +80,10 @@ class ServingStats:
     #: Requests cancelled while queued (a hedge won elsewhere, a client
     #: went away): dropped before the engine call instead of computed.
     cancelled: int = 0
+    #: Requests whose deadline passed while queued: dropped through the
+    #: same before-the-engine-call path, answered with
+    #: :class:`~repro.serving.qos.DeadlineExceededError`.
+    expired: int = 0
     flushes: int = 0
     size_flushes: int = 0
     deadline_flushes: int = 0
@@ -96,6 +108,7 @@ class ServingStats:
             "served": self.served,
             "failed": self.failed,
             "cancelled": self.cancelled,
+            "expired": self.expired,
             "flushes": self.flushes,
             "size_flushes": self.size_flushes,
             "deadline_flushes": self.deadline_flushes,
@@ -111,6 +124,7 @@ class ServingStats:
         self.served += other.served
         self.failed += other.failed
         self.cancelled += other.cancelled
+        self.expired += other.expired
         self.flushes += other.flushes
         self.size_flushes += other.size_flushes
         self.deadline_flushes += other.deadline_flushes
@@ -132,6 +146,7 @@ class ServingStats:
             ("served", self.served),
             ("failed", self.failed),
             ("cancelled", self.cancelled),
+            ("expired", self.expired),
         ):
             outcomes.add(value, outcome=outcome, **labels)
         flushes = MetricFamily(
@@ -168,6 +183,11 @@ class _Request:
     future: "asyncio.Future[Any]" = field(repr=False, default=None)
     #: Content digest for the result cache (None when caching is off).
     digest: str | None = None
+    #: Tenant the request is accounted (and fair-queued) under.
+    tenant: str = DEFAULT_TENANT
+    #: Absolute ``time.monotonic()`` deadline; past it the request is
+    #: dropped at flush time instead of burning an engine slot.
+    deadline: float | None = None
     #: The request's trace, carried explicitly because a flush handles
     #: many requests at once — one context variable cannot name them all.
     trace: Trace | None = field(repr=False, default=None)
@@ -222,6 +242,14 @@ class AlignmentServer:
     arrival_smoothing:
         EWMA weight of the newest inter-arrival gap (0 < alpha <= 1);
         larger values adapt faster but track noise.
+    qos:
+        Multi-tenant queueing discipline. Pass a
+        :class:`~repro.serving.qos.QosPolicy` to replace the FIFO
+        pending queue with deficit-round-robin per-tenant lanes whose
+        weights come from the policy (admission control stays at the
+        network front — the server never charges buckets); pass ``True``
+        for fair queueing with uniform weights. Default ``None`` keeps
+        strict FIFO order.
     alphabet:
         Alphabet handed to every engine call.
     trace:
@@ -252,6 +280,7 @@ class AlignmentServer:
         max_flush_interval: float | None = None,
         gap_factor: float = 4.0,
         arrival_smoothing: float = 0.25,
+        qos: "QosPolicy | bool | None" = None,
         alphabet: Alphabet = DNA,
         trace: bool = False,
         name: str = "server",
@@ -308,7 +337,14 @@ class AlignmentServer:
         self._cache_config = (alphabet.name, alphabet.symbols, alphabet.wildcard)
         self.stats = ServingStats()
         self._aligner = GenAsmAligner(engine=self.engine, alphabet=alphabet)
-        self._queue: list[_Request] = []
+        self.qos = qos if isinstance(qos, QosPolicy) else None
+        self.fair_queueing = bool(qos)
+        if self.fair_queueing:
+            self._queue: FairQueue | FifoQueue = FairQueue(
+                weight_of=self.qos.weight_of if self.qos is not None else None
+            )
+        else:
+            self._queue = FifoQueue()
         self._pending_total = 0
         # EWMA of wall seconds per engine call: the basis for the dynamic
         # Retry-After hint a saturated server hands shed clients.
@@ -338,29 +374,65 @@ class AlignmentServer:
         k: int,
         *,
         first_match_only: bool = False,
+        tenant: str | None = None,
+        deadline: float | None = None,
     ) -> list[BitapMatch]:
         """Bitap-scan one (text, pattern) pair within ``k`` edits."""
         return await self._submit(
-            "scan", (k, first_match_only), (text, pattern)
+            "scan",
+            (k, first_match_only),
+            (text, pattern),
+            tenant=tenant,
+            deadline=deadline,
         )
 
     async def edit_distance(
-        self, text: str, pattern: str, k: int
+        self,
+        text: str,
+        pattern: str,
+        k: int,
+        *,
+        tenant: str | None = None,
+        deadline: float | None = None,
     ) -> int | None:
         """Minimum semi-global edit distance (None above ``k``)."""
-        return await self._submit("edit_distance", (k,), (text, pattern))
+        return await self._submit(
+            "edit_distance",
+            (k,),
+            (text, pattern),
+            tenant=tenant,
+            deadline=deadline,
+        )
 
-    async def align(self, text: str, pattern: str) -> Alignment:
+    async def align(
+        self,
+        text: str,
+        pattern: str,
+        *,
+        tenant: str | None = None,
+        deadline: float | None = None,
+    ) -> Alignment:
         """Full GenASM alignment of one pair (CIGAR + edit distance)."""
-        return await self._submit("align", (), (text, pattern))
+        return await self._submit(
+            "align", (), (text, pattern), tenant=tenant, deadline=deadline
+        )
 
-    async def map_read(self, name: str, read: str) -> "MappingResult":
+    async def map_read(
+        self,
+        name: str,
+        read: str,
+        *,
+        tenant: str | None = None,
+        deadline: float | None = None,
+    ) -> "MappingResult":
         """Map one read through the attached :class:`ReadMapper`."""
         if self.mapper is None:
             raise RuntimeError(
                 "map_read requires a server constructed with mapper=..."
             )
-        return await self._submit("map", (), (name, read))
+        return await self._submit(
+            "map", (), (name, read), tenant=tenant, deadline=deadline
+        )
 
     @property
     def pending(self) -> int:
@@ -443,10 +515,25 @@ class AlignmentServer:
     # ------------------------------------------------------------------
     # Queueing and flush policy
     # ------------------------------------------------------------------
-    async def _submit(self, kind: str, key: tuple, payload: Any) -> Any:
+    async def _submit(
+        self,
+        kind: str,
+        key: tuple,
+        payload: Any,
+        *,
+        tenant: str | None = None,
+        deadline: float | None = None,
+    ) -> Any:
         if self._closed:
             raise ServerClosedError("server is stopped")
         submitted = time.monotonic()
+        if deadline is not None and submitted >= deadline:
+            # Arrived already out of budget (a retry chain or hedge ate
+            # it): refuse before taking a slot or touching the cache.
+            self.stats.expired += 1
+            raise DeadlineExceededError(
+                f"deadline passed before the {kind} request was accepted"
+            )
         # Tracing cost when disabled: this one attribute check.
         trace = current_trace() if self.trace else None
         digest: str | None = None
@@ -487,13 +574,19 @@ class AlignmentServer:
                 key=key,
                 payload=payload,
                 digest=digest,
+                tenant=tenant or DEFAULT_TENANT,
+                deadline=deadline,
                 trace=trace,
                 queue_span=queue_span,
             )
             request.future = loop.create_future()
-            if not self._queue:
+            if not len(self._queue):
                 self._first_enqueued = time.monotonic()
-            self._queue.append(request)
+            self._queue.push(
+                request,
+                tenant=request.tenant,
+                interactive=kind in INTERACTIVE_KINDS,
+            )
             self.stats.requests += 1
             if len(self._queue) >= self.batch_size:
                 self._flush("size")
@@ -530,25 +623,32 @@ class AlignmentServer:
                 queue_span.finish("cancelled")
 
     def _flush(self, reason: str) -> None:
-        """Take the queue as one batch and dispatch it off-loop."""
+        """Drain the queue into batches and dispatch them off-loop.
+
+        Batches are taken ``batch_size`` at a time in the queue
+        discipline's order (arrival order for FIFO, deficit-round-robin
+        across tenant lanes with ``qos``), so even when a backlog spans
+        several batches each one carries a fair cross-tenant mix.
+        """
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
         self._first_enqueued = None
-        if not self._queue:
-            return
-        batch, self._queue = self._queue, []
-        self.stats.flushes += 1
-        self.stats.max_batch = max(self.stats.max_batch, len(batch))
-        if reason == "size":
-            self.stats.size_flushes += 1
-        elif reason == "deadline":
-            self.stats.deadline_flushes += 1
-        else:
-            self.stats.final_flushes += 1
-        task = asyncio.get_running_loop().create_task(self._dispatch(batch))
-        self._inflight.add(task)
-        task.add_done_callback(self._inflight.discard)
+        while len(self._queue):
+            batch = self._queue.take(self.batch_size)
+            self.stats.flushes += 1
+            self.stats.max_batch = max(self.stats.max_batch, len(batch))
+            if reason == "size":
+                self.stats.size_flushes += 1
+            elif reason == "deadline":
+                self.stats.deadline_flushes += 1
+            else:
+                self.stats.final_flushes += 1
+            task = asyncio.get_running_loop().create_task(
+                self._dispatch(batch)
+            )
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
 
     async def _dispatch(self, batch: list[_Request]) -> None:
         """Run one engine call per (kind, key) group; resolve futures."""
@@ -557,14 +657,29 @@ class AlignmentServer:
         # call — the batch shrinks instead of computing a discarded
         # answer. One cancelled after the engine call starts still
         # computes, but its done future below ignores the late result.
-        live = [request for request in batch if not request.future.done()]
-        self.stats.cancelled += len(batch) - len(live)
+        # A queued request whose deadline has passed takes the same
+        # exit: answered with DeadlineExceededError here, never
+        # burning an engine slot on a result nobody is waiting for.
+        now = time.monotonic()
+        live: list[_Request] = []
         for request in batch:
-            if request.queue_span is not None:
-                request.queue_span.finish(
-                    "ok" if not request.future.done() else "cancelled",
-                    batch=len(batch),
+            if request.future.done():
+                self.stats.cancelled += 1
+                outcome = "cancelled"
+            elif request.deadline is not None and now >= request.deadline:
+                request.future.set_exception(
+                    DeadlineExceededError(
+                        f"deadline exceeded after queue wait "
+                        f"({request.kind})"
+                    )
                 )
+                self.stats.expired += 1
+                outcome = "expired"
+            else:
+                live.append(request)
+                outcome = "ok"
+            if request.queue_span is not None:
+                request.queue_span.finish(outcome, batch=len(batch))
         groups: dict[tuple, list[_Request]] = {}
         for request in live:
             groups.setdefault((request.kind, *request.key), []).append(request)
@@ -654,6 +769,11 @@ class AlignmentServer:
                 "batch_size": self.batch_size,
             },
         }
+        if self.fair_queueing:
+            payload["qos"] = {
+                "fair_queueing": True,
+                "queued_by_tenant": self._queue.depths(),
+            }
         if self.cache is not None:
             payload["cache"] = self.cache.stats.to_dict()
         return payload

@@ -1,0 +1,443 @@
+"""Unit and Hypothesis property tests for the QoS building blocks.
+
+The token bucket and the deficit-round-robin queue are the two
+mechanisms every isolation guarantee in this layer rests on, so they get
+property suites, not just examples: Hypothesis picks the arrival
+pattern / the backlog mix, and the tests assert the invariants the rest
+of the stack assumes — admitted volume never exceeds ``rate * t +
+burst``, long-run shares converge to configured weights, and no
+backlogged lane is starved past one full round.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.serving import (
+    DEFAULT_TENANT,
+    AdmissionError,
+    FairQueue,
+    FifoQueue,
+    QosPolicy,
+    TenantConfig,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    """Deterministic injectable monotonic clock."""
+
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        assert seconds >= 0
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# TokenBucket
+# ----------------------------------------------------------------------
+class TestTokenBucket:
+    def test_starts_full_and_drains(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3, clock=clock)
+        assert bucket.tokens == 3.0
+        assert all(bucket.try_acquire() for _ in range(3))
+        assert not bucket.try_acquire()
+
+    def test_refills_at_rate_and_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=4, clock=clock)
+        for _ in range(4):
+            assert bucket.try_acquire()
+        clock.advance(1.0)  # +2 tokens
+        assert bucket.tokens == pytest.approx(2.0)
+        clock.advance(100.0)  # refills cap at burst, not rate * t
+        assert bucket.tokens == pytest.approx(4.0)
+
+    def test_retry_after_is_exact_refill_time(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=0.5, burst=1, clock=clock)
+        assert bucket.try_acquire()
+        # 1 missing token at 0.5 tokens/s -> 2 s.
+        assert bucket.retry_after() == pytest.approx(2.0)
+        clock.advance(1.0)
+        assert bucket.retry_after() == pytest.approx(1.0)
+        clock.advance(1.0)
+        assert bucket.retry_after() == 0.0
+        assert bucket.try_acquire()
+
+    def test_failed_acquire_leaves_bucket_untouched(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2, clock=clock)
+        assert bucket.try_acquire(2.0)
+        before = bucket.tokens
+        assert not bucket.try_acquire()
+        assert bucket.tokens == before
+
+    def test_clock_going_backwards_is_ignored(self):
+        clock = FakeClock(start=10.0)
+        bucket = TokenBucket(rate=1.0, burst=5, clock=clock)
+        assert bucket.try_acquire()
+        clock.now = 3.0  # suspend/resume weirdness must not mint tokens
+        assert bucket.tokens == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        rate=st.floats(min_value=0.1, max_value=100.0),
+        burst=st.floats(min_value=1.0, max_value=50.0),
+        arrivals=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=5.0),  # gap before
+                st.integers(min_value=1, max_value=10),  # attempts at once
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+    )
+    def test_admitted_never_exceeds_rate_t_plus_burst(
+        self, rate, burst, arrivals
+    ):
+        """The defining bucket property, for *any* arrival pattern."""
+        clock = FakeClock()
+        bucket = TokenBucket(rate=rate, burst=burst, clock=clock)
+        admitted = 0
+        for gap, attempts in arrivals:
+            clock.advance(gap)
+            for _ in range(attempts):
+                if bucket.try_acquire():
+                    admitted += 1
+        bound = rate * clock.now + burst
+        assert admitted <= bound + 1e-6
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        rate=st.floats(min_value=0.1, max_value=50.0),
+        burst=st.floats(min_value=1.0, max_value=20.0),
+        drained=st.integers(min_value=1, max_value=25),
+    )
+    def test_retry_after_is_sufficient(self, rate, burst, drained):
+        """Waiting exactly ``retry_after`` always makes the next request
+        admissible — the 429 hint is honest, never optimistic."""
+        clock = FakeClock()
+        bucket = TokenBucket(rate=rate, burst=burst, clock=clock)
+        for _ in range(drained):
+            bucket.try_acquire()
+        wait = bucket.retry_after()
+        clock.advance(wait + 1e-9)
+        assert bucket.try_acquire()
+
+
+# ----------------------------------------------------------------------
+# FairQueue (deficit round-robin)
+# ----------------------------------------------------------------------
+class TestFairQueue:
+    def test_fifo_within_one_tenant(self):
+        queue = FairQueue()
+        for i in range(5):
+            queue.push(i, tenant="a")
+        assert queue.take(10) == [0, 1, 2, 3, 4]
+        assert len(queue) == 0
+
+    def test_equal_weights_interleave_tenants(self):
+        queue = FairQueue()
+        for i in range(4):
+            queue.push(("a", i), tenant="a")
+        for i in range(4):
+            queue.push(("b", i), tenant="b")
+        batch = queue.take(8)
+        # One request per lane per round: strict a/b alternation.
+        assert batch == [
+            ("a", 0), ("b", 0), ("a", 1), ("b", 1),
+            ("a", 2), ("b", 2), ("a", 3), ("b", 3),
+        ]
+
+    def test_weights_set_the_drain_ratio(self):
+        queue = FairQueue(weight_of={"heavy": 3.0, "light": 1.0}.get)
+        for i in range(30):
+            queue.push(("heavy", i), tenant="heavy")
+        for i in range(30):
+            queue.push(("light", i), tenant="light")
+        batch = queue.take(24)
+        heavy = sum(1 for tenant, _ in batch if tenant == "heavy")
+        light = len(batch) - heavy
+        assert heavy == 18 and light == 6  # exactly 3:1 while backlogged
+
+    def test_interactive_class_jumps_own_lane_only(self):
+        queue = FairQueue()
+        queue.push(("a", "bulk"), tenant="a", interactive=False)
+        queue.push(("b", "bulk"), tenant="b", interactive=False)
+        queue.push(("a", "scan"), tenant="a", interactive=True)
+        batch = queue.take(3)
+        # a's scan overtakes a's bulk but not b's turn in the rotation.
+        assert batch.index(("a", "scan")) < batch.index(("a", "bulk"))
+        assert batch.index(("b", "bulk")) == 1
+
+    def test_take_is_work_conserving(self):
+        queue = FairQueue(weight_of=lambda name: 0.5)
+        for i in range(7):
+            queue.push(i, tenant=f"t{i}")
+        assert len(queue.take(100)) == 7
+
+    def test_limit_hit_mid_lane_resumes_there(self):
+        queue = FairQueue(quantum=4.0)
+        for i in range(4):
+            queue.push(("a", i), tenant="a")
+        for i in range(4):
+            queue.push(("b", i), tenant="b")
+        first = queue.take(2)
+        assert first == [("a", 0), ("a", 1)]  # a's credit covers both
+        second = queue.take(6)
+        assert second[:2] == [("a", 2), ("a", 3)]
+
+    def test_emptied_lane_forfeits_credit(self):
+        queue = FairQueue(quantum=10.0)
+        queue.push("x", tenant="a")
+        assert queue.take(4) == ["x"]
+        # The take left 9 unused credit; standard DRR zeroes it when the
+        # lane empties, so idle time cannot be banked into a later burst.
+        assert queue._lanes["a"].deficit == 0.0
+
+    def test_depths_reports_backlog(self):
+        queue = FairQueue()
+        queue.push(1, tenant="a")
+        queue.push(2, tenant="a")
+        queue.push(3, tenant="b")
+        assert queue.depths() == {"a": 2, "b": 1}
+        queue.take(3)
+        assert queue.depths() == {}
+
+    def test_fifo_queue_shares_the_surface(self):
+        queue = FifoQueue()
+        queue.push(1, tenant="x", interactive=True)
+        queue.push(2, tenant="y")
+        assert len(queue) == 2
+        assert queue.depths() == {DEFAULT_TENANT: 2}
+        assert queue.take(5) == [1, 2]
+
+    def test_quantum_validation(self):
+        with pytest.raises(ValueError):
+            FairQueue(quantum=0.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        weights=st.dictionaries(
+            st.sampled_from(["a", "b", "c", "d"]),
+            st.floats(min_value=0.25, max_value=8.0),
+            min_size=2,
+            max_size=4,
+        ),
+        batch=st.integers(min_value=1, max_value=16),
+    )
+    def test_shares_converge_to_weights(self, weights, batch):
+        """With every lane permanently backlogged, the drained share of
+        each tenant converges to ``weight / sum(weights)``."""
+        queue = FairQueue(weight_of=lambda name: weights[name])
+        backlog = 400
+        for name in weights:
+            for i in range(backlog):
+                queue.push((name, i), tenant=name)
+        served = {name: 0 for name in weights}
+        drained = 0
+        # Stop while every lane is still backlogged, so the shares are
+        # measured under sustained contention, not during drain-out: the
+        # heaviest lane drains fastest, at ~max_weight / total of the
+        # taken requests, so cap total drain where that lane still holds
+        # ~10% of its backlog.
+        total_weight = sum(weights.values())
+        target = int(0.9 * backlog * total_weight / max(weights.values()))
+        while drained < target:
+            for item in queue.take(batch):
+                served[item[0]] += 1
+                drained += 1
+        for name, weight in weights.items():
+            share = served[name] / drained
+            expected = weight / total_weight
+            # DRR quantization error is bounded per round; over ~hundreds
+            # of requests the share sits within a few percent.
+            assert share == pytest.approx(expected, abs=0.05)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        backlogs=st.dictionaries(
+            st.sampled_from(["a", "b", "c", "d", "e"]),
+            st.integers(min_value=1, max_value=50),
+            min_size=2,
+            max_size=5,
+        ),
+        weights=st.dictionaries(
+            st.sampled_from(["a", "b", "c", "d", "e"]),
+            st.floats(min_value=1.0, max_value=10.0),
+            min_size=0,
+            max_size=5,
+        ),
+    )
+    def test_no_starvation_within_one_round(self, backlogs, weights):
+        """With weights >= 1, every backlogged lane is served within one
+        full rotation: a single take of ``len(lanes)`` requests touches
+        every tenant."""
+        queue = FairQueue(weight_of=lambda name: weights.get(name, 1.0))
+        for name, depth in backlogs.items():
+            for i in range(depth):
+                queue.push((name, i), tenant=name)
+        # One full rotation serves each lane at most int(weight) + 1
+        # requests (deficit after a top-up is strictly below weight + 1),
+        # so a take of that total must have visited — and served — every
+        # backlogged lane at least once.
+        one_round = sum(
+            int(weights.get(name, 1.0)) + 1 for name in backlogs
+        )
+        batch = queue.take(one_round)
+        assert {item[0] for item in batch} == set(backlogs)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        pushes=st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c"]),
+                st.booleans(),
+            ),
+            min_size=0,
+            max_size=60,
+        ),
+        takes=st.lists(st.integers(min_value=0, max_value=10), max_size=20),
+    )
+    def test_conservation_under_any_interleaving(self, pushes, takes):
+        """Nothing is lost or duplicated across arbitrary push/take mixes."""
+        queue = FairQueue()
+        out = []
+        for index, (tenant, interactive) in enumerate(pushes):
+            queue.push(index, tenant=tenant, interactive=interactive)
+            for limit in takes:
+                before = len(queue)
+                got = queue.take(limit)
+                assert len(got) == min(limit, before)
+                out.extend(got)
+        out.extend(queue.take(len(queue)))
+        assert sorted(out) == list(range(len(pushes)))
+
+
+# ----------------------------------------------------------------------
+# QosPolicy
+# ----------------------------------------------------------------------
+class TestQosPolicy:
+    def make(self, clock=None):
+        return QosPolicy(
+            [
+                TenantConfig("acme", rate=2.0, burst=3, weight=2.0),
+                TenantConfig("beta", rate=1.0, burst=1, weight=1.0),
+            ],
+            clock=clock if clock is not None else FakeClock(),
+        )
+
+    def test_resolve_known_unknown_and_missing_keys(self):
+        policy = self.make()
+        assert policy.resolve("acme").name == "acme"
+        assert policy.resolve(None).name == DEFAULT_TENANT
+        assert policy.resolve("").name == DEFAULT_TENANT
+        # Unknown keys share the default bucket — rotation buys nothing.
+        rotated = policy.resolve("made-up-key-1")
+        assert rotated is policy.resolve("made-up-key-2")
+        assert rotated.name == DEFAULT_TENANT
+
+    def test_admit_charges_and_raises_with_refill_hint(self):
+        clock = FakeClock()
+        policy = self.make(clock)
+        beta = policy.resolve("beta")
+        policy.admit(beta)  # burst 1
+        with pytest.raises(AdmissionError) as excinfo:
+            policy.admit(beta)
+        assert excinfo.value.tenant == "beta"
+        assert excinfo.value.retry_after == pytest.approx(1.0)
+        clock.advance(1.0)
+        policy.admit(beta)  # refilled
+
+    def test_tenants_are_isolated_buckets(self):
+        policy = self.make()
+        beta = policy.resolve("beta")
+        acme = policy.resolve("acme")
+        policy.admit(beta)
+        with pytest.raises(AdmissionError):
+            policy.admit(beta)
+        policy.admit(acme)  # unaffected
+
+    def test_weight_of_falls_back_to_default(self):
+        policy = self.make()
+        assert policy.weight_of("acme") == 2.0
+        assert policy.weight_of("nope") == 1.0
+
+    def test_duplicate_and_colliding_tenants_rejected(self):
+        with pytest.raises(ValueError):
+            QosPolicy([TenantConfig("a"), TenantConfig("a")])
+        with pytest.raises(ValueError):
+            QosPolicy([TenantConfig(DEFAULT_TENANT)])
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TenantConfig("")
+        with pytest.raises(ValueError):
+            TenantConfig("x", rate=0)
+        with pytest.raises(ValueError):
+            TenantConfig("x", burst=0)
+        with pytest.raises(ValueError):
+            TenantConfig("x", weight=0)
+
+    def test_stats_payload_counts_outcomes(self):
+        policy = self.make()
+        acme = policy.resolve("acme")
+        policy.record(acme, 200, 0.01)
+        policy.record(acme, 429, 0.0)
+        policy.record(acme, 503, 0.0)
+        policy.record(acme, 504, 0.0)
+        policy.record(acme, 500, 0.0)
+        block = policy.stats_payload()["acme"]
+        assert block["requests"] == 5
+        assert block["ok"] == 1
+        assert block["throttled"] == 1
+        assert block["shed"] == 1
+        assert block["expired"] == 1
+        assert block["errors"] == 1
+        assert block["weight"] == 2.0
+        assert block["latency"]["count"] == 1
+
+    def test_infinite_rate_is_json_safe_and_never_throttles(self):
+        policy = QosPolicy(
+            [
+                TenantConfig(
+                    "unlimited", rate=math.inf, burst=math.inf, weight=1.0
+                )
+            ],
+            clock=FakeClock(),
+        )
+        unlimited = policy.resolve("unlimited")
+        for _ in range(1000):
+            policy.admit(unlimited)
+        block = policy.stats_payload()["unlimited"]
+        assert block["rate"] is None and block["burst"] is None
+
+    def test_collect_metrics_labels_every_tenant(self):
+        policy = self.make()
+        policy.record(policy.resolve("acme"), 200, 0.01)
+        families = {f.name: f for f in policy.collect_metrics()}
+        assert set(families) == {
+            "genasm_qos_requests_total",
+            "genasm_qos_tokens_available",
+            "genasm_qos_request_latency_seconds",
+        }
+        labeled = {
+            labels.get("tenant")
+            for family in families.values()
+            for labels, _value in family.samples
+        }
+        assert {"acme", "beta", DEFAULT_TENANT} <= labeled

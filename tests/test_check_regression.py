@@ -170,13 +170,14 @@ class TestFindMetricRegressions:
 
 
 class TestGateSpecs:
-    def test_all_five_families_registered(self):
+    def test_all_six_families_registered(self):
         assert set(GATE_SPECS) == {
             "batch_engine",
             "serving",
             "http",
             "cluster",
             "elastic",
+            "qos",
         }
 
     def test_every_committed_baseline_passes_its_gate(self):
@@ -193,6 +194,17 @@ class TestGateSpecs:
         assert (hedged.op, hedged.value) == ("<=", 0.5)
         cache = by_path["summary.cache_speedup_repeated"]
         assert (cache.op, cache.value) == (">=", 5.0)
+
+    def test_qos_spec_encodes_the_isolation_bounds(self):
+        by_path = {
+            inv.path: inv for inv in GATE_SPECS["qos"].invariants
+        }
+        p99 = by_path["summary.honest_p99_abuse_vs_solo"]
+        assert (p99.op, p99.value) == ("<=", 2.0)
+        goodput = by_path["summary.honest_goodput_abuse_vs_solo"]
+        assert (goodput.op, goodput.value) == (">=", 0.8)
+        throttled = by_path["summary.abuser_throttled_requests"]
+        assert (throttled.op, throttled.value) == (">=", 1.0)
 
 
 class TestGateArtifact:
