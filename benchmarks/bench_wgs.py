@@ -1,0 +1,360 @@
+"""Streaming whole-genome mapping benchmark over the job fabric.
+
+Measures the acceptance path of the streaming job fabric end to end: a
+chromosome-scale reference is packed into a mmap-backed
+:class:`~repro.sequences.genome.ShardedGenome` (so each cluster replica's
+mapper rebuilds from a ~600-byte spec instead of re-pickling the genome),
+a 2-replica :class:`~repro.serving.cluster.AlignmentCluster` is mounted
+behind the HTTP front on a real loopback TCP port, and a ``map`` job
+streams FASTQ in chunked POSTs while SAM is pulled back with resumable
+``offset=`` reads.
+
+Three properties are measured and CI-gated (the ``wgs`` family in
+``check_regression.py``):
+
+* **Byte identity** — the SAM assembled from the job's offset reads is
+  hash-compared against the in-process pipeline mapping the same reads
+  (``summary.sam_byte_identical``). The client *disconnects mid-job* and
+  resumes from its last byte offset, so the bit also proves resumability
+  (``summary.resumed_mid_job``).
+* **Throughput** — ``reads_per_sec`` through the full wire path.
+* **Bounded memory** — the 4x-workload phase re-measures peak RSS; the
+  growth ratio (``summary.peak_rss_growth_4x``) stays near 1 because the
+  job holds only a bounded window of reads in flight, never the stream.
+
+Run:  PYTHONPATH=src python benchmarks/bench_wgs.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import hashlib
+import io
+import json
+import random
+import resource
+import tempfile
+import time
+from pathlib import Path
+
+from _common import REPO_ROOT, emit_json, emit_table
+
+from repro.mapping.pipeline import make_genasm_mapper
+from repro.mapping.sam import sam_header
+from repro.sequences.genome import Genome, ShardedGenome, synthesize_genome
+from repro.sequences.io import FastqRecord, write_fastq
+from repro.serving import AlignmentCluster, AlignmentHTTPServer
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_wgs.json"
+
+READ_LENGTH = 100
+SEED_LENGTH = 15
+ERROR_RATE = 0.10
+INGEST_BATCH = 50  # reads per POST
+OUTPUT_LIMIT = 64 * 1024  # bytes per resumable output read
+
+
+def peak_rss_mb() -> float:
+    """Process peak RSS in MB (Linux ru_maxrss is KB)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def read_batch(
+    shard, batch_index: int, count: int, seed: int
+) -> list[FastqRecord]:
+    """Deterministic simulated reads, generated batch-at-a-time.
+
+    Reads are decoded straight from the mmap-backed shard — the full read
+    set never exists in this process, which is what lets the 4x phase
+    prove the fabric's memory stays bounded.
+    """
+    rng = random.Random((seed << 20) ^ batch_index)
+    records = []
+    span = len(shard) - READ_LENGTH
+    for i in range(count):
+        start = rng.randrange(span)
+        bases = list(shard.region(start, READ_LENGTH))
+        for _ in range(rng.randint(0, int(READ_LENGTH * ERROR_RATE) // 2)):
+            position = rng.randrange(READ_LENGTH)
+            bases[position] = rng.choice("ACGT")
+        records.append(
+            FastqRecord(
+                f"b{batch_index}r{i}", "".join(bases), "I" * READ_LENGTH
+            )
+        )
+    return records
+
+
+def fastq_text(records: list[FastqRecord]) -> str:
+    out = io.StringIO()
+    write_fastq(records, out)
+    return out.getvalue()
+
+
+class TcpJsonClient:
+    """Keep-alive HTTP/1.1 JSON client on a real loopback socket."""
+
+    def __init__(self, port: int):
+        self.port = port
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> None:
+        self.reader, self.writer = await asyncio.open_connection(
+            "127.0.0.1", self.port
+        )
+
+    def disconnect(self) -> None:
+        if self.writer is not None:
+            self.writer.close()
+        self.reader = self.writer = None
+
+    async def request(self, method: str, path: str, payload=None) -> dict:
+        body = b"" if payload is None else json.dumps(payload).encode()
+        head = [f"{method} {path} HTTP/1.1", "Host: bench"]
+        if body:
+            head.append(f"Content-Length: {len(body)}")
+        self.writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + body)
+        await self.writer.drain()
+        status_line = await self.reader.readline()
+        status = int(status_line.split()[1])
+        headers = {}
+        while True:
+            line = await self.reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode().partition(":")
+            headers[name.strip().lower()] = value.strip()
+        raw = await self.reader.readexactly(
+            int(headers.get("content-length", "0"))
+        )
+        if status != 200:
+            raise RuntimeError(f"{method} {path} -> {status}: {raw[:200]!r}")
+        return json.loads(raw)
+
+
+async def stream_map_job(
+    front: AlignmentHTTPServer,
+    shard,
+    *,
+    batches: int,
+    seed: int,
+    reconnect_mid_job: bool,
+    expected_digest: str | None,
+) -> dict:
+    """Drive one map job over TCP; returns measured row fields."""
+    client = TcpJsonClient(front.port)
+    await client.connect()
+    started = time.perf_counter()
+    created = await client.request("POST", "/v1/jobs/map", {})
+    job_id = created["job_id"]
+
+    total_reads = 0
+    resumed = 0
+    digest = hashlib.sha256()
+    collected_offset = 0
+
+    async def pull_output() -> None:
+        nonlocal collected_offset
+        while True:
+            chunk = await client.request(
+                "GET",
+                f"/v1/jobs/{job_id}/output"
+                f"?offset={collected_offset}&limit={OUTPUT_LIMIT}",
+            )
+            data = chunk["data"]
+            digest.update(data.encode("ascii"))
+            collected_offset = chunk["next_offset"]
+            if not data or chunk["eof"]:
+                break
+
+    for batch_index in range(batches):
+        records = read_batch(shard, batch_index, INGEST_BATCH, seed)
+        total_reads += len(records)
+        text = fastq_text(records)
+        # Split each batch at an awkward boundary (mid-line) to exercise
+        # the stream parser the way real chunked ingest arrives.
+        cut = len(text) // 2 + 3
+        await client.request(
+            "POST", f"/v1/jobs/{job_id}/input", {"fastq": text[:cut]}
+        )
+        await client.request(
+            "POST", f"/v1/jobs/{job_id}/input", {"fastq": text[cut:]}
+        )
+        if reconnect_mid_job and batch_index == batches // 3:
+            # Drain whatever output exists, then drop the TCP connection
+            # mid-job and resume from the same byte offset.
+            await pull_output()
+            client.disconnect()
+            client = TcpJsonClient(front.port)
+            await client.connect()
+            resumed = 1
+    await client.request(
+        "POST", f"/v1/jobs/{job_id}/input", {"fastq": "", "final": True}
+    )
+    while True:
+        status = await client.request("GET", f"/v1/jobs/{job_id}")
+        if status["state"] in ("done", "failed", "cancelled"):
+            break
+        await asyncio.sleep(0.02)
+    if status["state"] != "done":
+        raise RuntimeError(f"map job ended {status['state']}: {status}")
+    await pull_output()
+    elapsed = time.perf_counter() - started
+    client.disconnect()
+
+    row = {
+        "reads": total_reads,
+        "read_length": READ_LENGTH,
+        "seconds": elapsed,
+        "reads_per_sec": total_reads / elapsed,
+        "reads_mapped": status["reads_mapped"],
+        "output_bytes": status["output_bytes"],
+        "resumed_mid_job": resumed,
+        "peak_rss_mb": peak_rss_mb(),
+    }
+    if expected_digest is not None:
+        row["sam_byte_identical"] = int(
+            digest.hexdigest() == expected_digest
+        )
+    return row
+
+
+def expected_sam_digest(shard, *, batches: int, seed: int) -> str:
+    """Hash of the in-process pipeline's SAM over the same read stream."""
+    mapper = make_genasm_mapper(
+        shard, seed_length=SEED_LENGTH, error_rate=ERROR_RATE
+    )
+    digest = hashlib.sha256()
+    digest.update(
+        sam_header([(shard.name, len(shard))]).encode("ascii")
+    )
+    for batch_index in range(batches):
+        records = read_batch(shard, batch_index, INGEST_BATCH, seed)
+        results = mapper.map_reads(
+            [(record.name, record.sequence) for record in records]
+        )
+        for result in results:
+            digest.update((result.record.to_line() + "\n").encode("ascii"))
+    return digest.hexdigest()
+
+
+def run_bench(*, smoke: bool, output: Path) -> dict:
+    genome_bases = 30_000 if smoke else 200_000
+    batches_1x = 1 if smoke else 8
+    batches_4x = 4 * batches_1x
+    replicas = 2
+    seed = 0x5EED
+
+    with tempfile.TemporaryDirectory(prefix="bench_wgs_") as tmp:
+        chromosome = synthesize_genome(
+            genome_bases, seed=seed, name="chr_sim"
+        )
+        sharded = ShardedGenome.write(
+            [Genome(chromosome.name, chromosome.sequence)], tmp
+        )
+        shard = sharded[chromosome.name]
+        expected = expected_sam_digest(shard, batches=batches_1x, seed=seed)
+
+        async def main() -> list[dict]:
+            mapper = make_genasm_mapper(
+                shard, seed_length=SEED_LENGTH, error_rate=ERROR_RATE
+            )
+            cluster = AlignmentCluster(
+                replicas=replicas,
+                mapper=mapper,
+                batch_size=16,
+                flush_interval=0.002,
+            )
+            front = AlignmentHTTPServer(cluster)
+            async with front:
+                await front.start(port=0)
+                row_1x = await stream_map_job(
+                    front,
+                    shard,
+                    batches=batches_1x,
+                    seed=seed,
+                    reconnect_mid_job=True,
+                    expected_digest=expected,
+                )
+                row_4x = await stream_map_job(
+                    front,
+                    shard,
+                    batches=batches_4x,
+                    seed=seed + 1,
+                    reconnect_mid_job=False,
+                    expected_digest=None,
+                )
+            return [
+                {"phase": "wgs_1x", **row_1x},
+                {"phase": "wgs_4x", **row_4x},
+            ]
+
+        rows = asyncio.run(main())
+        sharded.close()
+
+    for row in rows:
+        row.update(
+            genome_bases=genome_bases,
+            replicas=replicas,
+            smoke=smoke,
+        )
+    row_1x, row_4x = rows
+    summary = {
+        "reads_per_sec": row_1x["reads_per_sec"],
+        "peak_rss_mb": row_4x["peak_rss_mb"],
+        "sam_byte_identical": row_1x["sam_byte_identical"],
+        "resumed_mid_job": row_1x["resumed_mid_job"],
+        # ru_maxrss is a process-lifetime high-water mark, so this ratio
+        # is exactly "how much higher did the 4x stream push peak memory".
+        "peak_rss_growth_4x": row_4x["peak_rss_mb"] / row_1x["peak_rss_mb"],
+    }
+
+    emit_table(
+        "wgs",
+        ["phase", "reads", "reads/s", "mapped", "SAM bytes", "peak RSS MB"],
+        [
+            [
+                row["phase"],
+                row["reads"],
+                f"{row['reads_per_sec']:.1f}",
+                row["reads_mapped"],
+                row["output_bytes"],
+                f"{row['peak_rss_mb']:.1f}",
+            ]
+            for row in rows
+        ],
+        title="Streaming whole-genome map jobs (2-replica cluster, real TCP)",
+    )
+    print(
+        f"\nsummary: byte_identical={summary['sam_byte_identical']} "
+        f"resumed={summary['resumed_mid_job']} "
+        f"rss_growth_4x={summary['peak_rss_growth_4x']:.3f}"
+    )
+    return emit_json(
+        output, "wgs", {"results": rows, "summary": summary}
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload for CI: small genome, one ingest batch",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help=f"artifact path (default: {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args()
+    document = run_bench(smoke=args.smoke, output=args.output)
+    if not document["summary"]["sam_byte_identical"]:
+        raise SystemExit("FAIL: job SAM diverged from the in-process pipeline")
+
+
+if __name__ == "__main__":
+    main()

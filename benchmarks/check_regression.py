@@ -2,7 +2,8 @@
 
 The repo commits one JSON artifact per benchmark family at the repo root
 (``BENCH_batch_engine.json``, ``BENCH_serving.json``, ``BENCH_http.json``,
-``BENCH_cluster.json``, ``BENCH_elastic.json``). Each is a *baseline*:
+``BENCH_cluster.json``, ``BENCH_elastic.json``, ``BENCH_qos.json``,
+``BENCH_wgs.json``). Each is a *baseline*:
 rows of measured configurations plus a ``summary`` block of
 scale-invariant ratios (speedups, degradation ratios, hit-rate wins).
 This gate protects them three ways:
@@ -219,6 +220,25 @@ GATE_SPECS: dict[str, GateSpec] = {
                 # return to the floor after it.
                 Invariant("summary.autoscaler_peak_replicas", ">=", 2.0),
                 Invariant("summary.autoscaler_final_replicas", "<=", 1.0),
+            ),
+        ),
+        GateSpec(
+            name="wgs",
+            metric="reads_per_sec",
+            key_fields=("phase", "replicas", "read_length"),
+            threshold=0.50,
+            invariants=(
+                # The streaming job fabric's acceptance bar: SAM pulled
+                # through chunked HTTP ingest + resumable offset reads is
+                # byte-identical to the in-process pipeline, and the
+                # client really did reconnect mid-job.
+                Invariant("summary.sam_byte_identical", ">=", 1.0),
+                Invariant("summary.resumed_mid_job", ">=", 1.0),
+                # Bounded memory: streaming 4x the reads must not grow
+                # peak RSS materially (the job holds a fixed window of
+                # reads in flight, never the stream).
+                Invariant("summary.peak_rss_growth_4x", "<=", 1.5),
+                Invariant("summary.reads_per_sec", ">=", 1.0),
             ),
         ),
         GateSpec(

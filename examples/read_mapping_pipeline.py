@@ -35,8 +35,7 @@ def main() -> None:
     write_sam(
         [result.record for result in results],
         out_path,
-        reference_name=genome.name,
-        reference_length=len(genome),
+        reference_sequences=mapper.reference_sequences(),
     )
 
     stats = mapper.stats

@@ -50,13 +50,14 @@ from repro.serving import (
     AlignmentCluster,
     AlignmentHTTPServer,
     AlignmentServer,
+    JobManager,
     LatencyHistogram,
     ServerClosedError,
     ServingStats,
     serve_http,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "Alignment",
@@ -69,6 +70,7 @@ __all__ = [
     "EngineInfo",
     "GenAsmAligner",
     "GenAsmFilter",
+    "JobManager",
     "LatencyHistogram",
     "PurePythonEngine",
     "ScoringScheme",

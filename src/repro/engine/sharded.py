@@ -77,6 +77,12 @@ def _pool_context() -> multiprocessing.context.BaseContext:
 _WORKER_ENGINE: AlignmentEngine | None = None
 _WORKER_MAPPER: Any = None
 
+#: Worker-side cache of mappers rebuilt from IPC-cheap specs, keyed by the
+#: mapper token. Bounded so a worker serving many references (one shard per
+#: chromosome) keeps the hot few k-mer indexes without hoarding all of them.
+_WORKER_MAPPERS: dict[str, Any] = {}
+_WORKER_MAPPER_CAP = 4
+
 
 def _init_worker(inner_name: str) -> None:
     global _WORKER_ENGINE
@@ -114,6 +120,36 @@ def _map_chunk(
     _WORKER_MAPPER.stats = PipelineStats()
     results = _WORKER_MAPPER.map_reads(reads)
     return results, _WORKER_MAPPER.stats, time.perf_counter() - started
+
+
+def _map_chunk_spec(
+    args: tuple[str, Any, list[tuple[str, str]]],
+) -> tuple[list[Any], Any, float]:
+    """Map one chunk from an IPC-cheap spec through the *shared* pool.
+
+    A spec over a mmap-backed :class:`GenomeShard` pickles as paths, so it
+    rides along with every chunk instead of requiring a dedicated pinned
+    pool per mapper. The worker rebuilds the mapper (mmap open + k-mer
+    index) on first sight of a token and caches it, so alternating between
+    references — one mapper per chromosome — stops tearing pools down.
+    """
+    from repro.mapping.pipeline import PipelineStats
+
+    token, spec, reads = args
+    started = time.perf_counter()
+    mapper = _WORKER_MAPPERS.get(token)
+    if mapper is None:
+        mapper = spec.build(_WORKER_ENGINE)
+        while len(_WORKER_MAPPERS) >= _WORKER_MAPPER_CAP:
+            _WORKER_MAPPERS.pop(next(iter(_WORKER_MAPPERS)))
+        _WORKER_MAPPERS[token] = mapper
+    else:
+        # Re-insert to keep eviction order ~LRU.
+        _WORKER_MAPPERS.pop(token)
+        _WORKER_MAPPERS[token] = mapper
+    mapper.stats = PipelineStats()
+    results = mapper.map_reads(reads)
+    return results, mapper.stats, time.perf_counter() - started
 
 
 def _scan_chunk(
@@ -507,9 +543,18 @@ class ShardedEngine(AlignmentEngine):
         total = PipelineStats()
         if not reads:
             return [], total
-        pool = self._ensure_map_pool(spec, token)
         chunks = self._shard(reads)
-        outputs = pool.map(_map_chunk, chunks)
+        if getattr(spec, "ipc_cheap", False):
+            # Cheap specs ship per chunk through the shared pool; the
+            # worker-side cache keyed by token amortizes mapper rebuilds
+            # without pinning a dedicated pool to one reference.
+            pool = self._ensure_pool()
+            outputs = pool.map(
+                _map_chunk_spec, [(token, spec, chunk) for chunk in chunks]
+            )
+        else:
+            pool = self._ensure_map_pool(spec, token)
+            outputs = pool.map(_map_chunk, chunks)
         results = [
             result
             for chunk_results, _, _ in outputs

@@ -91,15 +91,38 @@ class MapperSpec:
     """
 
     genome: Genome
-    index: KmerIndex
+    index: KmerIndex | None
     error_rate: float
     filter_threshold: int | None
     filter_alphabet: Alphabet | None
     scoring: ScoringScheme
     max_candidates: int
+    seed_length: int | None = None
+    index_max_occurrences: int = 128
+
+    @property
+    def ipc_cheap(self) -> bool:
+        """True when pickling this spec ships paths, not sequence data.
+
+        Holds for specs over a mmap-backed :class:`GenomeShard` whose index
+        was elided (``index=None`` + ``seed_length``): the worker rebuilds
+        the k-mer index deterministically from the shard, so the spec can be
+        shipped per chunk through a shared pool instead of being pinned into
+        a dedicated one.
+        """
+        return self.index is None and getattr(self.genome, "ipc_cheap", False)
 
     def build(self, engine: "AlignmentEngine | str | None") -> "ReadMapper":
         """Construct the worker-side mapper over ``engine``."""
+        index = self.index
+        if index is None:
+            if self.seed_length is None:
+                raise ValueError("MapperSpec without index needs seed_length")
+            index = KmerIndex.build(
+                self.genome,
+                k=self.seed_length,
+                max_occurrences=self.index_max_occurrences,
+            )
         prefilter = None
         if self.filter_threshold is not None:
             prefilter = GenAsmFilter(
@@ -109,7 +132,7 @@ class MapperSpec:
             )
         return ReadMapper(
             genome=self.genome,
-            index=self.index,
+            index=index,
             error_rate=self.error_rate,
             prefilter=prefilter,
             scoring=self.scoring,
@@ -182,6 +205,10 @@ class ReadMapper:
                 self.batch_aligner = genasm.align_batch
 
     # ------------------------------------------------------------------
+    def reference_sequences(self) -> list[tuple[str, int]]:
+        """``(name, length)`` pairs this mapper can place reads on."""
+        return [(self.genome.name, len(self.genome))]
+
     def map_read(self, name: str, read: str) -> MappingResult:
         """Run steps 1-3 for one read and return the best alignment."""
         return self.map_reads([(name, read)])[0]
@@ -288,9 +315,15 @@ class ReadMapper:
             return None
         if self.prefilter is not None and type(self.prefilter) is not GenAsmFilter:
             return None
+        # A mmap-backed genome makes the spec cheap to pickle; elide the
+        # index and let each worker rebuild it (deterministic) rather than
+        # shipping the k-mer table across IPC.
+        elide_index = getattr(self.genome, "ipc_cheap", False)
         return MapperSpec(
             genome=self.genome,
-            index=self.index,
+            index=None if elide_index else self.index,
+            seed_length=self.index.k if elide_index else None,
+            index_max_occurrences=self.index.max_occurrences,
             error_rate=self.error_rate,
             filter_threshold=(
                 self.prefilter.threshold if self.prefilter is not None else None

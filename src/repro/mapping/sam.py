@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, TextIO
+from typing import Iterable, Sequence, TextIO
 
 from repro.core.cigar import Cigar
 
@@ -43,7 +43,7 @@ class SamRecord:
                 "*",  # RNEXT
                 "0",  # PNEXT
                 "0",  # TLEN
-                self.sequence,
+                self.sequence if self.sequence else "*",
                 "*",  # QUAL
             )
         )
@@ -66,22 +66,53 @@ def unmapped_record(query_name: str, sequence: str) -> SamRecord:
     )
 
 
+def sam_header(reference_sequences: Sequence[tuple[str, int]]) -> str:
+    """Render the ``@HD``/``@SQ``/``@PG`` header for the given contigs."""
+    lines = ["@HD\tVN:1.6\tSO:unknown"]
+    for name, length in reference_sequences:
+        if not name:
+            raise ValueError("@SQ reference name must be non-empty")
+        if length <= 0:
+            raise ValueError(
+                f"@SQ reference {name!r} length must be positive, got {length}"
+            )
+        lines.append(f"@SQ\tSN:{name}\tLN:{length}")
+    lines.append("@PG\tID:repro-genasm\tPN:repro-genasm")
+    return "\n".join(lines) + "\n"
+
+
 def write_sam(
     records: Iterable[SamRecord],
     destination: str | Path | TextIO,
     *,
-    reference_name: str,
-    reference_length: int,
+    reference_sequences: Sequence[tuple[str, int]] | None = None,
+    reference_name: str | None = None,
+    reference_length: int | None = None,
 ) -> None:
-    """Write a header plus all records."""
+    """Write a header plus all records.
+
+    Pass ``reference_sequences`` as ``(name, length)`` pairs — one ``@SQ``
+    line per contig. The legacy single-contig ``reference_name`` /
+    ``reference_length`` pair is still accepted as a shorthand.
+    """
+    if reference_sequences is None:
+        if reference_name is None or reference_length is None:
+            raise ValueError(
+                "write_sam requires reference_sequences or both "
+                "reference_name and reference_length"
+            )
+        reference_sequences = [(reference_name, reference_length)]
+    elif reference_name is not None or reference_length is not None:
+        raise ValueError(
+            "pass either reference_sequences or the legacy "
+            "reference_name/reference_length pair, not both"
+        )
     own = isinstance(destination, (str, Path))
     handle: TextIO = (
         open(destination, "w", encoding="ascii") if own else destination
     )
     try:
-        handle.write("@HD\tVN:1.6\tSO:unknown\n")
-        handle.write(f"@SQ\tSN:{reference_name}\tLN:{reference_length}\n")
-        handle.write("@PG\tID:repro-genasm\tPN:repro-genasm\n")
+        handle.write(sam_header(reference_sequences))
         for record in records:
             handle.write(record.to_line() + "\n")
     finally:

@@ -15,11 +15,14 @@ from repro.sequences.alphabet import (
 )
 from repro.sequences.genome import (
     Genome,
+    GenomeShard,
+    ShardedGenome,
     synthesize_genome,
 )
 from repro.sequences.io import (
     FastaRecord,
     FastqRecord,
+    FastqStreamParser,
     read_fasta,
     read_fastq,
     write_fasta,
@@ -46,8 +49,11 @@ __all__ = [
     "EditKind",
     "FastaRecord",
     "FastqRecord",
+    "FastqStreamParser",
     "Genome",
+    "GenomeShard",
     "MutationProfile",
+    "ShardedGenome",
     "SimulatedRead",
     "illumina_profile",
     "mutate",

@@ -116,23 +116,118 @@ def read_fastq(source: str | Path | TextIO) -> list[FastqRecord]:
             handle.close()
 
 
+_FASTQ_LINE_ROLES = ("header", "sequence", "'+' separator", "quality")
+
+
+def _fastq_record(index: int, lines: list[str]) -> FastqRecord:
+    """Validate four lines as FASTQ record number ``index`` (1-based)."""
+    header, sequence, plus, quality = lines
+    if not header.startswith("@"):
+        raise ValueError(
+            f"FASTQ record {index}: expected header starting with '@', "
+            f"got {header!r}"
+        )
+    fields = header[1:].split()
+    if not fields:
+        raise ValueError(
+            f"FASTQ record {index}: header {header!r} has no read name"
+        )
+    if not plus.startswith("+"):
+        raise ValueError(
+            f"FASTQ record {index}: expected '+' separator, got {plus!r}"
+        )
+    if len(quality) != len(sequence):
+        raise ValueError(
+            f"FASTQ record {index} ({fields[0]!r}): quality length "
+            f"{len(quality)} != sequence length {len(sequence)}"
+        )
+    return FastqRecord(fields[0], sequence, quality)
+
+
+def _truncation_error(index: int, have: int) -> ValueError:
+    return ValueError(
+        f"truncated FASTQ: record {index} ended at EOF after {have} of 4 "
+        f"lines (expected its {_FASTQ_LINE_ROLES[have]} line)"
+    )
+
+
 def iter_fastq(handle: TextIO) -> Iterator[FastqRecord]:
-    """Stream FASTQ records from an open handle."""
+    """Stream FASTQ records from an open handle.
+
+    Malformed input raises :class:`ValueError` naming the 1-based record
+    index and what was expected — including nameless ``@`` headers and
+    records truncated by EOF — rather than leaking an ``IndexError`` or
+    misreporting truncation as a separator mismatch.
+    """
+    index = 0
     while True:
         header = handle.readline()
         if not header:
             return
-        header = header.rstrip("\n")
-        if not header:
+        if not header.rstrip("\n"):
             continue
-        if not header.startswith("@"):
-            raise ValueError(f"expected FASTQ header, got {header!r}")
-        sequence = handle.readline().rstrip("\n")
-        plus = handle.readline().rstrip("\n")
-        quality = handle.readline().rstrip("\n")
-        if not plus.startswith("+"):
-            raise ValueError(f"expected FASTQ separator, got {plus!r}")
-        yield FastqRecord(header[1:].split()[0], sequence, quality)
+        index += 1
+        lines = [header.rstrip("\n")]
+        for _ in range(3):
+            line = handle.readline()
+            if not line:
+                raise _truncation_error(index, len(lines))
+            lines.append(line.rstrip("\n"))
+        yield _fastq_record(index, lines)
+
+
+class FastqStreamParser:
+    """Incremental FASTQ parser over arbitrarily split text chunks.
+
+    Feed pieces of a FASTQ stream as they arrive (chunk boundaries may
+    fall anywhere, including mid-line); each :meth:`feed` returns the
+    records completed by that chunk. Call :meth:`close` when the stream
+    ends — it flushes a final unterminated line and raises the same
+    truncation errors as :func:`iter_fastq` if a record is incomplete.
+    """
+
+    def __init__(self) -> None:
+        self._tail = ""
+        self._pending: list[str] = []
+        self._records = 0
+        self._closed = False
+
+    @property
+    def records_parsed(self) -> int:
+        return self._records
+
+    def _drain(self) -> list[FastqRecord]:
+        out: list[FastqRecord] = []
+        while len(self._pending) >= 4:
+            self._records += 1
+            out.append(_fastq_record(self._records, self._pending[:4]))
+            del self._pending[:4]
+        return out
+
+    def feed(self, chunk: str) -> list[FastqRecord]:
+        if self._closed:
+            raise ValueError("cannot feed a closed FastqStreamParser")
+        text = self._tail + chunk
+        lines = text.split("\n")
+        self._tail = lines.pop()
+        for line in lines:
+            # Blank lines are tolerated between records, not inside one.
+            if line or len(self._pending) % 4:
+                self._pending.append(line)
+        return self._drain()
+
+    def close(self) -> list[FastqRecord]:
+        """Flush the final (possibly unterminated) record."""
+        if self._closed:
+            return []
+        self._closed = True
+        if self._tail:
+            self._pending.append(self._tail)
+            self._tail = ""
+        out = self._drain()
+        if self._pending:
+            raise _truncation_error(self._records + 1, len(self._pending))
+        return out
 
 
 def write_fastq(

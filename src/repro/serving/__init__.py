@@ -43,6 +43,14 @@ server's FIFO pending queue with a deficit-round-robin :class:`FairQueue`
 propagates client deadlines (``timeout_ms`` / ``X-Request-Deadline``)
 so expired work is dropped before the engine call (504).
 
+:mod:`repro.serving.jobs` adds a streaming job fabric on top of all of
+the above: ``POST /v1/jobs/map`` ingests chunked FASTQ with bounded
+in-memory windows and emits SAM incrementally (resumable byte-offset
+reads at ``GET /v1/jobs/<id>/output``), and the batch use-case workloads
+(``whole_genome``, ``overlap``, ``text_search``) run as jobs whose unit
+work re-enters the backend as ordinary requests — so routing, hedging,
+QoS, and tracing all apply.
+
 :mod:`repro.serving.observability` threads the whole stack together:
 per-request traces (``X-Request-ID`` honored/echoed, span breakdowns at
 ``GET /v1/trace/<id>`` and ``?debug=timing``), a pull-model
@@ -96,6 +104,13 @@ from repro.serving.http import (
     open_memory_connection,
     serve_http,
 )
+from repro.serving.jobs import (
+    JOB_KINDS,
+    Job,
+    JobError,
+    JobManager,
+    JobRejectedError,
+)
 from repro.serving.qos import (
     DEFAULT_TENANT,
     INTERACTIVE_KINDS,
@@ -119,6 +134,7 @@ from repro.serving.server import (
 __all__ = [
     "DEFAULT_TENANT",
     "INTERACTIVE_KINDS",
+    "JOB_KINDS",
     "MISS",
     "ROUTING_POLICIES",
     "AdmissionError",
@@ -137,6 +153,10 @@ __all__ = [
     "FairQueue",
     "FifoQueue",
     "HttpError",
+    "Job",
+    "JobError",
+    "JobManager",
+    "JobRejectedError",
     "JsonFormatter",
     "LatencyEwmaPolicy",
     "LatencyHistogram",

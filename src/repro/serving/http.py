@@ -69,6 +69,7 @@ from urllib.parse import parse_qsl
 
 from repro.serving.cluster import AlignmentCluster, ClusterSaturatedError
 from repro.serving.histogram import LatencyHistogram
+from repro.serving.jobs import JOB_KINDS, JobManager, JobRejectedError
 from repro.serving.observability import (
     EventRateLimiter,
     MetricFamily,
@@ -111,6 +112,13 @@ _METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Path prefix for per-request trace lookups (``GET /v1/trace/<id>``).
 _TRACE_PREFIX = "/v1/trace/"
+
+#: Path prefix for the streaming job fabric (``/v1/jobs/...``).
+_JOBS_PREFIX = "/v1/jobs"
+
+#: Default/maximum bytes served per ``GET /v1/jobs/<id>/output`` read.
+_JOB_OUTPUT_DEFAULT_LIMIT = 64 * 1024
+_JOB_OUTPUT_MAX_LIMIT = 1024 * 1024
 
 
 @dataclass(frozen=True)
@@ -278,6 +286,8 @@ class AlignmentHTTPServer:
         slow_request_threshold: float = 0.5,
         qos: QosPolicy | None = None,
         disconnect_poll: float = 0.05,
+        jobs: bool = True,
+        job_manager: JobManager | None = None,
     ) -> None:
         if max_body_bytes < 1:
             raise ValueError("max_body_bytes must be positive")
@@ -302,6 +312,14 @@ class AlignmentHTTPServer:
         backend_collector = getattr(server, "collect_metrics", None)
         if backend_collector is not None:
             self.metrics.add_collector(backend_collector)
+        # The job fabric rides on the same backend: each unit of job work
+        # re-enters it as an ordinary request, so QoS/tracing apply.
+        if job_manager is not None:
+            self.job_manager: JobManager | None = job_manager
+        else:
+            self.job_manager = JobManager(server) if jobs else None
+        if self.job_manager is not None:
+            self.metrics.add_collector(self.job_manager.collect_metrics)
         if trace:
             enable = getattr(server, "enable_tracing", None)
             if enable is not None:
@@ -310,9 +328,10 @@ class AlignmentHTTPServer:
         self.stats: dict[str, EndpointStats] = {
             path: EndpointStats() for path in self._route_table
         }
-        # Trace lookups are prefix-routed (the id is in the path), so
-        # their counters get a stats slot outside the route table.
+        # Trace lookups and job requests are prefix-routed (the id is in
+        # the path), so their counters get stats slots outside the table.
         self.stats["/v1/trace"] = EndpointStats()
+        self.stats["/v1/jobs"] = EndpointStats()
         self._tcp_server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.StreamWriter] = set()
         self._handler_tasks: set[asyncio.Task] = set()
@@ -376,6 +395,8 @@ class AlignmentHTTPServer:
             await asyncio.gather(
                 *list(self._handler_tasks), return_exceptions=True
             )
+        if self.job_manager is not None:
+            await self.job_manager.stop()
         if self.own_server:
             await self.server.stop()
 
@@ -568,6 +589,10 @@ class AlignmentHTTPServer:
         plus the Retry-After hint for 503s (None elsewhere)."""
         if request.path.startswith(_TRACE_PREFIX):
             return self._dispatch_trace_lookup(request)
+        if request.path == _JOBS_PREFIX or request.path.startswith(
+            _JOBS_PREFIX + "/"
+        ):
+            return await self._dispatch_jobs(request)
         route = self._route_table.get(request.path)
         if route is None:
             return 404, {"error": f"unknown path {request.path!r}"}, None
@@ -655,6 +680,165 @@ class AlignmentHTTPServer:
         if tenant_state is not None:
             self.qos.record(tenant_state, status, elapsed)
         return status, result, retry_after
+
+    async def _dispatch_jobs(
+        self, request: _ParsedRequest
+    ) -> tuple[int, Any, float | None]:
+        """Prefix-routed job fabric endpoints (``/v1/jobs/...``).
+
+        ``POST /v1/jobs/<kind>`` creates a job (map jobs may carry an
+        initial ``fastq`` chunk), ``POST /v1/jobs/<id>/input`` appends
+        FASTQ, ``GET /v1/jobs/<id>`` reports status, ``GET
+        /v1/jobs/<id>/output?offset=N`` reads spooled output from any
+        byte offset (the resumability contract), and ``POST
+        /v1/jobs/<id>/cancel`` cancels. Job POSTs pass QoS admission like
+        any other POST, and each unit of job work re-enters the backend
+        as an ordinary request under the creating tenant.
+        """
+        endpoint = self.stats["/v1/jobs"]
+        retry_after: float | None = None
+        tenant_state: TenantState | None = None
+        started = time.monotonic()
+        try:
+            if self.job_manager is None:
+                raise HttpError(501, "the job fabric is disabled on this server")
+            tenant: str | None = None
+            if request.method == "POST":
+                payload = (
+                    self._decode_body(request) if request.body else {}
+                )
+                if self.qos is not None:
+                    tenant_state = self.qos.resolve(
+                        request.headers.get("x-api-key")
+                    )
+                    self.qos.admit(tenant_state)
+                    tenant = tenant_state.name
+            else:
+                payload = {}
+            status, result = await self._handle_jobs_request(
+                request, payload, tenant
+            )
+        except AdmissionError as exc:
+            status, result = 429, {"error": str(exc)}
+            retry_after = exc.retry_after
+        except JobRejectedError as exc:
+            status, result = 503, {"error": str(exc)}
+            retry_after = exc.retry_after
+        except HttpError as exc:
+            status, result = exc.status, {"error": exc.message}
+            retry_after = exc.retry_after
+        except KeyError as exc:
+            status = 404
+            result = {"error": f"no job {exc.args[0]!r} (finished jobs are evicted eventually)"}
+        except ValueError as exc:
+            status, result = 400, {"error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - wire boundary
+            status = 500
+            result = {"error": f"{type(exc).__name__}: {exc}"}
+        if status in _RETRYABLE_STATUSES and retry_after is not None:
+            result["retry_after"] = round(retry_after, 3)
+        elapsed = time.monotonic() - started
+        endpoint.record(status, elapsed)
+        if tenant_state is not None:
+            self.qos.record(tenant_state, status, elapsed)
+        return status, result, retry_after
+
+    async def _handle_jobs_request(
+        self,
+        request: _ParsedRequest,
+        payload: dict[str, Any],
+        tenant: str | None,
+    ) -> tuple[int, dict[str, Any]]:
+        manager = self.job_manager
+        tail = request.path[len(_JOBS_PREFIX) :].strip("/")
+        parts = [part for part in tail.split("/") if part]
+        if not parts:
+            raise HttpError(
+                404,
+                f"POST {_JOBS_PREFIX}/<kind> to create a job "
+                f"(kinds: {', '.join(JOB_KINDS)})",
+            )
+        if len(parts) == 1 and parts[0] in JOB_KINDS:
+            if request.method != "POST":
+                raise HttpError(
+                    405, f"{request.path} requires POST, got {request.method}"
+                )
+            kind = parts[0]
+            job = manager.create(kind, payload, tenant=tenant)
+            response: dict[str, Any] = {"job_id": job.job_id, "kind": kind}
+            if kind == "map":
+                fastq = payload.get("fastq", "")
+                if not isinstance(fastq, str):
+                    raise HttpError(400, "field 'fastq' must be a string")
+                final = _bool_field(payload, "final", False)
+                if fastq or final:
+                    response.update(
+                        await manager.append_input(
+                            job.job_id, fastq, final=final
+                        )
+                    )
+            response["state"] = job.state
+            return 200, response
+        job_id = parts[0]
+        if len(parts) == 1:
+            if request.method == "POST":
+                raise HttpError(
+                    400,
+                    f"unknown job kind {job_id!r}; expected one of "
+                    f"{', '.join(JOB_KINDS)}",
+                )
+            job = manager.get(job_id)
+            if job is None:
+                raise KeyError(job_id)
+            return 200, job.status_payload()
+        if len(parts) != 2:
+            raise HttpError(404, f"unknown path {request.path!r}")
+        action = parts[1]
+        if action == "input":
+            if request.method != "POST":
+                raise HttpError(
+                    405, f"{request.path} requires POST, got {request.method}"
+                )
+            fastq = payload.get("fastq", "")
+            if not isinstance(fastq, str):
+                raise HttpError(400, "field 'fastq' must be a string")
+            final = _bool_field(payload, "final", False)
+            return 200, await manager.append_input(job_id, fastq, final=final)
+        if action == "output":
+            if request.method != "GET":
+                raise HttpError(
+                    405, f"{request.path} requires GET, got {request.method}"
+                )
+            job = manager.get(job_id)
+            if job is None:
+                raise KeyError(job_id)
+            offset = _query_int(request, "offset", 0, minimum=0)
+            limit = min(
+                _query_int(
+                    request, "limit", _JOB_OUTPUT_DEFAULT_LIMIT, minimum=1
+                ),
+                _JOB_OUTPUT_MAX_LIMIT,
+            )
+            served_offset = min(offset, job.output.size)
+            data = job.output.read(served_offset, limit)
+            next_offset = served_offset + len(data)
+            return 200, {
+                "job_id": job.job_id,
+                "state": job.state,
+                "offset": served_offset,
+                "data": data,
+                "next_offset": next_offset,
+                "output_bytes": job.output.size,
+                "eof": job.finished and next_offset >= job.output.size,
+            }
+        if action == "cancel":
+            if request.method != "POST":
+                raise HttpError(
+                    405, f"{request.path} requires POST, got {request.method}"
+                )
+            job = await manager.cancel(job_id)
+            return 200, {"job_id": job.job_id, "state": job.state}
+        raise HttpError(404, f"unknown path {request.path!r}")
 
     def _dispatch_trace_lookup(
         self, request: _ParsedRequest
@@ -883,6 +1067,8 @@ class AlignmentHTTPServer:
         }
         if self.qos is not None:
             payload["tenants"] = self.qos.stats_payload()
+        if self.job_manager is not None:
+            payload["jobs"] = self.job_manager.stats_payload()
         if self.client_disconnects:
             payload["client_disconnects"] = self.client_disconnects
         return payload
@@ -943,6 +1129,21 @@ def _string_field(
         raise HttpError(400, f"field {name!r} must be a string")
     if non_empty and not value:
         raise HttpError(400, f"field {name!r} must be non-empty")
+    return value
+
+
+def _query_int(
+    request: _ParsedRequest, name: str, default: int, *, minimum: int
+) -> int:
+    raw = request.query.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise HttpError(400, f"query parameter {name!r} must be an integer")
+    if value < minimum:
+        raise HttpError(400, f"query parameter {name!r} must be >= {minimum}")
     return value
 
 

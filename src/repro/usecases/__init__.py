@@ -15,16 +15,31 @@ so downstream users can exercise them:
 """
 
 from repro.usecases.indexing import build_index_with_genasm
-from repro.usecases.overlap import Overlap, find_overlaps
-from repro.usecases.text_search import TextMatch, search_text
-from repro.usecases.whole_genome import WholeGenomeAlignment, align_genomes
+from repro.usecases.overlap import (
+    Overlap,
+    OverlapCandidate,
+    find_overlaps,
+    overlap_candidates,
+    select_overlaps,
+)
+from repro.usecases.text_search import TextMatch, collapse_matches, search_text
+from repro.usecases.whole_genome import (
+    WholeGenomeAlignment,
+    align_genomes,
+    complete_alignment,
+)
 
 __all__ = [
     "Overlap",
+    "OverlapCandidate",
     "TextMatch",
     "WholeGenomeAlignment",
     "align_genomes",
     "build_index_with_genasm",
+    "collapse_matches",
+    "complete_alignment",
     "find_overlaps",
+    "overlap_candidates",
     "search_text",
+    "select_overlaps",
 ]

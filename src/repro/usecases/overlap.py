@@ -15,8 +15,9 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
+from typing import Sequence
 
-from repro.core.aligner import GenAsmAligner
+from repro.core.aligner import Alignment, GenAsmAligner
 from repro.sequences.alphabet import DNA, Alphabet
 
 
@@ -43,19 +44,38 @@ class Overlap:
         return 1.0 - self.edit_distance / self.length
 
 
-def find_overlaps(
+@dataclass(frozen=True)
+class OverlapCandidate:
+    """A voted-for overlap awaiting alignment verification.
+
+    ``region`` (read ``a``'s suffix plus slack) and ``query`` (read ``b``'s
+    prefix) are the exact pair GenASM must align — carrying them here lets
+    the verification stage run anywhere a ``(text, pattern)`` aligner lives,
+    including through the serving cluster as a batch job.
+    """
+
+    a_index: int
+    b_index: int
+    a_start: int
+    length: int
+    region: str
+    query: str
+
+
+def overlap_candidates(
     reads: list[str],
     *,
     k: int = 15,
     min_overlap: int = 50,
     max_error_rate: float = 0.20,
-    alphabet: Alphabet = DNA,
-) -> list[Overlap]:
-    """All-vs-all overlap finding over a read set.
+) -> list[OverlapCandidate]:
+    """K-mer voting: nominate overlap candidates without aligning anything.
 
     K-mers shared between two reads vote for the implied offset; the best
-    offset per pair is verified by aligning the overlapping suffix/prefix
-    with GenASM and thresholding the alignment's error rate.
+    offset per ordered pair (with at least two votes and a long-enough
+    overlap) becomes one candidate. Candidates come out in voting order —
+    :func:`select_overlaps` relies on that to replicate the sequential
+    dedup of :func:`find_overlaps` exactly.
     """
     if k <= 0:
         raise ValueError("k must be positive")
@@ -87,12 +107,8 @@ def find_overlaps(
                 if shift >= 0:
                     votes[(a_index, b_index)][shift] += 1
 
-    aligner = GenAsmAligner(alphabet=alphabet)
-    overlaps: list[Overlap] = []
-    seen: set[tuple[int, int]] = set()
+    candidates: list[OverlapCandidate] = []
     for (a_index, b_index), shifts in votes.items():
-        if (b_index, a_index) in seen:
-            continue
         shift, count = max(shifts.items(), key=lambda item: item[1])
         if count < 2:
             continue
@@ -101,20 +117,76 @@ def find_overlaps(
         if overlap_len < min_overlap:
             continue
         # Align read b's prefix against read a's suffix (plus slack).
-        query = b[:overlap_len]
         slack = max(4, int(overlap_len * max_error_rate))
-        region = a[shift : shift + overlap_len + slack]
-        alignment = aligner.align(region, query)
-        if alignment.edit_distance / max(1, overlap_len) <= max_error_rate:
-            seen.add((a_index, b_index))
+        candidates.append(
+            OverlapCandidate(
+                a_index=a_index,
+                b_index=b_index,
+                a_start=shift,
+                length=overlap_len,
+                region=a[shift : shift + overlap_len + slack],
+                query=b[:overlap_len],
+            )
+        )
+    return candidates
+
+
+def select_overlaps(
+    candidates: Sequence[OverlapCandidate],
+    alignments: Sequence[Alignment],
+    *,
+    max_error_rate: float = 0.20,
+) -> list[Overlap]:
+    """Threshold verified candidates and dedup reversed pairs.
+
+    ``alignments[i]`` must be the alignment of ``candidates[i].region``
+    against ``candidates[i].query``. Dedup keeps the first *verified*
+    orientation of each pair in candidate order, matching
+    :func:`find_overlaps` output bit for bit regardless of where the
+    alignments were computed.
+    """
+    if len(candidates) != len(alignments):
+        raise ValueError("one alignment per candidate required")
+    overlaps: list[Overlap] = []
+    seen: set[tuple[int, int]] = set()
+    for candidate, alignment in zip(candidates, alignments):
+        if (candidate.b_index, candidate.a_index) in seen:
+            continue
+        if alignment.edit_distance / max(1, candidate.length) <= max_error_rate:
+            seen.add((candidate.a_index, candidate.b_index))
             overlaps.append(
                 Overlap(
-                    a_index=a_index,
-                    b_index=b_index,
-                    a_start=shift,
-                    length=overlap_len,
+                    a_index=candidate.a_index,
+                    b_index=candidate.b_index,
+                    a_start=candidate.a_start,
+                    length=candidate.length,
                     edit_distance=alignment.edit_distance,
                 )
             )
     overlaps.sort(key=lambda o: (o.a_index, o.b_index))
     return overlaps
+
+
+def find_overlaps(
+    reads: list[str],
+    *,
+    k: int = 15,
+    min_overlap: int = 50,
+    max_error_rate: float = 0.20,
+    alphabet: Alphabet = DNA,
+) -> list[Overlap]:
+    """All-vs-all overlap finding over a read set.
+
+    K-mer voting (:func:`overlap_candidates`) nominates candidate pairs;
+    GenASM aligns each candidate's suffix/prefix pair and
+    :func:`select_overlaps` thresholds the error rate.
+    """
+    candidates = overlap_candidates(
+        reads, k=k, min_overlap=min_overlap, max_error_rate=max_error_rate
+    )
+    aligner = GenAsmAligner(alphabet=alphabet)
+    alignments = [
+        aligner.align(candidate.region, candidate.query)
+        for candidate in candidates
+    ]
+    return select_overlaps(candidates, alignments, max_error_rate=max_error_rate)

@@ -15,9 +15,10 @@ grep with alignments.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.core.aligner import GenAsmAligner
-from repro.core.bitap import bitap_scan
+from repro.core.bitap import BitapMatch, bitap_scan
 from repro.core.cigar import Cigar
 from repro.sequences.alphabet import Alphabet
 
@@ -37,6 +38,27 @@ def alphabet_from_text(*texts: str) -> Alphabet:
     if not symbols:
         raise ValueError("cannot derive an alphabet from empty text")
     return Alphabet("derived", "".join(symbols))
+
+
+def collapse_matches(
+    matches: Sequence[BitapMatch], max_errors: int
+) -> list[tuple[int, int]]:
+    """Collapse adjacent raw scan hits to ``(start, distance)`` bests.
+
+    Runs of starts within ``max_errors`` of each other are one fuzzy
+    occurrence; keep the lowest-distance representative of each run. Shared
+    by :func:`search_text` and the job fabric's through-cluster variant, so
+    both report identical hits.
+    """
+    ordered = sorted(matches, key=lambda match: match.start)
+    collapsed: list[tuple[int, int]] = []
+    for match in ordered:
+        if collapsed and match.start - collapsed[-1][0] <= max_errors:
+            if match.distance < collapsed[-1][1]:
+                collapsed[-1] = (match.start, match.distance)
+        else:
+            collapsed.append((match.start, match.distance))
+    return collapsed
 
 
 def search_text(
@@ -62,16 +84,7 @@ def search_text(
         alphabet = alphabet_from_text(text, pattern)
 
     raw = bitap_scan(text, pattern, max_errors, alphabet=alphabet)
-    raw.sort(key=lambda match: match.start)
-
-    # Collapse runs of adjacent starts into their best representative.
-    collapsed: list[tuple[int, int]] = []
-    for match in raw:
-        if collapsed and match.start - collapsed[-1][0] <= max_errors:
-            if match.distance < collapsed[-1][1]:
-                collapsed[-1] = (match.start, match.distance)
-        else:
-            collapsed.append((match.start, match.distance))
+    collapsed = collapse_matches(raw, max_errors)
 
     aligner = (
         GenAsmAligner(alphabet=alphabet) if with_traceback else None

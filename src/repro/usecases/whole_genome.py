@@ -14,7 +14,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.aligner import DEFAULT_OVERLAP, DEFAULT_WINDOW_SIZE, GenAsmAligner
+from repro.core.aligner import (
+    DEFAULT_OVERLAP,
+    DEFAULT_WINDOW_SIZE,
+    Alignment,
+    GenAsmAligner,
+)
 from repro.core.cigar import Cigar
 from repro.sequences.alphabet import DNA, Alphabet
 from repro.sequences.genome import Genome
@@ -50,8 +55,9 @@ def align_genomes(
 ) -> WholeGenomeAlignment:
     """Globally align two genomes with the windowed GenASM pipeline.
 
-    Trailing unaligned reference is charged as deletions so the summary
-    reflects the full genome-to-genome transformation, as WGA tools report.
+    Trailing unaligned reference is charged as deletions and trailing
+    unconsumed query as insertions, so the summary reflects the full
+    genome-to-genome transformation, as WGA tools report.
     """
     ref_seq = reference.sequence if isinstance(reference, Genome) else reference
     qry_seq = query.sequence if isinstance(query, Genome) else query
@@ -62,8 +68,25 @@ def align_genomes(
         window_size=window_size, overlap=overlap, alphabet=alphabet
     )
     alignment = aligner.align(ref_seq, qry_seq)
-    trailing = len(ref_seq) - alignment.text_consumed
-    cigar = Cigar(alignment.cigar.ops + "D" * trailing)
+    return complete_alignment(alignment, len(ref_seq), len(qry_seq))
+
+
+def complete_alignment(
+    alignment: Alignment,
+    reference_length: int,
+    query_length: int,
+) -> WholeGenomeAlignment:
+    """Summarize a global alignment, charging unaligned tails.
+
+    Trailing reference the aligner never consumed becomes deletions;
+    trailing query it never consumed becomes insertions — symmetric, so
+    neither tail silently deflates ``edit_distance`` or ``identity``.
+    """
+    trailing_ref = reference_length - alignment.text_consumed
+    trailing_qry = query_length - alignment.cigar.query_length
+    cigar = Cigar(
+        alignment.cigar.ops + "D" * trailing_ref + "I" * trailing_qry
+    )
 
     ops = cigar.ops
     return WholeGenomeAlignment(

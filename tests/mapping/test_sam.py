@@ -2,11 +2,14 @@
 
 import io
 
+import pytest
+
 from repro.core.cigar import Cigar
 from repro.mapping.sam import (
     FLAG_REVERSE,
     FLAG_UNMAPPED,
     SamRecord,
+    sam_header,
     unmapped_record,
     write_sam,
 )
@@ -43,6 +46,14 @@ class TestRecords:
         assert record.flag & FLAG_REVERSE
         assert record.is_mapped
 
+    def test_empty_sequence_renders_star(self):
+        # An empty SEQ column must render "*", not an empty field that
+        # shifts every later column over by one.
+        record = SamRecord("r", FLAG_UNMAPPED, "*", 0, 0, None, "")
+        fields = record.to_line().split("\t")
+        assert len(fields) == 11
+        assert fields[9] == "*"
+
 
 class TestWriter:
     def test_header_and_records(self):
@@ -67,3 +78,49 @@ class TestWriter:
             reference_length=10,
         )
         assert path.read_text().count("\n") == 4
+
+    def test_multi_contig_header(self):
+        out = io.StringIO()
+        contigs = [("chr1", 1000), ("chr2", 500), ("chrM", 16)]
+        write_sam([], out, reference_sequences=contigs)
+        lines = out.getvalue().strip().split("\n")
+        sq = [line for line in lines if line.startswith("@SQ")]
+        assert sq == [
+            "@SQ\tSN:chr1\tLN:1000",
+            "@SQ\tSN:chr2\tLN:500",
+            "@SQ\tSN:chrM\tLN:16",
+        ]
+
+    def test_legacy_and_pairs_conflict(self):
+        with pytest.raises(ValueError, match="not both"):
+            write_sam(
+                [],
+                io.StringIO(),
+                reference_sequences=[("c", 1)],
+                reference_name="c",
+            )
+
+    def test_missing_reference_info_rejected(self):
+        with pytest.raises(ValueError, match="requires reference_sequences"):
+            write_sam([], io.StringIO())
+        with pytest.raises(ValueError, match="requires reference_sequences"):
+            write_sam([], io.StringIO(), reference_name="c")
+
+
+class TestHeader:
+    def test_shape(self):
+        header = sam_header([("chr1", 100), ("chr2", 50)])
+        lines = header.strip().split("\n")
+        assert lines[0].startswith("@HD")
+        assert lines[1] == "@SQ\tSN:chr1\tLN:100"
+        assert lines[2] == "@SQ\tSN:chr2\tLN:50"
+        assert lines[3].startswith("@PG")
+        assert header.endswith("\n")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            sam_header([("", 10)])
+
+    def test_nonpositive_length_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            sam_header([("chr1", 0)])

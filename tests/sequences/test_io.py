@@ -7,6 +7,7 @@ import pytest
 from repro.sequences.io import (
     FastaRecord,
     FastqRecord,
+    FastqStreamParser,
     read_fasta,
     read_fastq,
     write_fasta,
@@ -42,6 +43,10 @@ class TestFasta:
         with pytest.raises(ValueError):
             read_fasta(io.StringIO("ACGT\n>late\nAC\n"))
 
+    def test_nameless_header_rejected(self):
+        with pytest.raises(ValueError, match="no name"):
+            read_fasta(io.StringIO(">\nACGT\n"))
+
     def test_invalid_line_width(self):
         with pytest.raises(ValueError):
             write_fasta([], io.StringIO(), line_width=0)
@@ -65,3 +70,101 @@ class TestFastq:
     def test_malformed_separator_rejected(self):
         with pytest.raises(ValueError):
             read_fastq(io.StringIO("@r1\nACGT\nIIII\nIIII\n"))
+
+    def test_nameless_at_header_names_record_index(self):
+        # A bare "@" header used to leak an IndexError from fields[0].
+        with pytest.raises(ValueError, match=r"record 1.*no read name"):
+            read_fastq(io.StringIO("@\nACGT\n+\nIIII\n"))
+
+    def test_nameless_header_in_later_record(self):
+        data = "@ok\nAC\n+\n##\n@   \nACGT\n+\nIIII\n"
+        with pytest.raises(ValueError, match=r"record 2.*no read name"):
+            read_fastq(io.StringIO(data))
+
+    @pytest.mark.parametrize(
+        ("have", "expected_role"),
+        [(1, "sequence"), (2, r"'\+' separator"), (3, "quality")],
+    )
+    def test_truncation_names_missing_line(self, have, expected_role):
+        # A record cut off by EOF used to surface as a misleading
+        # separator mismatch (or a quality-length error); it must name
+        # the record index and which of the 4 lines is missing.
+        lines = ["@r1", "ACGT", "+", "IIII"][:have]
+        data = "\n".join(lines) + "\n"
+        with pytest.raises(ValueError, match=f"record 1.*{expected_role}"):
+            read_fastq(io.StringIO(data))
+
+    def test_truncation_in_second_record(self):
+        data = "@r1\nAC\n+\n##\n@r2\nACGT\n"
+        with pytest.raises(ValueError, match=r"truncated FASTQ: record 2"):
+            read_fastq(io.StringIO(data))
+
+    def test_quality_mismatch_names_record(self):
+        data = "@r1\nACGT\n+\nII\n"
+        with pytest.raises(ValueError, match=r"record 1 \('r1'\): quality length 2"):
+            read_fastq(io.StringIO(data))
+
+    def test_blank_lines_between_records_tolerated(self):
+        data = "@r1\nAC\n+\n##\n\n\n@r2\nGG\n+\n!!\n"
+        records = read_fastq(io.StringIO(data))
+        assert [r.name for r in records] == ["r1", "r2"]
+
+
+class TestFastqStreamParser:
+    DATA = "@r1 extra\nACGT\n+\nIIII\n@r2\nGG\n+junk\n##\n\n@r3\nTTTT\n+\n!!!!\n"
+
+    def expected(self):
+        return read_fastq(io.StringIO(self.DATA))
+
+    def test_single_feed(self):
+        parser = FastqStreamParser()
+        records = parser.feed(self.DATA)
+        records += parser.close()
+        assert records == self.expected()
+        assert parser.records_parsed == 3
+
+    def test_char_by_char_matches_iter_fastq(self):
+        parser = FastqStreamParser()
+        records = []
+        for char in self.DATA:
+            records.extend(parser.feed(char))
+        records.extend(parser.close())
+        assert records == self.expected()
+
+    @pytest.mark.parametrize("size", [2, 3, 5, 7, 11])
+    def test_arbitrary_chunk_sizes(self, size):
+        parser = FastqStreamParser()
+        records = []
+        for i in range(0, len(self.DATA), size):
+            records.extend(parser.feed(self.DATA[i : i + size]))
+        records.extend(parser.close())
+        assert records == self.expected()
+
+    def test_unterminated_final_line_flushed_on_close(self):
+        parser = FastqStreamParser()
+        assert parser.feed("@r1\nAC\n+\n##") == []
+        assert parser.close() == [FastqRecord("r1", "AC", "##")]
+
+    def test_close_on_partial_record_raises_truncation(self):
+        parser = FastqStreamParser()
+        parser.feed("@r1\nAC\n+\n##\n@r2\nACGT\n")
+        with pytest.raises(ValueError, match=r"truncated FASTQ: record 2"):
+            parser.close()
+
+    def test_feed_after_close_rejected(self):
+        parser = FastqStreamParser()
+        parser.close()
+        with pytest.raises(ValueError, match="closed"):
+            parser.feed("@r\nA\n+\n#\n")
+
+    def test_close_idempotent(self):
+        parser = FastqStreamParser()
+        parser.feed("@r1\nAC\n+\n##\n")
+        parser.close()
+        assert parser.close() == []
+
+    def test_nameless_header_raises_with_index(self):
+        parser = FastqStreamParser()
+        parser.feed("@ok\nAC\n+\n##\n")
+        with pytest.raises(ValueError, match=r"record 2.*no read name"):
+            parser.feed("@\nACGT\n+\nIIII\n")

@@ -1,0 +1,529 @@
+"""Tests for the streaming job fabric (JobManager + /v1/jobs endpoints).
+
+The acceptance-critical property — a map job fed over HTTP in arbitrary
+chunks, with the client disconnecting mid-job and resuming from its last
+byte offset, yields SAM byte-identical to the in-process pipeline — is
+exercised end to end through the in-memory connection here and over real
+TCP through a 2-replica cluster in ``benchmarks/bench_wgs.py``.
+"""
+
+import asyncio
+import io
+import json
+
+import pytest
+
+from repro.mapping.pipeline import make_genasm_mapper
+from repro.mapping.sam import write_sam
+from repro.sequences.genome import synthesize_genome
+from repro.sequences.io import FastqRecord, write_fastq
+from repro.sequences.read_simulator import illumina_profile, simulate_reads
+from repro.serving import (
+    AlignmentHTTPServer,
+    AlignmentServer,
+    JobError,
+    JobManager,
+    JobRejectedError,
+)
+from repro.serving.jobs import JobOutput
+from repro.usecases.overlap import find_overlaps
+from repro.usecases.text_search import search_text
+from repro.usecases.whole_genome import align_genomes
+
+from tests.serving.test_http import HttpClient, run
+
+
+GENOME = synthesize_genome(20_000, seed=50)
+READS = simulate_reads(
+    GENOME, count=16, read_length=100, profile=illumina_profile(0.05), seed=51
+)
+
+
+def reads_fastq() -> str:
+    out = io.StringIO()
+    write_fastq(
+        [FastqRecord(r.name, r.sequence, "I" * len(r.sequence)) for r in READS],
+        out,
+    )
+    return out.getvalue()
+
+
+def expected_sam() -> str:
+    mapper = make_genasm_mapper(GENOME, engine="pure")
+    results = mapper.map_reads([(r.name, r.sequence) for r in READS])
+    out = io.StringIO()
+    write_sam(
+        [r.record for r in results],
+        out,
+        reference_sequences=[(GENOME.name, len(GENOME))],
+    )
+    return out.getvalue()
+
+
+def make_server(**kwargs):
+    kwargs.setdefault("engine", "pure")
+    kwargs.setdefault("batch_size", 8)
+    kwargs.setdefault("flush_interval", 0.002)
+    kwargs.setdefault("mapper", make_genasm_mapper(GENOME, engine="pure"))
+    return AlignmentServer(**kwargs)
+
+
+class TestJobOutput:
+    def test_offset_reads(self):
+        output = JobOutput(spool_bytes=8)
+        output.append("hello ")
+        output.append("world")  # rolls past the spool threshold
+        assert output.size == 11
+        assert output.read(0, 5) == "hello"
+        assert output.read(6, 100) == "world"
+        assert output.read(11, 10) == ""
+        assert output.read(999, 10) == ""
+        output.close()
+
+    def test_bad_offsets_rejected(self):
+        output = JobOutput()
+        with pytest.raises(JobError):
+            output.read(-1, 10)
+        with pytest.raises(JobError):
+            output.read(0, 0)
+        output.close()
+
+
+class TestMapJobs:
+    def test_chunked_map_job_matches_in_process(self):
+        async def main():
+            async with make_server() as server:
+                manager = JobManager(server, window=4)
+                job = manager.create("map")
+                data = reads_fastq()
+                third = len(data) // 3
+                for i, chunk in enumerate(
+                    (data[:third], data[third : 2 * third], data[2 * third :])
+                ):
+                    await manager.append_input(
+                        job.job_id, chunk, final=(i == 2)
+                    )
+                await job.task
+                assert job.state == "done"
+                assert job.reads_in == job.reads_done == len(READS)
+                return job.output.read(0, 10**6)
+
+        assert run(main()) == expected_sam()
+
+    def test_window_one_still_ordered(self):
+        async def main():
+            async with make_server() as server:
+                manager = JobManager(server, window=1)
+                job = manager.create("map")
+                await manager.append_input(job.job_id, reads_fastq(), final=True)
+                await job.task
+                return job.output.read(0, 10**6)
+
+        assert run(main()) == expected_sam()
+
+    def test_malformed_fastq_fails_job_with_record_index(self):
+        async def main():
+            async with make_server() as server:
+                manager = JobManager(server)
+                job = manager.create("map")
+                with pytest.raises(ValueError, match="record 1"):
+                    await manager.append_input(
+                        job.job_id, "@\nACGT\n+\nIIII\n", final=True
+                    )
+                try:
+                    await job.task
+                except asyncio.CancelledError:
+                    pass
+                return job
+
+        job = run(main())
+        assert job.state == "failed"
+        assert "no read name" in job.error
+
+    def test_input_after_final_rejected(self):
+        async def main():
+            async with make_server() as server:
+                manager = JobManager(server)
+                job = manager.create("map")
+                await manager.append_input(job.job_id, reads_fastq(), final=True)
+                with pytest.raises(JobError, match="closed"):
+                    await manager.append_input(job.job_id, "@r\nA\n+\nI\n")
+                await job.task
+
+        run(main())
+
+    def test_cancel_mid_stream(self):
+        async def main():
+            async with make_server() as server:
+                manager = JobManager(server)
+                job = manager.create("map")
+                await manager.append_input(job.job_id, reads_fastq())
+                job = await manager.cancel(job.job_id)
+                return job
+
+        job = run(main())
+        assert job.state == "cancelled"
+        assert job.finished
+
+    def test_map_requires_mapper(self):
+        async def main():
+            async with make_server(mapper=None) as server:
+                manager = JobManager(server)
+                with pytest.raises(JobError, match="mapper"):
+                    manager.create("map")
+
+        run(main())
+
+
+class TestBatchJobs:
+    def test_whole_genome_matches_align_genomes(self, rng):
+        from repro.sequences.mutate import MutationProfile, mutate
+
+        reference = synthesize_genome(2_000, seed=52).sequence
+        query = mutate(reference, MutationProfile(0.05), rng=rng).sequence
+        direct = align_genomes(reference, query)
+
+        async def main():
+            async with make_server() as server:
+                manager = JobManager(server)
+                job = manager.create(
+                    "whole_genome", {"reference": reference, "query": query}
+                )
+                await job.task
+                return job
+
+        job = run(main())
+        assert job.state == "done"
+        assert job.result["edit_distance"] == direct.edit_distance
+        assert job.result["identity"] == direct.identity
+        assert job.output.read(0, 10**6) == direct.cigar.to_sam() + "\n"
+
+    def test_overlap_matches_find_overlaps(self):
+        base = synthesize_genome(3_000, seed=53).sequence
+        reads = [base[i * 400 : i * 400 + 700] for i in range(6)]
+        direct = find_overlaps(reads, min_overlap=100)
+
+        async def main():
+            async with make_server() as server:
+                manager = JobManager(server)
+                job = manager.create(
+                    "overlap", {"reads": reads, "min_overlap": 100}
+                )
+                await job.task
+                return job
+
+        job = run(main())
+        assert job.state == "done"
+        assert job.result["overlaps"] == len(direct)
+        got = [
+            json.loads(line)
+            for line in job.output.read(0, 10**6).splitlines()
+        ]
+        assert [(o["a_index"], o["b_index"], o["a_start"]) for o in got] == [
+            (o.a_index, o.b_index, o.a_start) for o in direct
+        ]
+
+    def test_text_search_matches_search_text(self):
+        text = synthesize_genome(5_000, seed=54).sequence
+        pattern = text[1_200:1_230]
+        direct = search_text(text, pattern, 2, with_traceback=True)
+
+        async def main():
+            async with make_server() as server:
+                manager = JobManager(server)
+                job = manager.create(
+                    "text_search",
+                    {
+                        "text": text,
+                        "pattern": pattern,
+                        "max_errors": 2,
+                        "with_traceback": True,
+                    },
+                )
+                await job.task
+                return job
+
+        job = run(main())
+        assert job.state == "done"
+        got = [
+            json.loads(line)
+            for line in job.output.read(0, 10**6).splitlines()
+        ]
+        assert [(m["start"], m["distance"]) for m in got] == [
+            (m.start, m.distance) for m in direct
+        ]
+        assert [m["cigar"] for m in got] == [m.cigar.to_sam() for m in direct]
+
+    def test_invalid_payloads_fail(self):
+        async def main():
+            async with make_server() as server:
+                manager = JobManager(server)
+                wg = manager.create("whole_genome", {"reference": "", "query": "A"})
+                ov = manager.create("overlap", {"reads": "notalist"})
+                ts = manager.create(
+                    "text_search", {"text": "ACGT", "pattern": ""}
+                )
+                for job in (wg, ov, ts):
+                    await asyncio.gather(job.task, return_exceptions=True)
+                return wg, ov, ts
+
+        for job in run(main()):
+            assert job.state == "failed"
+            assert job.error
+
+
+class TestManagerLimits:
+    def test_capacity_rejection(self):
+        async def main():
+            async with make_server() as server:
+                manager = JobManager(server, max_active=1)
+                first = manager.create("map")
+                with pytest.raises(JobRejectedError):
+                    manager.create("map")
+                await manager.cancel(first.job_id)
+
+        run(main())
+
+    def test_unknown_kind_rejected(self):
+        async def main():
+            async with make_server() as server:
+                manager = JobManager(server)
+                with pytest.raises(JobError, match="unknown job kind"):
+                    manager.create("frobnicate")
+
+        run(main())
+
+    def test_finished_eviction(self):
+        async def main():
+            async with make_server() as server:
+                manager = JobManager(server, max_finished=2)
+                jobs = []
+                for _ in range(4):
+                    job = manager.create(
+                        "text_search",
+                        {"text": "ACGTACGT", "pattern": "ACGT"},
+                    )
+                    await job.task
+                    jobs.append(job)
+                return manager, jobs
+
+        manager, jobs = run(main())
+        assert len(manager.jobs) == 2
+        assert jobs[0].job_id not in manager.jobs
+        assert jobs[-1].job_id in manager.jobs
+
+    def test_stats_and_metrics(self):
+        async def main():
+            async with make_server() as server:
+                manager = JobManager(server)
+                job = manager.create("map")
+                await manager.append_input(job.job_id, reads_fastq(), final=True)
+                await job.task
+                return manager
+
+        manager = run(main())
+        stats = manager.stats_payload()
+        assert stats["created_total"] == {"map": 1}
+        assert stats["finished_total"] == {"done": 1}
+        assert stats["reads_total"] == len(READS)
+        names = [family.name for family in manager.collect_metrics()]
+        assert "genasm_jobs" in names
+        assert "genasm_job_reads_total" in names
+
+
+class TestHttpJobs:
+    def test_map_job_survives_reconnect_and_matches(self):
+        """The acceptance path: chunked ingest, mid-job disconnect, offset
+        resume, byte-identical SAM."""
+
+        async def main():
+            server = make_server()
+            front = AlignmentHTTPServer(server)
+            async with front:
+                data = reads_fastq()
+                third = len(data) // 3
+
+                client = await HttpClient.connect(front)
+                status, body, _ = await client.request(
+                    "POST", "/v1/jobs/map", {"fastq": data[:third]}
+                )
+                assert status == 200
+                job_id = body["job_id"]
+                assert body["state"] in ("pending", "running")
+
+                # Read whatever output exists, then drop the connection
+                # mid-job — the fabric must not care.
+                status, first, _ = await client.request(
+                    "GET", f"/v1/jobs/{job_id}/output?offset=0&limit=64"
+                )
+                assert status == 200
+                client.close()
+
+                client = await HttpClient.connect(front)
+                status, _, _ = await client.request(
+                    "POST",
+                    f"/v1/jobs/{job_id}/input",
+                    {"fastq": data[third : 2 * third]},
+                )
+                assert status == 200
+                status, body, _ = await client.request(
+                    "POST",
+                    f"/v1/jobs/{job_id}/input",
+                    {"fastq": data[2 * third :], "final": True},
+                )
+                assert status == 200
+                assert body["input_closed"] is True
+
+                # Poll status until done, then pull output by offsets.
+                while True:
+                    status, body, _ = await client.request(
+                        "GET", f"/v1/jobs/{job_id}"
+                    )
+                    assert status == 200
+                    if body["state"] == "done":
+                        break
+                    await asyncio.sleep(0.01)
+                assert body["reads_done"] == len(READS)
+
+                collected = first["data"]
+                offset = len(collected.encode("ascii"))
+                while True:
+                    status, chunk, _ = await client.request(
+                        "GET",
+                        f"/v1/jobs/{job_id}/output?offset={offset}&limit=256",
+                    )
+                    assert status == 200
+                    collected += chunk["data"]
+                    offset = chunk["next_offset"]
+                    if chunk["eof"]:
+                        break
+                client.close()
+                return collected
+
+        assert run(main()) == expected_sam()
+
+    def test_error_paths(self):
+        async def main():
+            server = make_server()
+            front = AlignmentHTTPServer(server)
+            async with front:
+                client = await HttpClient.connect(front)
+                unknown_kind = await client.request(
+                    "POST", "/v1/jobs/frobnicate", {}
+                )
+                unknown_job = await client.request(
+                    "GET", "/v1/jobs/deadbeef"
+                )
+                unknown_output = await client.request(
+                    "GET", "/v1/jobs/deadbeef/output"
+                )
+                bare_prefix = await client.request("GET", "/v1/jobs")
+                wrong_method = await client.request("GET", "/v1/jobs/map")
+                bad_offset = None
+                status, body, _ = await client.request(
+                    "POST",
+                    "/v1/jobs/text_search",
+                    {"text": "ACGTACGT", "pattern": "ACGT"},
+                )
+                assert status == 200
+                bad_offset = await client.request(
+                    "GET", f"/v1/jobs/{body['job_id']}/output?offset=-1"
+                )
+                client.close()
+                return (
+                    unknown_kind,
+                    unknown_job,
+                    unknown_output,
+                    bare_prefix,
+                    wrong_method,
+                    bad_offset,
+                )
+
+        results = run(main())
+        unknown_kind, unknown_job, unknown_output = results[:3]
+        bare_prefix, wrong_method, bad_offset = results[3:]
+        assert unknown_kind[0] == 400
+        assert unknown_job[0] == 404
+        assert unknown_output[0] == 404
+        assert bare_prefix[0] == 404
+        assert wrong_method[0] == 405
+        assert bad_offset[0] == 400
+
+    def test_cancel_and_stats_over_http(self):
+        async def main():
+            server = make_server()
+            front = AlignmentHTTPServer(server)
+            async with front:
+                client = await HttpClient.connect(front)
+                status, body, _ = await client.request(
+                    "POST", "/v1/jobs/map", {}
+                )
+                assert status == 200
+                job_id = body["job_id"]
+                status, body, _ = await client.request(
+                    "POST", f"/v1/jobs/{job_id}/cancel"
+                )
+                assert status == 200
+                assert body["state"] == "cancelled"
+                status, stats, _ = await client.request("GET", "/v1/stats")
+                assert status == 200
+                client.close()
+                return stats
+
+        stats = run(main())
+        assert stats["jobs"]["created_total"] == {"map": 1}
+        assert stats["jobs"]["finished_total"] == {"cancelled": 1}
+
+    def test_jobs_disabled_is_501(self):
+        async def main():
+            server = make_server()
+            front = AlignmentHTTPServer(server, jobs=False)
+            async with front:
+                client = await HttpClient.connect(front)
+                status, body, _ = await client.request(
+                    "POST", "/v1/jobs/map", {}
+                )
+                client.close()
+                return status, body
+
+        status, body = run(main())
+        assert status == 501
+
+    def test_whole_genome_through_cluster(self, rng):
+        from repro.sequences.mutate import MutationProfile, mutate
+        from repro.serving import AlignmentCluster
+
+        reference = synthesize_genome(1_500, seed=55).sequence
+        query = mutate(reference, MutationProfile(0.04), rng=rng).sequence
+        direct = align_genomes(reference, query)
+
+        async def main():
+            cluster = AlignmentCluster(
+                replicas=2,
+                engine="pure",
+                batch_size=8,
+                flush_interval=0.002,
+            )
+            front = AlignmentHTTPServer(cluster)
+            async with front:
+                client = await HttpClient.connect(front)
+                status, body, _ = await client.request(
+                    "POST",
+                    "/v1/jobs/whole_genome",
+                    {"reference": reference, "query": query},
+                )
+                assert status == 200
+                job_id = body["job_id"]
+                while True:
+                    status, body, _ = await client.request(
+                        "GET", f"/v1/jobs/{job_id}"
+                    )
+                    if body["state"] in ("done", "failed"):
+                        break
+                    await asyncio.sleep(0.01)
+                client.close()
+                return body
+
+        body = run(main())
+        assert body["state"] == "done"
+        assert body["result"]["edit_distance"] == direct.edit_distance

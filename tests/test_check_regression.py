@@ -170,7 +170,7 @@ class TestFindMetricRegressions:
 
 
 class TestGateSpecs:
-    def test_all_six_families_registered(self):
+    def test_all_seven_families_registered(self):
         assert set(GATE_SPECS) == {
             "batch_engine",
             "serving",
@@ -178,6 +178,7 @@ class TestGateSpecs:
             "cluster",
             "elastic",
             "qos",
+            "wgs",
         }
 
     def test_every_committed_baseline_passes_its_gate(self):

@@ -41,8 +41,7 @@ class TestUseCase1ReadAlignment:
         write_sam(
             [r.record for r in results],
             out,
-            reference_name=genome.name,
-            reference_length=len(genome),
+            reference_sequences=mapper.reference_sequences(),
         )
         assert out.getvalue().count("\n") == 25 + 3
 

@@ -2,9 +2,10 @@
 
 import pytest
 
+from repro.core.aligner import GenAsmAligner
 from repro.sequences.genome import synthesize_genome
 from repro.sequences.mutate import MutationProfile, mutate
-from repro.usecases.whole_genome import align_genomes
+from repro.usecases.whole_genome import align_genomes, complete_alignment
 
 
 class TestWholeGenomeAlignment:
@@ -45,3 +46,45 @@ class TestWholeGenomeAlignment:
         genome = synthesize_genome(100, seed=224)
         with pytest.raises(ValueError):
             align_genomes(genome, "")
+
+    def test_trailing_query_charged_as_insertions(self):
+        # A query longer than the reference used to have its unconsumed
+        # tail silently dropped, deflating edit_distance; the tail must
+        # be charged as insertions, symmetric with trailing reference
+        # charged as deletions.
+        reference = synthesize_genome(500, seed=225).sequence
+        query = reference + "ACGT" * 25
+        result = align_genomes(reference, query)
+        assert result.query_span == len(query)
+        assert result.reference_span == len(reference)
+        assert result.insertions >= 100
+        assert result.edit_distance >= 100
+        assert result.cigar.is_valid_for(reference, query)
+
+    def test_trailing_reference_charged_as_deletions(self):
+        query = synthesize_genome(500, seed=226).sequence
+        reference = query + "TTTT" * 25
+        result = align_genomes(reference, query)
+        assert result.reference_span == len(reference)
+        assert result.query_span == len(query)
+        assert result.deletions >= 100
+        assert result.cigar.is_valid_for(reference, query)
+
+
+class TestCompleteAlignment:
+    def test_charges_both_tails(self):
+        aligner = GenAsmAligner()
+        alignment = aligner.align("ACGTACGT", "ACGTACGT")
+        summary = complete_alignment(alignment, 8 + 3, 8 + 2)
+        assert summary.deletions == 3
+        assert summary.insertions == 2
+        assert summary.edit_distance == alignment.edit_distance + 5
+        assert summary.reference_span == 11
+        assert summary.query_span == 10
+
+    def test_no_tails_is_identity(self):
+        aligner = GenAsmAligner()
+        alignment = aligner.align("ACGTACGT", "ACGTACGT")
+        summary = complete_alignment(alignment, 8, 8)
+        assert summary.cigar.ops == alignment.cigar.ops
+        assert summary.edit_distance == alignment.edit_distance
