@@ -138,6 +138,11 @@ GATE_SPECS: dict[str, GateSpec] = {
                 # The batched backend's reason to exist: a real at-scale
                 # speedup over the pure backend survives re-measurement.
                 Invariant("summary.max_speedup_at_batch_ge_64", ">=", 2.0),
+                # The native engine's reason to exist: full windowed
+                # alignment keeps pace with the edit-distance scan at
+                # batch >= 64 (the committed baseline is measured with
+                # the extension built; a null ratio fails the gate).
+                Invariant("summary.native_align_ratio", ">=", 0.8),
             ),
         ),
         GateSpec(

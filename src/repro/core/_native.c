@@ -1,0 +1,765 @@
+/* Native GenASM kernels: the Bitap scan and the GenASM DC+TB inner loops.
+ *
+ * This module is the compiled half of the plain-int kernel ABI described in
+ * repro/core/kernels.py.  The Python side owns every policy decision —
+ * alphabet validation, representation selection, error types, fallbacks —
+ * and hands this module nothing but byte strings of symbol codes, packed
+ * little-endian uint64 mask tables, and integer parameters.  Each function
+ * is a line-for-line port of the corresponding pure-Python kernel
+ * (bitap_scan, _dc_fixed_k / run_dc_window's budget loop, and
+ * traceback_window's opcode dispatch), so results are bit-identical by
+ * construction and pinned by the conformance + Hypothesis parity suites.
+ *
+ * Layout conventions shared with kernels.py:
+ *   - symbol codes: one byte per character; codes < n_symbols are alphabet
+ *     symbols in alphabet order, code n_symbols is the shared
+ *     wildcard / out-of-alphabet fallback (all-ones mask, "matches nothing");
+ *   - packed masks: rows of `words` uint64 each, word 0 least significant;
+ *   - DC history: (n + 1) rows of (k + 1) uint64; row i is R after text
+ *     iteration i, row n is the initial all-ones state (the SENE layout of
+ *     SeneWindowBitvectors.r, single-word only: m <= 64);
+ *   - traceback programs: one byte per opcode, matching genasm_tb's
+ *     _MATCH .. _DELETION_EXTEND constants (0..5).
+ *
+ * The GIL is released around every O(n * k) scan loop and around the whole
+ * per-pair align loop, so thread-pooled servers overlap native kernels.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+#include <limits.h>
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define WORD_BITS 64
+#define MAX_SYMBOLS 255 /* codes are bytes; one value is the fallback */
+
+/* Opcodes, numerically identical to repro.core.genasm_tb. */
+enum {
+    OP_MATCH = 0,
+    OP_SUBSTITUTION = 1,
+    OP_INSERTION_OPEN = 2,
+    OP_DELETION_OPEN = 3,
+    OP_INSERTION_EXTEND = 4,
+    OP_DELETION_EXTEND = 5,
+};
+
+static inline uint64_t
+ones_mask(int m)
+{
+    return (m >= WORD_BITS) ? ~(uint64_t)0 : (((uint64_t)1 << m) - 1);
+}
+
+/* ------------------------------------------------------------------ */
+/* Multiword Bitap scan (bitap_scan parity, any pattern length)        */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    Py_ssize_t start;
+    int distance;
+} ScanMatch;
+
+/* Core loop; returns match count, or -1 when a text code is out of range
+ * (bad_index then holds the offending position). Runs without the GIL. */
+static Py_ssize_t
+scan_core(const uint8_t *text, Py_ssize_t n, const uint64_t *mask_rows,
+          Py_ssize_t n_rows, Py_ssize_t words, int m, Py_ssize_t k,
+          int first_match_only, uint64_t *r, uint64_t *old_r,
+          ScanMatch *out, Py_ssize_t *bad_index)
+{
+    const uint64_t top_mask =
+        (m % WORD_BITS == 0) ? ~(uint64_t)0
+                             : (((uint64_t)1 << (m % WORD_BITS)) - 1);
+    const Py_ssize_t top = words - 1;
+    const uint64_t msb_bit = (uint64_t)1 << ((m - 1) % WORD_BITS);
+    Py_ssize_t found = 0;
+
+    for (Py_ssize_t d = 0; d <= k; d++)
+        for (Py_ssize_t w = 0; w < words; w++)
+            r[d * words + w] = (w == top) ? top_mask : ~(uint64_t)0;
+
+    for (Py_ssize_t i = n - 1; i >= 0; i--) {
+        if (text[i] >= n_rows) {
+            *bad_index = i;
+            return -1;
+        }
+        const uint64_t *pm = mask_rows + (Py_ssize_t)text[i] * words;
+        uint64_t *swap = old_r;
+        old_r = r;
+        r = swap;
+
+        /* r[0] = ((old_r[0] << 1) | pm) & all_ones */
+        {
+            const uint64_t *o = old_r;
+            uint64_t *c = r;
+            uint64_t carry = 0;
+            for (Py_ssize_t w = 0; w < words; w++) {
+                uint64_t v = (o[w] << 1) | carry;
+                carry = o[w] >> (WORD_BITS - 1);
+                c[w] = v | pm[w];
+            }
+            c[top] &= top_mask;
+        }
+        for (Py_ssize_t d = 1; d <= k; d++) {
+            const uint64_t *od1 = old_r + (d - 1) * words;
+            const uint64_t *od = old_r + d * words;
+            const uint64_t *cd1 = r + (d - 1) * words;
+            uint64_t *c = r + d * words;
+            uint64_t carry_s = 0, carry_i = 0, carry_m = 0;
+            for (Py_ssize_t w = 0; w < words; w++) {
+                uint64_t deletion = od1[w];
+                uint64_t substitution = (od1[w] << 1) | carry_s;
+                carry_s = od1[w] >> (WORD_BITS - 1);
+                uint64_t insertion = (cd1[w] << 1) | carry_i;
+                carry_i = cd1[w] >> (WORD_BITS - 1);
+                uint64_t match = ((od[w] << 1) | carry_m) | pm[w];
+                carry_m = od[w] >> (WORD_BITS - 1);
+                c[w] = deletion & substitution & insertion & match;
+            }
+            c[top] &= top_mask;
+        }
+        for (Py_ssize_t d = 0; d <= k; d++) {
+            if (!(r[d * words + top] & msb_bit)) {
+                out[found].start = i;
+                out[found].distance = (int)d;
+                found++;
+                break;
+            }
+        }
+        if (found && first_match_only)
+            break;
+    }
+    return found;
+}
+
+static PyObject *
+py_scan(PyObject *self, PyObject *args)
+{
+    Py_buffer text, masks;
+    Py_ssize_t n_rows, words, m, k;
+    int first_match_only;
+
+    if (!PyArg_ParseTuple(args, "y*y*nnnnp", &text, &masks, &n_rows, &words,
+                          &m, &k, &first_match_only))
+        return NULL;
+
+    PyObject *result = NULL;
+    uint64_t *rbuf = NULL;
+    ScanMatch *matches = NULL;
+
+    if (m < 1 || m > (Py_ssize_t)INT_MAX) {
+        PyErr_SetString(PyExc_ValueError, "pattern length out of range");
+        goto done;
+    }
+    if (k < 0) {
+        PyErr_SetString(PyExc_ValueError, "k must be non-negative");
+        goto done;
+    }
+    if (words != (m + WORD_BITS - 1) / WORD_BITS) {
+        PyErr_SetString(PyExc_ValueError, "word count does not match m");
+        goto done;
+    }
+    if (n_rows < 1 || masks.len != n_rows * words * 8) {
+        PyErr_SetString(PyExc_ValueError, "mask table size mismatch");
+        goto done;
+    }
+
+    const Py_ssize_t n = text.len;
+    rbuf = (uint64_t *)malloc((size_t)(2 * (k + 1) * words) * sizeof(uint64_t));
+    matches = (ScanMatch *)malloc((size_t)(n > 0 ? n : 1) * sizeof(ScanMatch));
+    if (rbuf == NULL || matches == NULL) {
+        PyErr_NoMemory();
+        goto done;
+    }
+
+    Py_ssize_t found, bad_index = -1;
+    Py_BEGIN_ALLOW_THREADS
+    found = scan_core((const uint8_t *)text.buf, n,
+                      (const uint64_t *)masks.buf, n_rows, words, (int)m, k,
+                      first_match_only, rbuf, rbuf + (k + 1) * words, matches,
+                      &bad_index);
+    Py_END_ALLOW_THREADS
+
+    if (found < 0) {
+        PyErr_Format(PyExc_ValueError,
+                     "text code at position %zd out of mask-table range",
+                     bad_index);
+        goto done;
+    }
+    result = PyList_New(found);
+    if (result == NULL)
+        goto done;
+    for (Py_ssize_t idx = 0; idx < found; idx++) {
+        PyObject *pair = Py_BuildValue("(ni)", matches[idx].start,
+                                       matches[idx].distance);
+        if (pair == NULL) {
+            Py_CLEAR(result);
+            goto done;
+        }
+        PyList_SET_ITEM(result, idx, pair);
+    }
+
+done:
+    free(rbuf);
+    free(matches);
+    PyBuffer_Release(&text);
+    PyBuffer_Release(&masks);
+    return result;
+}
+
+/* ------------------------------------------------------------------ */
+/* Single-word GenASM-DC with SENE history (_dc_fixed_k parity)        */
+/* ------------------------------------------------------------------ */
+
+/* Per-symbol single-word masks from pattern codes (pattern_bitmasks
+ * parity: codes >= n_symbols are wildcard/unknown and leave all rows 1s;
+ * the fallback row n_symbols stays all-ones). */
+static void
+build_masks(const uint8_t *pattern, Py_ssize_t m, Py_ssize_t n_symbols,
+            uint64_t *masks)
+{
+    const uint64_t ones = ones_mask((int)m);
+    for (Py_ssize_t s = 0; s <= n_symbols; s++)
+        masks[s] = ones;
+    for (Py_ssize_t j = 0; j < m; j++) {
+        const uint8_t code = pattern[j];
+        if (code < n_symbols)
+            masks[code] &= ~((uint64_t)1 << (m - 1 - j));
+    }
+}
+
+/* One fixed-budget DC pass writing the full R history; returns 1 and the
+ * window edit distance on a hit, 0 on a miss. history must hold
+ * (n + 1) * (k + 1) words. */
+static int
+dc_fixed_k(const uint8_t *text, Py_ssize_t n, const uint64_t *masks,
+           Py_ssize_t m, Py_ssize_t k, uint64_t *history, int *edit_distance)
+{
+    const uint64_t ones = ones_mask((int)m);
+    const uint64_t msb = (uint64_t)1 << (m - 1);
+    const Py_ssize_t kk = k + 1;
+
+    uint64_t *initial = history + n * kk;
+    for (Py_ssize_t d = 0; d <= k; d++)
+        initial[d] = ones;
+    for (Py_ssize_t i = n - 1; i >= 0; i--) {
+        const uint64_t pm = masks[text[i]];
+        const uint64_t *old = history + (i + 1) * kk;
+        uint64_t *cur = history + i * kk;
+        cur[0] = ((old[0] << 1) | pm) & ones;
+        for (Py_ssize_t d = 1; d <= k; d++) {
+            const uint64_t deletion = old[d - 1];
+            const uint64_t substitution = (old[d - 1] << 1) & ones;
+            const uint64_t insertion = (cur[d - 1] << 1) & ones;
+            const uint64_t match = ((old[d] << 1) | pm) & ones;
+            cur[d] = deletion & substitution & insertion & match;
+        }
+    }
+    for (Py_ssize_t d = 0; d <= k; d++) {
+        if (!(history[d] & msb)) {
+            *edit_distance = (int)d;
+            return 1;
+        }
+    }
+    return 0;
+}
+
+/* run_dc_window's doubling-budget loop over dc_fixed_k. Writes into a
+ * caller buffer sized for k = m; returns the budget that hit (the window's
+ * k), or -1 when unalignable even at k = m. */
+static Py_ssize_t
+dc_window_core(const uint8_t *text, Py_ssize_t n, const uint64_t *masks,
+               Py_ssize_t m, Py_ssize_t initial_budget, uint64_t *history,
+               int *edit_distance)
+{
+    Py_ssize_t budget = initial_budget;
+    if (budget < 1)
+        budget = 1;
+    if (budget > m)
+        budget = m;
+    for (;;) {
+        if (dc_fixed_k(text, n, masks, m, budget, history, edit_distance))
+            return budget;
+        if (budget >= m)
+            return -1;
+        budget *= 2;
+        if (budget > m)
+            budget = m;
+    }
+}
+
+static PyObject *
+py_dc_window(PyObject *self, PyObject *args)
+{
+    Py_buffer text, pattern;
+    Py_ssize_t n_symbols, initial_budget;
+
+    if (!PyArg_ParseTuple(args, "y*y*nn", &text, &pattern, &n_symbols,
+                          &initial_budget))
+        return NULL;
+
+    PyObject *result = NULL;
+    uint64_t *history = NULL;
+    const Py_ssize_t n = text.len;
+    const Py_ssize_t m = pattern.len;
+
+    if (m < 1 || m > WORD_BITS) {
+        PyErr_SetString(PyExc_ValueError,
+                        "pattern length must be in [1, 64] for the "
+                        "single-word DC kernel");
+        goto done;
+    }
+    if (n < 1) {
+        PyErr_SetString(PyExc_ValueError, "window text must be non-empty");
+        goto done;
+    }
+    if (n_symbols < 1 || n_symbols > MAX_SYMBOLS - 1) {
+        PyErr_SetString(PyExc_ValueError, "n_symbols out of range");
+        goto done;
+    }
+
+    /* Allocate for the worst-case budget (k = m) so the doubling loop
+     * reuses one buffer; the hit's (n + 1) * (k + 1) prefix is what ships
+     * back to Python. */
+    history =
+        (uint64_t *)malloc((size_t)((n + 1) * (m + 1)) * sizeof(uint64_t));
+    if (history == NULL) {
+        PyErr_NoMemory();
+        goto done;
+    }
+
+    uint64_t masks[MAX_SYMBOLS + 1];
+    int edit_distance = 0;
+    Py_ssize_t k_used;
+    Py_BEGIN_ALLOW_THREADS
+    build_masks((const uint8_t *)pattern.buf, m, n_symbols, masks);
+    k_used = dc_window_core((const uint8_t *)text.buf, n, masks, m,
+                            initial_budget, history, &edit_distance);
+    Py_END_ALLOW_THREADS
+
+    if (k_used < 0) {
+        result = Py_None;
+        Py_INCREF(result);
+        goto done;
+    }
+    PyObject *packed = PyBytes_FromStringAndSize(
+        (const char *)history,
+        (Py_ssize_t)((n + 1) * (k_used + 1)) * (Py_ssize_t)sizeof(uint64_t));
+    if (packed == NULL)
+        goto done;
+    result = Py_BuildValue("(inN)", edit_distance, k_used, packed);
+
+done:
+    free(history);
+    PyBuffer_Release(&text);
+    PyBuffer_Release(&pattern);
+    return result;
+}
+
+/* ------------------------------------------------------------------ */
+/* Traceback walk (traceback_window parity, SENE single-word)          */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    Py_ssize_t text_consumed;
+    Py_ssize_t pattern_consumed;
+    Py_ssize_t errors_used;
+    /* dead-end diagnostics (valid when the walk returns -1) */
+    Py_ssize_t dead_text_index;
+    Py_ssize_t dead_pattern_index;
+    Py_ssize_t dead_errors;
+} TbState;
+
+/* The opcode-program walk; appends expanded CIGAR chars to ops and returns
+ * their count, or -1 on a dead end (impossible for well-formed history —
+ * surfaced as TracebackError by the Python side, exactly like the pure
+ * kernel). ops must hold at least 2 * consume_limit chars. */
+static Py_ssize_t
+tb_core(const uint64_t *history, Py_ssize_t kk, const uint8_t *text,
+        Py_ssize_t n, const uint64_t *masks, Py_ssize_t m, int edit_distance,
+        Py_ssize_t consume_limit, const uint8_t *program,
+        Py_ssize_t program_len, char *ops, TbState *state)
+{
+    const uint64_t ones = ones_mask((int)m);
+    Py_ssize_t pattern_index = m - 1;
+    uint64_t pattern_bit = (uint64_t)1 << pattern_index;
+    Py_ssize_t text_index = 0;
+    Py_ssize_t cur_error = edit_distance;
+    Py_ssize_t text_consumed = 0, pattern_consumed = 0, errors_used = 0;
+    char prev = 0;
+    Py_ssize_t out = 0;
+
+    while (text_consumed < consume_limit && pattern_consumed < consume_limit) {
+        if (pattern_index < 0 || text_index >= n)
+            break;
+        const uint64_t *row_after = history + (text_index + 1) * kk;
+        const uint64_t mvec =
+            ((row_after[cur_error] << 1) | masks[text[text_index]]) & ones;
+        uint64_t svec, ivec, dvec;
+        if (cur_error) {
+            dvec = row_after[cur_error - 1];
+            svec = (dvec << 1) & ones;
+            ivec = (history[text_index * kk + cur_error - 1] << 1) & ones;
+        } else {
+            svec = ivec = dvec = ones;
+        }
+        int picked = -1;
+        for (Py_ssize_t p = 0; p < program_len; p++) {
+            const uint8_t opcode = program[p];
+            if (opcode == OP_MATCH) {
+                if (!(mvec & pattern_bit)) {
+                    picked = OP_MATCH;
+                    break;
+                }
+            } else if (cur_error <= 0) {
+                continue; /* error cases need budget remaining */
+            } else if (opcode == OP_SUBSTITUTION) {
+                if (!(svec & pattern_bit)) {
+                    picked = OP_SUBSTITUTION;
+                    break;
+                }
+            } else if (opcode == OP_INSERTION_OPEN) {
+                if (!(ivec & pattern_bit)) {
+                    picked = OP_INSERTION_OPEN;
+                    break;
+                }
+            } else if (opcode == OP_DELETION_OPEN) {
+                if (!(dvec & pattern_bit)) {
+                    picked = OP_DELETION_OPEN;
+                    break;
+                }
+            } else if (opcode == OP_INSERTION_EXTEND) {
+                if (prev == 'I' && !(ivec & pattern_bit)) {
+                    picked = OP_INSERTION_EXTEND;
+                    break;
+                }
+            } else { /* OP_DELETION_EXTEND */
+                if (prev == 'D' && !(dvec & pattern_bit)) {
+                    picked = OP_DELETION_EXTEND;
+                    break;
+                }
+            }
+        }
+        if (picked < 0) {
+            state->dead_text_index = text_index;
+            state->dead_pattern_index = pattern_index;
+            state->dead_errors = cur_error;
+            return -1;
+        }
+        if (picked == OP_MATCH) {
+            ops[out++] = 'M';
+            prev = 'M';
+            text_index++;
+            text_consumed++;
+            pattern_index--;
+            pattern_bit >>= 1;
+            pattern_consumed++;
+        } else if (picked == OP_SUBSTITUTION) {
+            ops[out++] = 'S';
+            prev = 'S';
+            cur_error--;
+            errors_used++;
+            text_index++;
+            text_consumed++;
+            pattern_index--;
+            pattern_bit >>= 1;
+            pattern_consumed++;
+        } else if (picked == OP_INSERTION_OPEN ||
+                   picked == OP_INSERTION_EXTEND) {
+            ops[out++] = 'I';
+            prev = 'I';
+            cur_error--;
+            errors_used++;
+            pattern_index--;
+            pattern_bit >>= 1;
+            pattern_consumed++;
+        } else { /* deletion open / extend */
+            ops[out++] = 'D';
+            prev = 'D';
+            cur_error--;
+            errors_used++;
+            text_index++;
+            text_consumed++;
+        }
+    }
+    state->text_consumed = text_consumed;
+    state->pattern_consumed = pattern_consumed;
+    state->errors_used = errors_used;
+    return out;
+}
+
+static PyObject *
+py_traceback(PyObject *self, PyObject *args)
+{
+    Py_buffer history, text, pattern, program;
+    Py_ssize_t n_symbols, k, edit_distance, consume_limit;
+
+    if (!PyArg_ParseTuple(args, "y*y*y*nnnny*", &history, &text, &pattern,
+                          &n_symbols, &k, &edit_distance, &consume_limit,
+                          &program))
+        return NULL;
+
+    PyObject *result = NULL;
+    char *ops = NULL;
+    const Py_ssize_t n = text.len;
+    const Py_ssize_t m = pattern.len;
+
+    if (m < 1 || m > WORD_BITS) {
+        PyErr_SetString(PyExc_ValueError,
+                        "pattern length must be in [1, 64] for the "
+                        "single-word traceback kernel");
+        goto done;
+    }
+    if (consume_limit <= 0) {
+        PyErr_SetString(PyExc_ValueError, "consume_limit must be positive");
+        goto done;
+    }
+    if (k < 0 || edit_distance < 0 || edit_distance > k) {
+        PyErr_SetString(PyExc_ValueError, "edit distance outside [0, k]");
+        goto done;
+    }
+    if (n_symbols < 1 || n_symbols > MAX_SYMBOLS - 1) {
+        PyErr_SetString(PyExc_ValueError, "n_symbols out of range");
+        goto done;
+    }
+    if (history.len != (n + 1) * (k + 1) * (Py_ssize_t)sizeof(uint64_t)) {
+        PyErr_SetString(PyExc_ValueError, "history size mismatch");
+        goto done;
+    }
+
+    ops = (char *)malloc((size_t)(2 * consume_limit + 1));
+    if (ops == NULL) {
+        PyErr_NoMemory();
+        goto done;
+    }
+
+    uint64_t masks[MAX_SYMBOLS + 1];
+    TbState state;
+    memset(&state, 0, sizeof(state));
+    Py_ssize_t out;
+    Py_BEGIN_ALLOW_THREADS
+    build_masks((const uint8_t *)pattern.buf, m, n_symbols, masks);
+    out = tb_core((const uint64_t *)history.buf, k + 1,
+                  (const uint8_t *)text.buf, n, masks, m, (int)edit_distance,
+                  consume_limit, (const uint8_t *)program.buf, program.len,
+                  ops, &state);
+    Py_END_ALLOW_THREADS
+
+    if (out < 0) {
+        /* Dead end: ship the diagnostics; kernels.py raises TracebackError
+         * with the pure kernel's message. */
+        result = Py_BuildValue("(Onnn)", Py_None, state.dead_text_index,
+                               state.dead_pattern_index, state.dead_errors);
+        goto done;
+    }
+    result = Py_BuildValue("(s#nnn)", ops, out, state.text_consumed,
+                           state.pattern_consumed, state.errors_used);
+
+done:
+    free(ops);
+    PyBuffer_Release(&history);
+    PyBuffer_Release(&text);
+    PyBuffer_Release(&pattern);
+    PyBuffer_Release(&program);
+    return result;
+}
+
+/* ------------------------------------------------------------------ */
+/* Whole-pair windowed align loop (GenAsmAligner.align_batch parity)   */
+/* ------------------------------------------------------------------ */
+
+/* Failure kinds for the align loop; kernels.py maps them onto the same
+ * exception types and messages the pure aligner raises. */
+enum {
+    ALIGN_OK = 0,
+    ALIGN_NO_PROGRESS = 1,
+    ALIGN_PAST_END = 2,
+    ALIGN_DEAD_END = 3,
+    ALIGN_UNALIGNABLE = 4,
+};
+
+static int
+align_core(const uint8_t *text, Py_ssize_t n, const uint8_t *pattern,
+           Py_ssize_t m, Py_ssize_t n_symbols, Py_ssize_t window_size,
+           Py_ssize_t overlap, Py_ssize_t initial_budget,
+           const uint8_t *program, Py_ssize_t program_len, uint64_t *history,
+           uint64_t *masks, char *ops, Py_ssize_t *ops_len,
+           Py_ssize_t *text_consumed_out, Py_ssize_t *fail_a,
+           Py_ssize_t *fail_b, Py_ssize_t *fail_c)
+{
+    const Py_ssize_t consume_limit = window_size - overlap;
+    Py_ssize_t cur_text = 0, cur_pattern = 0, out = 0;
+
+    while (cur_pattern < m) {
+        if (cur_text >= n) {
+            /* Text exhausted: every remaining pattern character is an
+             * insertion relative to the reference. */
+            while (cur_pattern < m) {
+                ops[out++] = 'I';
+                cur_pattern++;
+            }
+            break;
+        }
+        const uint8_t *sub_text = text + cur_text;
+        const Py_ssize_t sn =
+            (n - cur_text < window_size) ? n - cur_text : window_size;
+        const uint8_t *sub_pattern = pattern + cur_pattern;
+        const Py_ssize_t sm =
+            (m - cur_pattern < window_size) ? m - cur_pattern : window_size;
+
+        build_masks(sub_pattern, sm, n_symbols, masks);
+        int edit_distance = 0;
+        const Py_ssize_t k_used = dc_window_core(
+            sub_text, sn, masks, sm, initial_budget, history, &edit_distance);
+        if (k_used < 0) {
+            *fail_a = cur_text;
+            *fail_b = cur_pattern;
+            return ALIGN_UNALIGNABLE;
+        }
+
+        TbState state;
+        memset(&state, 0, sizeof(state));
+        const Py_ssize_t produced =
+            tb_core(history, k_used + 1, sub_text, sn, masks, sm,
+                    edit_distance, consume_limit, program, program_len,
+                    ops + out, &state);
+        if (produced < 0) {
+            /* Window-local coordinates: the pure TracebackError reports
+             * where inside the window the walk died. */
+            *fail_a = state.dead_text_index;
+            *fail_b = state.dead_pattern_index;
+            *fail_c = state.dead_errors;
+            return ALIGN_DEAD_END;
+        }
+        if (state.text_consumed == 0 && state.pattern_consumed == 0) {
+            *fail_a = cur_text;
+            *fail_b = cur_pattern;
+            return ALIGN_NO_PROGRESS;
+        }
+        out += produced;
+        cur_pattern += state.pattern_consumed;
+        cur_text += state.text_consumed;
+        if (cur_text > n) {
+            *fail_a = cur_text;
+            *fail_b = cur_pattern;
+            return ALIGN_PAST_END;
+        }
+    }
+    *ops_len = out;
+    *text_consumed_out = cur_text;
+    return ALIGN_OK;
+}
+
+static PyObject *
+py_align_pair(PyObject *self, PyObject *args)
+{
+    Py_buffer text, pattern, program;
+    Py_ssize_t n_symbols, window_size, overlap, initial_budget;
+
+    if (!PyArg_ParseTuple(args, "y*y*nnnny*", &text, &pattern, &n_symbols,
+                          &window_size, &overlap, &initial_budget, &program))
+        return NULL;
+
+    PyObject *result = NULL;
+    char *ops = NULL;
+    uint64_t *history = NULL;
+    const Py_ssize_t n = text.len;
+    const Py_ssize_t m = pattern.len;
+
+    if (m < 1) {
+        PyErr_SetString(PyExc_ValueError, "pattern must be non-empty");
+        goto done;
+    }
+    if (window_size < 1 || window_size > WORD_BITS) {
+        PyErr_SetString(PyExc_ValueError,
+                        "window_size must be in [1, 64] for the single-word "
+                        "align kernel");
+        goto done;
+    }
+    if (overlap < 0 || overlap >= window_size) {
+        PyErr_SetString(PyExc_ValueError,
+                        "overlap must satisfy 0 <= O < W");
+        goto done;
+    }
+    if (n_symbols < 1 || n_symbols > MAX_SYMBOLS - 1) {
+        PyErr_SetString(PyExc_ValueError, "n_symbols out of range");
+        goto done;
+    }
+
+    /* Every loop round consumes >= 1 of text or pattern, text consumption
+     * is bounded by n (past-end fails), pattern consumption by m. */
+    ops = (char *)malloc((size_t)(n + m + 2 * window_size + 2));
+    history = (uint64_t *)malloc(
+        (size_t)((window_size + 1) * (window_size + 1)) * sizeof(uint64_t));
+    if (ops == NULL || history == NULL) {
+        PyErr_NoMemory();
+        goto done;
+    }
+
+    uint64_t masks[MAX_SYMBOLS + 1];
+    Py_ssize_t ops_len = 0, text_consumed = 0;
+    Py_ssize_t fail_a = 0, fail_b = 0, fail_c = 0;
+    int status;
+    Py_BEGIN_ALLOW_THREADS
+    status = align_core((const uint8_t *)text.buf, n,
+                        (const uint8_t *)pattern.buf, m, n_symbols,
+                        window_size, overlap, initial_budget,
+                        (const uint8_t *)program.buf, program.len, history,
+                        masks, ops, &ops_len, &text_consumed, &fail_a,
+                        &fail_b, &fail_c);
+    Py_END_ALLOW_THREADS
+
+    if (status == ALIGN_OK)
+        result = Py_BuildValue("(s#n)", ops, ops_len, text_consumed);
+    else
+        result = Py_BuildValue("(innn)", status, fail_a, fail_b, fail_c);
+
+done:
+    free(ops);
+    free(history);
+    PyBuffer_Release(&text);
+    PyBuffer_Release(&pattern);
+    PyBuffer_Release(&program);
+    return result;
+}
+
+/* ------------------------------------------------------------------ */
+
+static PyMethodDef native_methods[] = {
+    {"scan", py_scan, METH_VARARGS,
+     "scan(text_codes, mask_rows, n_rows, words, m, k, first_match_only)\n"
+     "-> list[(start, distance)] — multiword Bitap scan (bitap_scan "
+     "parity)."},
+    {"dc_window", py_dc_window, METH_VARARGS,
+     "dc_window(text_codes, pattern_codes, n_symbols, initial_budget)\n"
+     "-> (edit_distance, k, history_bytes) | None — single-word GenASM-DC "
+     "with SENE history and doubling budget (run_dc_window parity)."},
+    {"traceback", py_traceback, METH_VARARGS,
+     "traceback(history, text_codes, pattern_codes, n_symbols, k, "
+     "edit_distance, consume_limit, program)\n"
+     "-> (ops, text_consumed, pattern_consumed, errors_used) on success, "
+     "(None, text_index, pattern_index, errors) on a dead end."},
+    {"align_pair", py_align_pair, METH_VARARGS,
+     "align_pair(text_codes, pattern_codes, n_symbols, window_size, "
+     "overlap, initial_budget, program)\n"
+     "-> (ops, text_consumed) on success, (status, a, b, c) on failure — "
+     "the whole windowed DC+TB loop for one pair."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef native_module = {
+    PyModuleDef_HEAD_INIT,
+    "repro.core._native",
+    "Compiled GenASM kernels (Bitap scan, DC, traceback, windowed align).\n"
+    "Internal ABI — use repro.core.kernels / the \"native\" engine instead.",
+    -1,
+    native_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__native(void)
+{
+    return PyModule_Create(&native_module);
+}

@@ -134,6 +134,15 @@ def traceback_window(
         config = TracebackConfig()
     program = _compile_order(config.order, config.affine)
 
+    # Windows that carry a compiled walk (the native engine's packed-history
+    # windows) run the opcode program in C; a None return means the native
+    # path cannot take this window and the generic loop below applies.
+    native = getattr(window, "native_traceback", None)
+    if native is not None:
+        result = native(consume_limit, program)
+        if result is not None:
+            return result
+
     m = window.pattern_length
     n = window.text_length
     all_ones = (1 << m) - 1

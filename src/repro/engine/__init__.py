@@ -6,6 +6,9 @@ The registry (:mod:`repro.engine.registry`) maps backend names to
 * ``"pure"`` — :class:`PurePythonEngine`, the scalar reference kernels;
 * ``"batched"`` — :class:`BatchedEngine`, NumPy uint64 arrays running the
   Bitap / GenASM-DC recurrence across a whole batch per operation;
+* ``"native"`` — :class:`NativeEngine`, the compiled C kernels (Bitap scan,
+  GenASM-DC, traceback, and the whole per-pair window loop) behind the
+  optional ``repro.core._native`` extension, pure fallback per job;
 * ``"sharded"`` — :class:`ShardedEngine`, the batch interface chunked over a
   ``multiprocessing`` pool of in-process workers (multi-core throughput for
   large batches / long reads).
@@ -19,6 +22,7 @@ touching the call sites.
 """
 
 from repro.engine.batched import BatchedEngine
+from repro.engine.native import NativeEngine
 from repro.engine.packing import PackedWindowBitvectors
 from repro.engine.pure import PurePythonEngine
 from repro.engine.registry import (
@@ -41,6 +45,7 @@ __all__ = [
     "AlignmentEngine",
     "BatchedEngine",
     "EngineInfo",
+    "NativeEngine",
     "PackedWindowBitvectors",
     "PurePythonEngine",
     "ShardedEngine",

@@ -119,6 +119,22 @@ def read_fastq(source: str | Path | TextIO) -> list[FastqRecord]:
 _FASTQ_LINE_ROLES = ("header", "sequence", "'+' separator", "quality")
 
 
+def _strip_eol(line: str) -> str:
+    """Drop one trailing line ending: ``\\n``, ``\\r\\n``, or a bare ``\\r``.
+
+    FASTQ written on Windows ends every line ``\\r\\n``; stripping only the
+    ``\\n`` leaves the ``\\r`` on header, sequence, *and* quality (the
+    length check then passes and carriage returns flow into mapped reads
+    and SAM output). A bare trailing ``\\r`` appears when a CRLF file is
+    cut mid-line-ending (stream flush / EOF truncation).
+    """
+    if line.endswith("\n"):
+        line = line[:-1]
+    if line.endswith("\r"):
+        line = line[:-1]
+    return line
+
+
 def _fastq_record(index: int, lines: list[str]) -> FastqRecord:
     """Validate four lines as FASTQ record number ``index`` (1-based)."""
     header, sequence, plus, quality = lines
@@ -157,22 +173,24 @@ def iter_fastq(handle: TextIO) -> Iterator[FastqRecord]:
     Malformed input raises :class:`ValueError` naming the 1-based record
     index and what was expected — including nameless ``@`` headers and
     records truncated by EOF — rather than leaking an ``IndexError`` or
-    misreporting truncation as a separator mismatch.
+    misreporting truncation as a separator mismatch. Lines may end in
+    ``\\n`` or ``\\r\\n`` (including a mix); blank lines between records
+    are skipped whether they are empty, ``\\n``, or ``\\r\\n``.
     """
     index = 0
     while True:
         header = handle.readline()
         if not header:
             return
-        if not header.rstrip("\n"):
+        if not _strip_eol(header):
             continue
         index += 1
-        lines = [header.rstrip("\n")]
+        lines = [_strip_eol(header)]
         for _ in range(3):
             line = handle.readline()
             if not line:
                 raise _truncation_error(index, len(lines))
-            lines.append(line.rstrip("\n"))
+            lines.append(_strip_eol(line))
         yield _fastq_record(index, lines)
 
 
@@ -209,8 +227,14 @@ class FastqStreamParser:
             raise ValueError("cannot feed a closed FastqStreamParser")
         text = self._tail + chunk
         lines = text.split("\n")
+        # The unterminated remainder waits for the next chunk — including a
+        # lone "\r" when a chunk boundary splits a "\r\n" ending: only the
+        # arrival of the "\n" proves the "\r" was part of the line ending
+        # rather than the last character of the line.
         self._tail = lines.pop()
         for line in lines:
+            if line.endswith("\r"):
+                line = line[:-1]
             # Blank lines are tolerated between records, not inside one.
             if line or len(self._pending) % 4:
                 self._pending.append(line)
@@ -222,7 +246,12 @@ class FastqStreamParser:
             return []
         self._closed = True
         if self._tail:
-            self._pending.append(self._tail)
+            tail = self._tail
+            if tail.endswith("\r"):
+                # Stream ended between the "\r" and "\n" of a CRLF ending.
+                tail = tail[:-1]
+            if tail or len(self._pending) % 4:
+                self._pending.append(tail)
             self._tail = ""
         out = self._drain()
         if self._pending:

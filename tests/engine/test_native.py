@@ -1,0 +1,182 @@
+"""Unit tests for the ``"native"`` engine and its kernel ABI shim.
+
+Parity against the pure reference is owned by the conformance matrix and
+the Hypothesis suite in ``tests/conformance/``; this file covers the
+engine's *mechanics*: registration and availability gating, the per-job
+pure fallback, exception parity on invalid inputs, and the picklability of
+the packed-history windows (the sharded engine ships windows between
+processes).
+"""
+
+import pickle
+
+import pytest
+
+from repro.core import kernels
+from repro.core.aligner import GenAsmAligner
+from repro.core.genasm_dc import WindowUnalignableError, run_dc_window
+from repro.core.genasm_tb import traceback_window
+from repro.engine import (
+    NativeEngine,
+    available_engines,
+    engine_info,
+    get_engine,
+    registered_engines,
+)
+
+BUILT = kernels.native_available()
+needs_build = pytest.mark.skipif(
+    not BUILT, reason="repro.core._native is not built"
+)
+
+
+class TestRegistration:
+    def test_native_is_registered(self):
+        assert "native" in registered_engines()
+
+    def test_availability_tracks_the_extension(self):
+        assert NativeEngine.is_available() == BUILT
+        assert ("native" in available_engines()) == BUILT
+
+    def test_unavailable_reason_names_the_build(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_native", None)
+        monkeypatch.setattr(
+            kernels, "_IMPORT_ERROR", "No module named 'repro.core._native'"
+        )
+        assert not NativeEngine.is_available()
+        reason = NativeEngine.unavailable_reason()
+        assert "not built" in reason
+        assert "build_ext" in reason
+        assert "native" not in available_engines()
+        info = {i.name: i for i in engine_info()}["native"]
+        assert not info.available
+        assert "build_ext" in info.reason
+
+    def test_native_is_opt_in_not_the_default_preference(self):
+        from repro.engine.registry import _DEFAULT_PREFERENCE
+
+        assert "native" not in _DEFAULT_PREFERENCE
+
+    @needs_build
+    def test_selected_by_name(self):
+        assert get_engine("native").name == "native"
+
+
+@needs_build
+class TestErrorParity:
+    """Invalid inputs raise the same types/messages as the pure kernels."""
+
+    def test_scan_rejects_negative_k(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            get_engine("native").scan_batch([("ACGT", "AC")], -1)
+
+    def test_scan_rejects_empty_pattern(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            get_engine("native").scan_batch([("ACGT", "")], 2)
+
+    def test_scan_rejects_foreign_pattern_symbol(self):
+        with pytest.raises(ValueError, match="not in alphabet"):
+            get_engine("native").scan_batch([("ACGT", "AZ")], 2)
+
+    def test_dc_rejects_empty_pattern(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            get_engine("native").run_dc_windows([("ACGT", "")])
+
+    def test_dc_rejects_empty_text(self):
+        with pytest.raises(WindowUnalignableError, match="empty"):
+            get_engine("native").run_dc_windows([("", "ACGT")])
+
+    def test_dc_rejects_unknown_representation(self):
+        with pytest.raises(ValueError, match="unknown window representation"):
+            get_engine("native").run_dc_windows(
+                [("ACGT", "AC")], representation="bogus"
+            )
+
+    def test_align_rejects_unknown_representation(self):
+        with pytest.raises(ValueError, match="unknown window representation"):
+            get_engine("native").align_batch(
+                [("ACGT", "AC")], window_representation="bogus"
+            )
+
+    def test_align_rejects_bad_window_geometry(self):
+        engine = get_engine("native")
+        with pytest.raises(ValueError, match="window_size"):
+            engine.align_batch([("ACGT", "AC")], window_size=0)
+        with pytest.raises(ValueError, match="overlap"):
+            engine.align_batch([("ACGT", "AC")], window_size=8, overlap=8)
+
+
+@needs_build
+class TestFallbacks:
+    def test_edges_representation_falls_back_to_reference_windows(self):
+        from repro.core.genasm_dc import WindowBitvectors
+
+        windows = get_engine("native").run_dc_windows(
+            [("ACGT", "ACGT")], representation="edges"
+        )
+        assert isinstance(windows[0], WindowBitvectors)
+
+    def test_sene_windows_are_native(self):
+        windows = get_engine("native").run_dc_windows([("ACGT", "ACGT")])
+        assert isinstance(windows[0], kernels.NativeWindow)
+
+    def test_oversize_window_pattern_falls_back(self):
+        from repro.core.genasm_dc import SeneWindowBitvectors
+
+        windows = get_engine("native").run_dc_windows([("A" * 80, "A" * 80)])
+        assert isinstance(windows[0], SeneWindowBitvectors)
+
+    def test_empty_pattern_aligns_to_empty_cigar(self):
+        alignment = get_engine("native").align_batch([("ACGT", "")])[0]
+        assert str(alignment.cigar) == ""
+        assert alignment.text_consumed == 0
+
+    def test_empty_text_aligns_pattern_as_insertions(self):
+        pure = GenAsmAligner(engine="pure").align("", "ACGT")
+        native = GenAsmAligner(engine="native").align("", "ACGT")
+        assert str(native.cigar) == str(pure.cigar)
+        assert "I" in str(native.cigar)
+
+    def test_non_latin1_text_falls_back_to_pure_scan(self):
+        pure = get_engine("pure").scan_batch([("ACΔGT", "ACGT")], 3)
+        native = get_engine("native").scan_batch([("ACΔGT", "ACGT")], 3)
+        assert native == pure
+
+    def test_mixed_batch_keeps_input_order(self):
+        pairs = [
+            ("ACGTACGT", "ACGT"),
+            ("ACGT", ""),  # empty pattern: handled without the C loop
+            ("ACΔGT" * 10, "ACGT"),  # non-latin-1: generic loop
+            ("", "GGGG"),  # text exhausted immediately
+        ]
+        pure = GenAsmAligner(engine="pure").align_batch(pairs)
+        native = GenAsmAligner(engine="native").align_batch(pairs)
+        assert [str(a.cigar) for a in native] == [
+            str(a.cigar) for a in pure
+        ]
+        assert [a.text_consumed for a in native] == [
+            a.text_consumed for a in pure
+        ]
+
+
+@needs_build
+class TestNativeWindow:
+    def test_window_pickles_and_traces_after_round_trip(self):
+        window = kernels.native_dc_window("ACGTACGT", "ACGAACGT")
+        clone = pickle.loads(pickle.dumps(window))
+        original = traceback_window(window, consume_limit=8)
+        restored = traceback_window(clone, consume_limit=8)
+        assert restored == original
+
+    def test_generic_walk_matches_native_walk_on_same_window(self):
+        """Force the pure opcode loop over the packed history."""
+        window = kernels.native_dc_window("ACGTTACG", "AGGTTACG")
+        native = traceback_window(window, consume_limit=6)
+        window.native_traceback = lambda *args: None  # disable the C walk
+        generic = traceback_window(window, consume_limit=6)
+        assert generic == native
+
+    def test_stored_bits_matches_sene_accounting(self):
+        pure = run_dc_window("ACGTACG", "ACGTAAG")
+        native = kernels.native_dc_window("ACGTACG", "ACGTAAG")
+        assert native.stored_bits() == pure.stored_bits()

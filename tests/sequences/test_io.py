@@ -168,3 +168,83 @@ class TestFastqStreamParser:
         parser.feed("@ok\nAC\n+\n##\n")
         with pytest.raises(ValueError, match=r"record 2.*no read name"):
             parser.feed("@\nACGT\n+\nIIII\n")
+
+
+class TestFastqCrlf:
+    """CRLF and bare-``\\r`` handling (Windows-written FASTQ).
+
+    Before the ``_strip_eol`` fix, ``iter_fastq`` and
+    ``FastqStreamParser.feed`` stripped only ``"\\n"``: every line kept a
+    trailing ``\\r`` (sequence *and* quality, so the length check passed
+    and the ``\\r`` flowed into mapped reads), and a ``"\\r"``-only blank
+    line between records was misreported as a bad ``@`` header.
+    """
+
+    RECORDS = [
+        FastqRecord("r1", "ACGT", "IIII"),
+        FastqRecord("r2", "GGA", "##!"),
+    ]
+    CRLF_DATA = (
+        "@r1 extra\r\nACGT\r\n+\r\nIIII\r\n"
+        "@r2\r\nGGA\r\n+junk\r\n##!\r\n"
+    )
+
+    def test_crlf_round_trip(self):
+        assert read_fastq(io.StringIO(self.CRLF_DATA)) == self.RECORDS
+
+    def test_crlf_sequences_carry_no_carriage_return(self):
+        for record in read_fastq(io.StringIO(self.CRLF_DATA)):
+            assert "\r" not in record.sequence
+            assert "\r" not in record.quality
+
+    def test_mixed_line_endings(self):
+        data = "@r1\r\nACGT\n+\r\nIIII\n@r2\nGGA\r\n+\n##!\r\n"
+        assert read_fastq(io.StringIO(data)) == self.RECORDS
+
+    def test_carriage_return_only_blank_line_between_records(self):
+        # "\r\n" reads as the line "\r"; header.rstrip("\n") stayed truthy
+        # and the blank line was misreported as a bad '@' header.
+        data = "@r1\r\nACGT\r\n+\r\nIIII\r\n\r\n\r\n@r2\r\nGGA\r\n+\r\n##!\r\n"
+        assert read_fastq(io.StringIO(data)) == self.RECORDS
+
+    def test_stream_parser_crlf_single_feed(self):
+        parser = FastqStreamParser()
+        records = parser.feed(self.CRLF_DATA) + parser.close()
+        assert records == self.RECORDS
+
+    @pytest.mark.parametrize("size", [1, 2, 3, 5, 7, 11])
+    def test_stream_parser_chunks_split_crlf_anywhere(self, size):
+        # Every chunking splits some "\r\n" between feeds at size 1-3; the
+        # "\r" must wait in the tail until its "\n" arrives.
+        parser = FastqStreamParser()
+        records = []
+        for i in range(0, len(self.CRLF_DATA), size):
+            records.extend(parser.feed(self.CRLF_DATA[i : i + size]))
+        records.extend(parser.close())
+        assert records == self.RECORDS
+
+    def test_stream_parser_boundary_exactly_between_cr_and_lf(self):
+        parser = FastqStreamParser()
+        records = parser.feed("@r1\r\nACGT\r\n+\r\nIIII\r")
+        # The lone "\r" is still ambiguous: no record may complete yet.
+        assert records == []
+        records += parser.feed("\n@r2\r\nGGA\r\n+\r\n##!\r\n")
+        records += parser.close()
+        assert records == self.RECORDS
+
+    def test_stream_parser_crlf_blank_lines_between_records(self):
+        parser = FastqStreamParser()
+        data = "@r1\r\nACGT\r\n+\r\nIIII\r\n\r\n@r2\r\nGGA\r\n+\r\n##!\r\n"
+        assert parser.feed(data) + parser.close() == self.RECORDS
+
+    def test_stream_parser_close_strips_stranded_cr(self):
+        # Stream ends between the "\r" and "\n" of the final line ending.
+        parser = FastqStreamParser()
+        parser.feed("@r1\r\nACGT\r\n+\r\nIIII\r")
+        assert parser.close() == [FastqRecord("r1", "ACGT", "IIII")]
+
+    def test_stream_parser_close_stranded_cr_after_blank(self):
+        # Trailing blank line cut after its "\r": nothing left to flush.
+        parser = FastqStreamParser()
+        parser.feed("@r1\r\nACGT\r\n+\r\nIIII\r\n\r")
+        assert parser.close() == []
